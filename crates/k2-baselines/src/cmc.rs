@@ -1,0 +1,62 @@
+//! CMC — Coherent Moving Cluster (Jeung et al., VLDB 2008).
+//!
+//! The original convoy sweep. Kept bug-for-bug faithful: clusters that
+//! matched a continuing candidate do **not** seed new candidates, which
+//! loses convoys that begin as supersets of continuing convoys (the
+//! accuracy/recall problem documented by Yoon & Shahabi and recounted in
+//! §2 of the k/2-hop paper).
+
+use crate::sweep::{snapshot_sweep, SeedRule};
+use crate::BaselineResult;
+use k2_cluster::DbscanParams;
+use k2_storage::{StoreResult, TrajectoryStore};
+
+/// Runs CMC: partially-connected convoys of ≥ `m` objects over ≥ `k`
+/// timestamps (modulo the original algorithm's recall bug).
+pub fn mine<S: TrajectoryStore + ?Sized>(
+    store: &S,
+    m: usize,
+    k: u32,
+    eps: f64,
+) -> StoreResult<BaselineResult> {
+    let res = snapshot_sweep(store, DbscanParams::new(m, eps), k, SeedRule::UnmatchedOnly)?;
+    Ok(BaselineResult {
+        convoys: res.convoys.into_sorted_vec(),
+        points_processed: res.points_processed,
+        pre_validation: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k2_model::{Convoy, Dataset, Point};
+    use k2_storage::InMemoryStore;
+
+    #[test]
+    fn simple_convoy_found() {
+        let mut pts = Vec::new();
+        for t in 0..10u32 {
+            for oid in 0..3u32 {
+                pts.push(Point::new(oid, t as f64, oid as f64 * 0.4, t));
+            }
+        }
+        let store = InMemoryStore::new(Dataset::from_points(&pts).unwrap());
+        let res = mine(&store, 3, 5, 1.0).unwrap();
+        assert_eq!(res.convoys, vec![Convoy::from_parts([0u32, 1, 2], 0, 9)]);
+        assert_eq!(res.points_processed, 30);
+    }
+
+    #[test]
+    fn no_convoy_when_objects_disperse() {
+        let mut pts = Vec::new();
+        for t in 0..10u32 {
+            for oid in 0..3u32 {
+                pts.push(Point::new(oid, oid as f64 * 50.0 + t as f64, 0.0, t));
+            }
+        }
+        let store = InMemoryStore::new(Dataset::from_points(&pts).unwrap());
+        let res = mine(&store, 3, 5, 1.0).unwrap();
+        assert!(res.convoys.is_empty());
+    }
+}

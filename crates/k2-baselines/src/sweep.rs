@@ -1,0 +1,184 @@
+//! The snapshot-sweep engine shared by CMC and PCCD.
+//!
+//! Both algorithms make one pass over the timestamps, clustering every
+//! full snapshot and matching the clusters against a set of *candidate
+//! convoys* carried forward from the previous timestamp. They differ in
+//! one rule — whether a cluster that matched an existing candidate still
+//! starts a fresh candidate of its own:
+//!
+//! * **CMC** (Jeung et al.) only starts candidates from *unmatched*
+//!   clusters. This loses convoys that begin with a superset of a
+//!   continuing convoy — the recall bug Yoon & Shahabi documented.
+//! * **PCCD** always starts a fresh candidate from every cluster.
+//!
+//! The sweep yields *partially-connected* maximal convoys of length ≥ `k`.
+
+use k2_cluster::{dbscan, DbscanParams};
+use k2_model::{Convoy, ConvoySet, TimeInterval};
+use k2_storage::{StoreResult, TrajectoryStore};
+
+/// Which candidate-seeding rule the sweep uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedRule {
+    /// Only unmatched clusters seed new candidates (original CMC —
+    /// incomplete).
+    UnmatchedOnly,
+    /// Every cluster seeds a new candidate (PCCD correction).
+    EveryCluster,
+}
+
+/// Output of a sweep.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// Maximal partially-connected convoys with lifespan ≥ `k`.
+    pub convoys: ConvoySet,
+    /// Points read (every point of every snapshot — these algorithms scan
+    /// the whole dataset).
+    pub points_processed: u64,
+}
+
+/// Runs the sweep over the full time range of `store`.
+pub fn snapshot_sweep<S: TrajectoryStore + ?Sized>(
+    store: &S,
+    params: DbscanParams,
+    k: u32,
+    rule: SeedRule,
+) -> StoreResult<SweepResult> {
+    let span = store.span();
+    let mut points = 0u64;
+    let mut active: Vec<Convoy> = Vec::new();
+    let mut results = ConvoySet::new();
+    let emit = |results: &mut ConvoySet, v: &Convoy| {
+        if v.len() >= k {
+            results.update(v.clone());
+        }
+    };
+    for t in span.iter() {
+        let snapshot = store.scan_snapshot(t)?;
+        points += snapshot.len() as u64;
+        let clusters = dbscan(&snapshot, params);
+        let mut matched = vec![false; clusters.len()];
+        let mut next = ConvoySet::new();
+        for v in &active {
+            let mut extended_fully = false;
+            for (ci, c) in clusters.iter().enumerate() {
+                let inter = v.objects.intersect(c);
+                if inter.len() >= params.min_pts {
+                    matched[ci] = true;
+                    if inter.len() == v.objects.len() {
+                        extended_fully = true;
+                    }
+                    next.update(Convoy::from_parts(inter, v.start(), t));
+                }
+            }
+            if !extended_fully {
+                emit(&mut results, v);
+            }
+        }
+        for (ci, c) in clusters.into_iter().enumerate() {
+            let seed = match rule {
+                SeedRule::UnmatchedOnly => !matched[ci],
+                SeedRule::EveryCluster => true,
+            };
+            if seed {
+                next.update(Convoy::new(c, TimeInterval::instant(t)));
+            }
+        }
+        active = next.drain();
+    }
+    for v in &active {
+        emit(&mut results, v);
+    }
+    Ok(SweepResult {
+        convoys: results,
+        points_processed: points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k2_model::{Dataset, ObjectSet, Point};
+    use k2_storage::InMemoryStore;
+
+    const PARAMS: DbscanParams = DbscanParams { min_pts: 2, eps: 1.0 };
+
+    /// The CMC recall-bug scenario: objects {0,1} travel together over
+    /// [0,9]; objects {2,3} join them during [4,9]. The convoy
+    /// ({0,1,2,3}, [4,9]) starts at t = 4 with a cluster that *matches*
+    /// the continuing candidate {0,1} — CMC never seeds it.
+    fn bug_store() -> InMemoryStore {
+        let mut pts = Vec::new();
+        for t in 0..10u32 {
+            pts.push(Point::new(0, t as f64 * 3.0, 0.0, t));
+            pts.push(Point::new(1, t as f64 * 3.0, 0.8, t));
+            let (x2, y2) = if t >= 4 {
+                (t as f64 * 3.0, 1.6)
+            } else {
+                (500.0, 500.0)
+            };
+            let (x3, y3) = if t >= 4 {
+                (t as f64 * 3.0, 2.4)
+            } else {
+                (800.0, 800.0)
+            };
+            pts.push(Point::new(2, x2, y2, t));
+            pts.push(Point::new(3, x3, y3, t));
+        }
+        InMemoryStore::new(Dataset::from_points(&pts).unwrap())
+    }
+
+    #[test]
+    fn pccd_finds_the_late_superset_convoy() {
+        let store = bug_store();
+        let res = snapshot_sweep(&store, PARAMS, 5, SeedRule::EveryCluster).unwrap();
+        assert!(res
+            .convoys
+            .contains(&Convoy::from_parts([0u32, 1], 0, 9)));
+        assert!(res
+            .convoys
+            .contains(&Convoy::from_parts([0u32, 1, 2, 3], 4, 9)));
+        assert_eq!(res.convoys.len(), 2);
+    }
+
+    #[test]
+    fn cmc_misses_the_late_superset_convoy() {
+        let store = bug_store();
+        let res = snapshot_sweep(&store, PARAMS, 5, SeedRule::UnmatchedOnly).unwrap();
+        assert!(res
+            .convoys
+            .contains(&Convoy::from_parts([0u32, 1], 0, 9)));
+        // The documented recall bug: {0,1,2,3} over [4,9] is lost.
+        assert!(!res
+            .convoys
+            .contains(&Convoy::from_parts([0u32, 1, 2, 3], 4, 9)));
+    }
+
+    #[test]
+    fn sweep_scans_every_point() {
+        let store = bug_store();
+        let res = snapshot_sweep(&store, PARAMS, 5, SeedRule::EveryCluster).unwrap();
+        assert_eq!(res.points_processed, 40);
+    }
+
+    #[test]
+    fn short_convoys_filtered_by_k() {
+        let store = bug_store();
+        let res = snapshot_sweep(&store, PARAMS, 7, SeedRule::EveryCluster).unwrap();
+        assert_eq!(res.convoys.len(), 1);
+        assert_eq!(res.convoys.convoys()[0].objects, ObjectSet::from([0, 1]));
+    }
+
+    #[test]
+    fn empty_snapshots_are_tolerated() {
+        let pts = vec![
+            Point::new(0, 0.0, 0.0, 0),
+            Point::new(1, 0.5, 0.0, 0),
+            Point::new(0, 0.0, 0.0, 5),
+            Point::new(1, 0.5, 0.0, 5),
+        ];
+        let store = InMemoryStore::new(Dataset::from_points(&pts).unwrap());
+        let res = snapshot_sweep(&store, PARAMS, 2, SeedRule::EveryCluster).unwrap();
+        assert!(res.convoys.is_empty()); // two instants, never consecutive
+    }
+}

@@ -1,0 +1,159 @@
+//! VCoDA — Valid Convoy Discovery (Yoon & Shahabi, 2009) and the corrected
+//! VCoDA\* the k/2-hop paper evaluates against.
+//!
+//! Both run PCCD over the full dataset first (the expensive part: every
+//! snapshot is scanned and clustered), then validate the candidates into
+//! fully-connected convoys:
+//!
+//! * [`vcoda`] uses the **original DCVal** pass — fast, single sweep per
+//!   candidate, but admits the false positives documented in §4.6;
+//! * [`vcoda_star`] uses the **corrected recursive validation** and is
+//!   exact. Its output must coincide with `k2_core::K2Hop` (enforced by
+//!   the integration tests), making it the paper's main baseline
+//!   (Figures 7a, 7b, 7h, 8a, 8l).
+
+use crate::dcval::dcval_original;
+use crate::sweep::{snapshot_sweep, SeedRule};
+use crate::{reference, BaselineResult};
+use k2_cluster::DbscanParams;
+use k2_model::ConvoySet;
+use k2_storage::{StoreResult, TrajectoryStore};
+
+/// VCoDA: PCCD + original DCVal. May return non-FC convoys (the
+/// documented flaw) — provided for the paper's VCoDA-vs-VCoDA\* rows.
+pub fn vcoda<S: TrajectoryStore + ?Sized>(
+    store: &S,
+    m: usize,
+    k: u32,
+    eps: f64,
+) -> StoreResult<BaselineResult> {
+    let params = DbscanParams::new(m, eps);
+    let sweep = snapshot_sweep(store, params, k, SeedRule::EveryCluster)?;
+    let pre_validation = sweep.convoys.len() as u32;
+    let (validated, val_points) = dcval_original(store, params, k, sweep.convoys)?;
+    Ok(BaselineResult {
+        convoys: validated.into_sorted_vec(),
+        points_processed: sweep.points_processed + val_points,
+        pre_validation,
+    })
+}
+
+/// VCoDA\*: PCCD + corrected recursive validation. Exact maximal FC
+/// convoy mining by full scan — the strongest sequential baseline.
+pub fn vcoda_star<S: TrajectoryStore + ?Sized>(
+    store: &S,
+    m: usize,
+    k: u32,
+    eps: f64,
+) -> StoreResult<BaselineResult> {
+    let params = DbscanParams::new(m, eps);
+    let sweep = snapshot_sweep(store, params, k, SeedRule::EveryCluster)?;
+    let pre_validation = sweep.convoys.len() as u32;
+    let mut points = sweep.points_processed;
+    let mut fc = ConvoySet::new();
+    for cand in sweep.convoys {
+        let found =
+            reference::validate_fc(store, params, k, &cand.objects, cand.lifespan, &mut points)?;
+        fc.merge(found);
+    }
+    Ok(BaselineResult {
+        convoys: fc.into_sorted_vec(),
+        points_processed: points,
+        pre_validation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k2_model::{Convoy, Dataset, Point};
+    use k2_storage::InMemoryStore;
+
+    /// Scenario where VCoDA's original DCVal produces a false positive but
+    /// VCoDA\* stays exact.
+    ///
+    /// During [0,4] the set X = {0,1,2,3} is internally chained (2 bridges
+    /// 3 to the rest). During [5,9] object 2 drifts off, but an *outside*
+    /// object 9 bridges it back in the full snapshot, so the PCCD
+    /// candidate is (X, [0,9]). DCVal walks the candidate: X is intact
+    /// over [0,4], shrinks to {0,1,3} at t = 5 and inherits start 0 —
+    /// without re-checking that {0,1,3} alone was never connected in
+    /// [0,4] (2 was the bridge). Hence the false positive
+    /// ({0,1,3}, [0,9]).
+    fn adversarial_store() -> InMemoryStore {
+        let mut pts = Vec::new();
+        for t in 0..10u32 {
+            if t < 5 {
+                pts.push(Point::new(0, 0.0, 0.0, t));
+                pts.push(Point::new(1, 0.8, 0.0, t));
+                pts.push(Point::new(2, 1.6, 0.0, t)); // bridge inside X
+                pts.push(Point::new(3, 2.4, 0.0, t));
+                pts.push(Point::new(9, 50.0, 50.0, t));
+            } else {
+                pts.push(Point::new(0, 0.0, 0.0, t));
+                pts.push(Point::new(1, 0.5, 0.0, t));
+                pts.push(Point::new(3, 1.0, 0.0, t));
+                pts.push(Point::new(9, 1.9, 0.0, t)); // outside bridge
+                pts.push(Point::new(2, 2.8, 0.0, t));
+            }
+        }
+        InMemoryStore::new(Dataset::from_points(&pts).unwrap())
+    }
+
+    #[test]
+    fn vcoda_star_is_exact_on_adversarial_data() {
+        let store = adversarial_store();
+        let res = vcoda_star(&store, 2, 6, 1.0).unwrap();
+        // {0,1} is FC throughout [0,9] (adjacent the whole time).
+        assert!(res.convoys.contains(&Convoy::from_parts([0u32, 1], 0, 9)));
+        // {0,1,3} over [0,9] is NOT fully connected (bridge 2 in [0,4]).
+        assert!(!res.convoys.contains(&Convoy::from_parts([0u32, 1, 3], 0, 9)));
+    }
+
+    #[test]
+    fn vcoda_original_admits_false_positive() {
+        let store = adversarial_store();
+        let exact = vcoda_star(&store, 2, 6, 1.0).unwrap();
+        let flawed = vcoda(&store, 2, 6, 1.0).unwrap();
+        let fp = Convoy::from_parts([0u32, 1, 3], 0, 9);
+        assert!(
+            flawed.convoys.contains(&fp),
+            "flawed output: {:?}",
+            flawed.convoys
+        );
+        assert!(!exact.convoys.contains(&fp));
+    }
+
+    #[test]
+    fn k2hop_agrees_with_vcoda_star_on_adversarial_data() {
+        let store = adversarial_store();
+        let exact = vcoda_star(&store, 2, 6, 1.0).unwrap();
+        let k2 = k2_core::K2Hop::new(k2_core::K2Config::new(2, 6, 1.0).unwrap())
+            .mine(&store)
+            .unwrap();
+        assert_eq!(exact.convoys, k2.convoys);
+    }
+
+    #[test]
+    fn both_agree_on_clean_data() {
+        let mut pts = Vec::new();
+        for t in 0..12u32 {
+            for oid in 0..4u32 {
+                pts.push(Point::new(oid, t as f64, oid as f64 * 0.4, t));
+            }
+        }
+        let store = InMemoryStore::new(Dataset::from_points(&pts).unwrap());
+        let a = vcoda(&store, 4, 6, 1.0).unwrap();
+        let b = vcoda_star(&store, 4, 6, 1.0).unwrap();
+        assert_eq!(a.convoys, b.convoys);
+        assert_eq!(a.convoys.len(), 1);
+    }
+
+    #[test]
+    fn pre_validation_counts_reported() {
+        let store = adversarial_store();
+        let res = vcoda_star(&store, 2, 6, 1.0).unwrap();
+        assert!(res.pre_validation >= 1);
+        assert!(res.points_processed >= 40, "full scan plus validation");
+    }
+}

@@ -1,0 +1,76 @@
+//! Microbenchmarks of the clustering substrate: DBSCAN cost per snapshot
+//! — the term the paper's cost analysis is built around (§2: naive
+//! `O(n²)` vs index-assisted `O(n log n)`; ours is grid-assisted).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use k2_cluster::{dbscan, DbscanParams};
+use k2_model::ObjPos;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn snapshot(n: usize, clustered_fraction: f64, seed: u64) -> Vec<ObjPos> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = (n as f64).sqrt() * 10.0;
+    let mut points = Vec::with_capacity(n);
+    let grouped = (n as f64 * clustered_fraction) as usize;
+    // Clustered points around a handful of hotspots.
+    for i in 0..grouped {
+        let hotspot = (i % 8) as f64 * side / 8.0;
+        points.push(ObjPos::new(
+            i as u32,
+            hotspot + rng.gen_range(-0.8..0.8),
+            hotspot + rng.gen_range(-0.8..0.8),
+        ));
+    }
+    for i in grouped..n {
+        points.push(ObjPos::new(
+            i as u32,
+            rng.gen_range(0.0..side),
+            rng.gen_range(0.0..side),
+        ));
+    }
+    points
+}
+
+fn bench_dbscan_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dbscan/snapshot_size");
+    for &n in &[100usize, 1_000, 10_000] {
+        let points = snapshot(n, 0.2, 7);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, pts| {
+            b.iter(|| dbscan(black_box(pts), DbscanParams::new(3, 1.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dbscan_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dbscan/clustered_fraction");
+    for &frac in &[0.0f64, 0.5, 1.0] {
+        let points = snapshot(2_000, frac, 11);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{frac:.1}")),
+            &points,
+            |b, pts| b.iter(|| dbscan(black_box(pts), DbscanParams::new(3, 1.0))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_recluster_small(c: &mut Criterion) {
+    // The HWMT hot path: re-clustering tiny candidate sets thousands of
+    // times.
+    let points = snapshot(8, 1.0, 3);
+    c.bench_function("dbscan/candidate_recluster_8pts", |b| {
+        b.iter(|| dbscan(black_box(&points), DbscanParams::new(3, 1.0)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dbscan_scaling,
+    bench_dbscan_density,
+    bench_recluster_small
+);
+criterion_main!(benches);

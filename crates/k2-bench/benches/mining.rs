@@ -1,0 +1,103 @@
+//! End-to-end mining benchmarks: k/2-hop against every sequential
+//! baseline on the same seeded workload (criterion's statistical view of
+//! the Figure 7h comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use k2_baselines::{cmc, cuts, dcm, pccd, spare, vcoda};
+use k2_core::{K2Config, K2Hop};
+use k2_datagen::ConvoyInjector;
+use k2_storage::InMemoryStore;
+use std::hint::black_box;
+
+const M: usize = 3;
+const K: u32 = 40;
+const EPS: f64 = 1.0;
+
+fn workload() -> InMemoryStore {
+    InMemoryStore::new(
+        ConvoyInjector::new(200, 300)
+            .convoys(3, 4, 100)
+            .seed(99)
+            .generate(),
+    )
+}
+
+fn bench_miners(c: &mut Criterion) {
+    let store = workload();
+    let mut group = c.benchmark_group("mining");
+    group.sample_size(20);
+    group.bench_function("k2hop", |b| {
+        let miner = K2Hop::new(K2Config::new(M, K, EPS).unwrap());
+        b.iter(|| black_box(miner.mine(&store).unwrap().convoys.len()))
+    });
+    group.bench_function("vcoda_star", |b| {
+        b.iter(|| black_box(vcoda::vcoda_star(&store, M, K, EPS).unwrap().convoys.len()))
+    });
+    group.bench_function("vcoda", |b| {
+        b.iter(|| black_box(vcoda::vcoda(&store, M, K, EPS).unwrap().convoys.len()))
+    });
+    group.bench_function("pccd", |b| {
+        b.iter(|| black_box(pccd::mine(&store, M, K, EPS).unwrap().convoys.len()))
+    });
+    group.bench_function("cmc", |b| {
+        b.iter(|| black_box(cmc::mine(&store, M, K, EPS).unwrap().convoys.len()))
+    });
+    group.bench_function("cuts", |b| {
+        b.iter(|| {
+            black_box(
+                cuts::mine(&store, M, K, EPS, cuts::CutsParams::default())
+                    .unwrap()
+                    .convoys
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_parallel_baselines(c: &mut Criterion) {
+    let store = workload();
+    let mut group = c.benchmark_group("mining/parallel");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("spare", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(
+                        spare::mine(&store, M, K, EPS, threads)
+                            .unwrap()
+                            .convoys
+                            .len(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("dcm", threads), &threads, |b, &nodes| {
+            b.iter(|| black_box(dcm::mine(&store, M, K, EPS, nodes).unwrap().convoys.len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_k2_vs_k(c: &mut Criterion) {
+    // The paper's headline trend: k/2-hop gets *faster* as k grows.
+    let store = workload();
+    let mut group = c.benchmark_group("mining/k2hop_vs_k");
+    for k in [10u32, 40, 160] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let miner = K2Hop::new(K2Config::new(M, k, EPS).unwrap());
+            b.iter(|| black_box(miner.mine(&store).unwrap().convoys.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_miners,
+    bench_parallel_baselines,
+    bench_k2_vs_k
+);
+criterion_main!(benches);

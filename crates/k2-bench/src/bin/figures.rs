@@ -1,0 +1,34 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p k2-bench --bin figures -- fig7h
+//! cargo run --release -p k2-bench --bin figures -- all
+//! K2_SCALE=4 cargo run --release -p k2-bench --bin figures -- fig8l
+//! ```
+
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: figures <experiment-id>... | all");
+        eprintln!("experiments: {}", k2_bench::figures::ALL.join(", "));
+        eprintln!("env: K2_SCALE=<f64> (dataset scale), K2_SEED=<u64>");
+        std::process::exit(2);
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        k2_bench::figures::ALL.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for id in ids {
+        let start = Instant::now();
+        if !k2_bench::figures::run(id) {
+            eprintln!("unknown experiment id: {id}");
+            eprintln!("known: {}", k2_bench::figures::ALL.join(", "));
+            std::process::exit(2);
+        }
+        eprintln!("[{id} done in {:.1?}]", start.elapsed());
+        println!();
+    }
+}

@@ -1,0 +1,134 @@
+//! Disjoint-set union (union-find) with path halving and union by size.
+//!
+//! Used by the parallel-DBSCAN-style merging in the SPARE baseline's
+//! snapshot clustering and handy for graph-connectivity checks in tests.
+
+/// A classic disjoint-set forest over `0..n`.
+#[derive(Debug, Clone)]
+pub struct DisjointSet {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl DisjointSet {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Is the structure empty?
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint components.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Finds the representative of `x` (with path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    /// Unions the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Are `a` and `b` in the same set?
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+
+    /// Groups elements by representative, returning each component as a
+    /// sorted vector; components ordered by smallest member.
+    pub fn into_components(mut self) -> Vec<Vec<u32>> {
+        let n = self.len();
+        let mut buckets: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+        for x in 0..n as u32 {
+            let r = self.find(x);
+            buckets.entry(r).or_default().push(x);
+        }
+        let mut out: Vec<Vec<u32>> = buckets.into_values().collect();
+        out.sort_by_key(|c| c[0]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut d = DisjointSet::new(5);
+        assert_eq!(d.components(), 5);
+        assert!(d.union(0, 1));
+        assert!(d.union(3, 4));
+        assert!(!d.union(1, 0));
+        assert_eq!(d.components(), 3);
+        assert!(d.connected(0, 1));
+        assert!(!d.connected(0, 2));
+        assert_eq!(d.set_size(4), 2);
+    }
+
+    #[test]
+    fn transitive_connectivity() {
+        let mut d = DisjointSet::new(6);
+        d.union(0, 1);
+        d.union(1, 2);
+        d.union(4, 5);
+        assert!(d.connected(0, 2));
+        assert!(!d.connected(2, 4));
+        assert_eq!(d.components(), 3);
+    }
+
+    #[test]
+    fn into_components_is_sorted() {
+        let mut d = DisjointSet::new(5);
+        d.union(4, 0);
+        d.union(3, 1);
+        let comps = d.into_components();
+        assert_eq!(comps, vec![vec![0, 4], vec![1, 3], vec![2]]);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let d = DisjointSet::new(0);
+        assert!(d.is_empty());
+        assert_eq!(d.components(), 0);
+        assert!(d.into_components().is_empty());
+    }
+}

@@ -1,0 +1,312 @@
+//! # k2-cluster — density-based clustering for convoy mining
+//!
+//! A from-scratch DBSCAN implementation (Ester et al., KDD 1996) tuned for
+//! the access pattern of convoy mining:
+//!
+//! * [`dbscan`] clusters one snapshot of object positions with parameters
+//!   `(m, eps)` — the paper's *(m, eps)-clusters* (Def. 2). Neighbourhood
+//!   queries run against a [`GridIndex`] (uniform grid with cell size
+//!   `eps`), giving expected `O(n)` total work instead of the naive
+//!   `O(n²)`.
+//! * [`recluster`] is the restricted variant `DBSCAN(DB[t]|O)` that the
+//!   HWMT, extension and validation phases of k/2-hop call thousands of
+//!   times on tiny candidate sets.
+//!
+//! Clusters are returned as sorted [`ObjectSet`]s of size ≥ `m`; noise
+//! points are omitted.
+//!
+//! DBSCAN semantics used throughout (matching §3.1 of the paper):
+//! the eps-neighbourhood `NH(p, eps)` *includes `p` itself*, a point is a
+//! core point iff `|NH(p, eps)| ≥ m`, and a cluster is the maximal set of
+//! density-connected points reachable from a core point (border points
+//! included).
+
+mod dsu;
+mod grid;
+
+pub use dsu::DisjointSet;
+pub use grid::GridIndex;
+
+use k2_model::{ObjPos, ObjectSet};
+
+/// Parameters of a `(m, eps)` density clustering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbscanParams {
+    /// Minimum number of points in an eps-neighbourhood for a core point —
+    /// and therefore the minimum cluster size. The paper reuses the convoy
+    /// size parameter `m` here.
+    pub min_pts: usize,
+    /// Distance threshold.
+    pub eps: f64,
+}
+
+impl DbscanParams {
+    /// Creates clustering parameters. `min_pts` must be ≥ 1 and `eps`
+    /// must be a positive, finite number.
+    pub fn new(min_pts: usize, eps: f64) -> Self {
+        assert!(min_pts >= 1, "min_pts must be >= 1");
+        assert!(eps > 0.0 && eps.is_finite(), "eps must be positive finite");
+        Self { min_pts, eps }
+    }
+}
+
+/// Runs DBSCAN over one snapshot of positions.
+///
+/// Returns the `(m, eps)`-clusters as sorted object sets, ordered by their
+/// smallest member id. Points whose object ids repeat produce unspecified
+/// (but deterministic) results — snapshots deduplicate upstream.
+///
+/// ```
+/// use k2_cluster::{dbscan, DbscanParams};
+/// use k2_model::{ObjPos, ObjectSet};
+///
+/// let snapshot = vec![
+///     ObjPos::new(1, 0.0, 0.0),
+///     ObjPos::new(2, 0.5, 0.0),
+///     ObjPos::new(3, 1.0, 0.0),
+///     ObjPos::new(9, 50.0, 50.0), // noise
+/// ];
+/// let clusters = dbscan(&snapshot, DbscanParams::new(3, 0.6));
+/// assert_eq!(clusters, vec![ObjectSet::from([1, 2, 3])]);
+/// ```
+pub fn dbscan(points: &[ObjPos], params: DbscanParams) -> Vec<ObjectSet> {
+    if points.len() < params.min_pts {
+        return Vec::new();
+    }
+    let eps2 = params.eps * params.eps;
+    let grid = GridIndex::build(points, params.eps);
+
+    const UNVISITED: u32 = u32::MAX;
+    const NOISE: u32 = u32::MAX - 1;
+    let mut label = vec![UNVISITED; points.len()];
+    let mut cluster_count: u32 = 0;
+
+    // Scratch buffers reused across seed expansions to avoid per-cluster
+    // allocations (hot loop: one dbscan call per timestamp).
+    let mut neighbours: Vec<u32> = Vec::new();
+    let mut frontier: Vec<u32> = Vec::new();
+
+    for start in 0..points.len() {
+        if label[start] != UNVISITED {
+            continue;
+        }
+        neighbours.clear();
+        grid.neighbours(points, start, eps2, &mut neighbours);
+        if neighbours.len() < params.min_pts {
+            label[start] = NOISE;
+            continue;
+        }
+        // `start` is a core point: expand a new cluster from it.
+        let cid = cluster_count;
+        cluster_count += 1;
+        label[start] = cid;
+        frontier.clear();
+        for &n in &neighbours {
+            let l = label[n as usize];
+            if l == UNVISITED || l == NOISE {
+                if l == UNVISITED {
+                    frontier.push(n);
+                }
+                label[n as usize] = cid;
+            }
+        }
+        while let Some(q) = frontier.pop() {
+            neighbours.clear();
+            grid.neighbours(points, q as usize, eps2, &mut neighbours);
+            if neighbours.len() < params.min_pts {
+                continue; // border point: belongs to the cluster, no expansion
+            }
+            for &n in &neighbours {
+                let l = label[n as usize];
+                if l == UNVISITED || l == NOISE {
+                    if l == UNVISITED {
+                        frontier.push(n);
+                    }
+                    label[n as usize] = cid;
+                }
+            }
+        }
+    }
+
+    // Gather clusters; enforce the (m, eps)-cluster size bound. (Every
+    // cluster contains a core point whose neighbourhood has >= m members,
+    // all of which join the cluster, so the filter only matters when
+    // duplicate coordinates collapse — kept for safety.)
+    let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); cluster_count as usize];
+    for (i, &l) in label.iter().enumerate() {
+        if l < NOISE {
+            clusters[l as usize].push(points[i].oid);
+        }
+    }
+    let mut out: Vec<ObjectSet> = clusters
+        .into_iter()
+        .filter(|c| c.len() >= params.min_pts)
+        .map(ObjectSet::new)
+        .collect();
+    out.sort_by(|a, b| a.ids().cmp(b.ids()));
+    out
+}
+
+/// The paper's `reCluster`: DBSCAN over a snapshot restricted to the
+/// objects of a candidate (`DBSCAN(DB[t]|O)`).
+///
+/// `restricted` must already be the restriction — this function is a thin
+/// semantic alias kept separate so call sites read like the pseudo-code.
+#[inline]
+pub fn recluster(restricted: &[ObjPos], params: DbscanParams) -> Vec<ObjectSet> {
+    dbscan(restricted, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(u32, f64, f64)]) -> Vec<ObjPos> {
+        coords
+            .iter()
+            .map(|&(oid, x, y)| ObjPos::new(oid, x, y))
+            .collect()
+    }
+
+    #[test]
+    fn two_well_separated_clusters() {
+        let points = pts(&[
+            (1, 0.0, 0.0),
+            (2, 0.5, 0.0),
+            (3, 1.0, 0.0),
+            (10, 100.0, 0.0),
+            (11, 100.5, 0.0),
+            (12, 101.0, 0.0),
+        ]);
+        let clusters = dbscan(&points, DbscanParams::new(3, 0.6));
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0], ObjectSet::from([1, 2, 3]));
+        assert_eq!(clusters[1], ObjectSet::from([10, 11, 12]));
+    }
+
+    #[test]
+    fn chain_is_density_connected() {
+        // A chain of points each within eps of the next: one cluster,
+        // even though the endpoints are far apart (shape-free clusters are
+        // the motivation for convoys over flocks).
+        let points: Vec<ObjPos> = (0..20).map(|i| ObjPos::new(i, i as f64 * 0.9, 0.0)).collect();
+        let clusters = dbscan(&points, DbscanParams::new(3, 1.0));
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 20);
+    }
+
+    #[test]
+    fn noise_is_dropped() {
+        let points = pts(&[(1, 0.0, 0.0), (2, 0.1, 0.0), (3, 0.2, 0.0), (99, 50.0, 50.0)]);
+        let clusters = dbscan(&points, DbscanParams::new(3, 0.5));
+        assert_eq!(clusters.len(), 1);
+        assert!(!clusters[0].contains(99));
+    }
+
+    #[test]
+    fn too_few_points_returns_nothing() {
+        let points = pts(&[(1, 0.0, 0.0), (2, 0.1, 0.0)]);
+        assert!(dbscan(&points, DbscanParams::new(3, 1.0)).is_empty());
+        assert!(dbscan(&[], DbscanParams::new(1, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn min_pts_one_makes_every_point_a_cluster() {
+        let points = pts(&[(1, 0.0, 0.0), (2, 10.0, 0.0)]);
+        let clusters = dbscan(&points, DbscanParams::new(1, 1.0));
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn border_point_joins_exactly_one_cluster() {
+        // Object 50 is within eps of both groups' edges; DBSCAN assigns it
+        // to whichever cluster claims it first, but it must appear once.
+        let points = pts(&[
+            (1, 0.0, 0.0),
+            (2, 0.4, 0.0),
+            (3, 0.8, 0.0),
+            (50, 1.2, 0.0), // border, reachable from 3 and 60
+            (60, 1.6, 0.0),
+            (61, 2.0, 0.0),
+            (62, 2.4, 0.0),
+        ]);
+        let clusters = dbscan(&points, DbscanParams::new(3, 0.45));
+        let total: usize = clusters.iter().map(|c| c.len()).sum();
+        let appears: usize = clusters.iter().filter(|c| c.contains(50)).count();
+        assert_eq!(appears, 1, "border point must be in exactly one cluster");
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn eps_boundary_is_inclusive() {
+        // d(p, q) == eps must count (NH uses <=).
+        let points = pts(&[(1, 0.0, 0.0), (2, 1.0, 0.0), (3, 2.0, 0.0)]);
+        let clusters = dbscan(&points, DbscanParams::new(3, 1.0));
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 3);
+    }
+
+    #[test]
+    fn neighbourhood_includes_self() {
+        // Two coincident points with min_pts = 2: each sees {self, other}.
+        let points = pts(&[(1, 5.0, 5.0), (2, 5.0, 5.0)]);
+        let clusters = dbscan(&points, DbscanParams::new(2, 0.1));
+        assert_eq!(clusters.len(), 1);
+    }
+
+    #[test]
+    fn paper_figure6_t0_clusters() {
+        // Figure 6 of the paper, timestamp 0: clusters {a..j}, {x,y,z},
+        // {m,n,o} (letters mapped to ids). Objects in each group are placed
+        // within eps of each other; groups far apart.
+        let mut coords = Vec::new();
+        for i in 0..10u32 {
+            coords.push((i, i as f64 * 0.5, 0.0)); // a..j chained
+        }
+        for (j, i) in (20..23u32).enumerate() {
+            coords.push((i, 100.0 + j as f64 * 0.5, 0.0)); // x, y, z
+        }
+        for (j, i) in (30..33u32).enumerate() {
+            coords.push((i, 200.0 + j as f64 * 0.5, 0.0)); // m, n, o
+        }
+        let clusters = dbscan(&pts(&coords), DbscanParams::new(3, 0.6));
+        assert_eq!(clusters.len(), 3);
+        assert_eq!(clusters[0].len(), 10);
+        assert_eq!(clusters[1], ObjectSet::from([20, 21, 22]));
+        assert_eq!(clusters[2], ObjectSet::from([30, 31, 32]));
+    }
+
+    #[test]
+    fn recluster_restriction_splits_bridge() {
+        // {1,2,3} are connected only through 2. Restricting to {1,3}
+        // (dropping the bridge) must yield no cluster — the property FC
+        // validation relies on.
+        let all = pts(&[(1, 0.0, 0.0), (2, 1.0, 0.0), (3, 2.0, 0.0)]);
+        let full = dbscan(&all, DbscanParams::new(2, 1.0));
+        assert_eq!(full.len(), 1);
+        let restricted = pts(&[(1, 0.0, 0.0), (3, 2.0, 0.0)]);
+        let sub = recluster(&restricted, DbscanParams::new(2, 1.0));
+        assert!(sub.is_empty());
+    }
+
+    #[test]
+    fn deterministic_output_order() {
+        let points = pts(&[(9, 0.0, 0.0), (8, 0.1, 0.0), (3, 5.0, 5.0), (4, 5.1, 5.0)]);
+        let a = dbscan(&points, DbscanParams::new(2, 0.5));
+        let b = dbscan(&points, DbscanParams::new(2, 0.5));
+        assert_eq!(a, b);
+        assert_eq!(a[0], ObjectSet::from([3, 4])); // sorted by smallest member
+    }
+
+    #[test]
+    #[should_panic(expected = "eps")]
+    fn invalid_eps_panics() {
+        let _ = DbscanParams::new(3, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_pts")]
+    fn invalid_min_pts_panics() {
+        let _ = DbscanParams::new(0, 1.0);
+    }
+}

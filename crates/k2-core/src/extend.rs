@@ -1,0 +1,248 @@
+//! Extending maximal spanning convoys to their true endpoints
+//! (§4.5, Algorithm 3 `extendRight` and its left mirror).
+
+use crate::recluster_at;
+use k2_cluster::DbscanParams;
+use k2_model::{Convoy, ConvoySet, Time};
+use k2_storage::{StoreResult, TrajectoryStore};
+
+/// Outcome of an extension pass.
+#[derive(Debug)]
+pub struct ExtendResult {
+    /// Extended convoys (maximal under `update()` subsumption).
+    pub convoys: ConvoySet,
+    /// Points fetched from the store.
+    pub points_fetched: u64,
+}
+
+/// Algorithm 3: extends each convoy to the right, one timestamp at a time,
+/// re-clustering the convoy's objects at `te(v)+1, te(v)+2, …` until no
+/// cluster survives or the dataset ends.
+///
+/// When re-clustering splits or shrinks a convoy, the original is emitted
+/// (it is right-maximal in its current shape) *and* the shrunken clusters
+/// continue extending. No `k` check happens here — a short convoy may
+/// still grow leftwards (§4.5).
+pub fn extend_right<S: TrajectoryStore + ?Sized>(
+    store: &S,
+    params: DbscanParams,
+    convoys: impl IntoIterator<Item = Convoy>,
+    dataset_end: Time,
+) -> StoreResult<ExtendResult> {
+    extend_directed(store, params, convoys, dataset_end, Direction::Right, None)
+}
+
+/// The left mirror of Algorithm 3: extends towards `dataset_start`.
+///
+/// After leftward extension no further growth is possible, so convoys
+/// shorter than `min_len` are discarded (§4.5: "all the convoys which do
+/// not satisfy the k constraint are discarded").
+pub fn extend_left<S: TrajectoryStore + ?Sized>(
+    store: &S,
+    params: DbscanParams,
+    convoys: impl IntoIterator<Item = Convoy>,
+    dataset_start: Time,
+    min_len: u32,
+) -> StoreResult<ExtendResult> {
+    extend_directed(
+        store,
+        params,
+        convoys,
+        dataset_start,
+        Direction::Left,
+        Some(min_len),
+    )
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Right,
+    Left,
+}
+
+fn extend_directed<S: TrajectoryStore + ?Sized>(
+    store: &S,
+    params: DbscanParams,
+    convoys: impl IntoIterator<Item = Convoy>,
+    limit: Time,
+    dir: Direction,
+    min_len: Option<u32>,
+) -> StoreResult<ExtendResult> {
+    let mut result = ConvoySet::new();
+    let mut points_fetched = 0u64;
+    let emit = |set: &mut ConvoySet, v: Convoy| {
+        if min_len.is_none_or(|k| v.len() >= k) {
+            set.update(v);
+        }
+    };
+
+    for vsp in convoys {
+        // Vprev: convoys still extending (line 2).
+        let mut prev: Vec<Convoy> = vec![vsp];
+        loop {
+            // Next timestamp in the chosen direction, stopping at the
+            // dataset boundary (line 3).
+            let frontier = match dir {
+                Direction::Right => {
+                    let te = prev[0].end();
+                    if te >= limit {
+                        break;
+                    }
+                    te + 1
+                }
+                Direction::Left => {
+                    let ts = prev[0].start();
+                    if ts <= limit {
+                        break;
+                    }
+                    ts - 1
+                }
+            };
+            let mut next = ConvoySet::new();
+            for v in &prev {
+                let (clusters, fetched) = recluster_at(store, params, frontier, &v.objects)?;
+                points_fetched += fetched;
+                if clusters.is_empty() {
+                    // Line 7–8: v cannot be extended.
+                    emit(&mut result, v.clone());
+                    continue;
+                }
+                let mut survived_intact = false;
+                for c in clusters {
+                    if c == v.objects {
+                        survived_intact = true;
+                    }
+                    let (s, e) = match dir {
+                        Direction::Right => (v.start(), frontier),
+                        Direction::Left => (frontier, v.end()),
+                    };
+                    next.update(Convoy::from_parts(c, s, e));
+                }
+                if !survived_intact {
+                    // Line 12–13: v split or shrank; emit it in its
+                    // current shape.
+                    emit(&mut result, v.clone());
+                }
+            }
+            if next.is_empty() {
+                prev.clear();
+                break;
+            }
+            prev = next.drain();
+        }
+        // Line 17: convoys that reached the dataset boundary.
+        for v in prev {
+            emit(&mut result, v);
+        }
+    }
+    Ok(ExtendResult {
+        convoys: result,
+        points_fetched,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k2_model::{Dataset, ObjectSet, Point, TimeInterval};
+    use k2_storage::InMemoryStore;
+
+    /// Objects 0,1,2 together over [2, 8]; objects 0,1 continue together
+    /// through [9, 11]; everything apart elsewhere.
+    fn staged_store() -> InMemoryStore {
+        let mut pts = Vec::new();
+        for t in 0..=12u32 {
+            for oid in 0..3u32 {
+                let (x, y) = match (t, oid) {
+                    (2..=8, _) => (t as f64, oid as f64 * 0.4),
+                    (9..=11, 0 | 1) => (t as f64, oid as f64 * 0.4),
+                    _ => (100.0 + oid as f64 * 50.0 + t as f64 * 7.0, 0.0),
+                };
+                pts.push(Point::new(oid, x, y, t));
+            }
+        }
+        InMemoryStore::new(Dataset::from_points(&pts).unwrap())
+    }
+
+    const PARAMS: DbscanParams = DbscanParams { min_pts: 2, eps: 1.0 };
+
+    #[test]
+    fn extend_right_finds_true_end_and_shrunk_tail() {
+        let store = staged_store();
+        let seed = Convoy::from_parts([0u32, 1, 2], 2, 6);
+        let res = extend_right(&store, PARAMS, [seed], 12).unwrap();
+        // {0,1,2} extends to t = 8 then shrinks; {0,1} continues to 11.
+        assert!(res.convoys.contains(&Convoy::from_parts([0u32, 1, 2], 2, 8)));
+        assert!(res.convoys.contains(&Convoy::from_parts([0u32, 1], 2, 11)));
+        assert_eq!(res.convoys.len(), 2);
+    }
+
+    #[test]
+    fn extend_left_finds_true_start() {
+        let store = staged_store();
+        let seed = Convoy::from_parts([0u32, 1, 2], 5, 8);
+        let res = extend_left(&store, PARAMS, [seed], 0, 2).unwrap();
+        assert!(res.convoys.contains(&Convoy::from_parts([0u32, 1, 2], 2, 8)));
+        assert_eq!(res.convoys.len(), 1);
+    }
+
+    #[test]
+    fn extend_left_discards_short_convoys() {
+        let store = staged_store();
+        let seed = Convoy::from_parts([0u32, 1, 2], 5, 8);
+        // min_len longer than anything reachable: nothing survives.
+        let res = extend_left(&store, PARAMS, [seed], 0, 100).unwrap();
+        assert!(res.convoys.is_empty());
+    }
+
+    #[test]
+    fn extension_stops_at_dataset_boundary() {
+        let store = staged_store();
+        let seed = Convoy::from_parts([0u32, 1], 9, 10);
+        let res = extend_right(&store, PARAMS, [seed], 11).unwrap();
+        assert!(res.convoys.contains(&Convoy::from_parts([0u32, 1], 9, 11)));
+    }
+
+    #[test]
+    fn convoy_already_at_boundary_passes_through() {
+        let store = staged_store();
+        let seed = Convoy::from_parts([0u32, 1], 9, 12);
+        let res = extend_right(&store, PARAMS, [seed.clone()], 12).unwrap();
+        assert_eq!(res.convoys.len(), 1);
+        assert!(res.convoys.contains(&seed));
+        assert_eq!(res.points_fetched, 0);
+    }
+
+    #[test]
+    fn right_extension_keeps_subminimal_convoys() {
+        // A convoy of length 2 < k survives extendRight (it may yet grow
+        // left, §4.5).
+        let store = staged_store();
+        let seed = Convoy::from_parts([0u32, 1, 2], 7, 8);
+        let res = extend_right(&store, PARAMS, [seed], 12).unwrap();
+        assert!(res
+            .convoys
+            .iter()
+            .any(|v| v.objects == ObjectSet::from([0, 1, 2])
+                && v.lifespan == TimeInterval::new(7, 8)));
+    }
+
+    #[test]
+    fn merging_extensions_are_deduplicated() {
+        // Two seeds that extend into the same convoy appear once.
+        let store = staged_store();
+        let seeds = vec![
+            Convoy::from_parts([0u32, 1, 2], 2, 5),
+            Convoy::from_parts([0u32, 1, 2], 2, 6),
+        ];
+        let res = extend_right(&store, PARAMS, seeds, 12).unwrap();
+        assert!(res.convoys.contains(&Convoy::from_parts([0u32, 1, 2], 2, 8)));
+        assert_eq!(
+            res.convoys
+                .iter()
+                .filter(|v| v.objects == ObjectSet::from([0, 1, 2]))
+                .count(),
+            1
+        );
+    }
+}

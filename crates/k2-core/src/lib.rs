@@ -1,0 +1,81 @@
+//! # k2-core — the k/2-hop convoy mining algorithm
+//!
+//! A faithful implementation of Algorithm 1 of the paper (§4). The six
+//! steps map to the modules of this crate:
+//!
+//! 1. **Benchmark clustering** ([`benchpoints`], [`candidates`]) — DBSCAN
+//!    the full snapshots only at every ⌊k/2⌋-th timestamp.
+//! 2. **Candidate clusters** ([`candidates`]) — set-wise intersection of
+//!    adjacent benchmark cluster sets, discarding sets smaller than `m`.
+//! 3. **HWMT** ([`hwmt`]) — per hop-window re-clustering of the candidate
+//!    objects in binary-tree (farthest-first) timestamp order, yielding
+//!    1st-order spanning convoys.
+//! 4. **DCM merge** ([`merge`]) — left-to-right merging of adjacent
+//!    spanning convoys into maximal spanning convoys.
+//! 5. **Extension** ([`extend`]) — extendRight / extendLeft to recover the
+//!    true convoy endpoints inside the bordering hop-windows.
+//! 6. **Validation** ([`validate`]) — the corrected HWMT\*-based recursive
+//!    validation producing maximal *fully connected* convoys.
+//!
+//! The entry point is [`K2Hop::mine`], which runs the pipeline against any
+//! [`TrajectoryStore`] (in-memory, flat file, B+tree, or LSM-tree) and
+//! returns the convoys together with [`PhaseTimings`] (Figure 8i) and
+//! [`PruningStats`] (Table 5).
+//!
+//! ```
+//! use k2_core::{K2Config, K2Hop};
+//! use k2_model::{Dataset, Point};
+//! use k2_storage::InMemoryStore;
+//!
+//! // Three objects travelling together for 10 timestamps.
+//! let mut pts = Vec::new();
+//! for t in 0..10u32 {
+//!     for oid in 0..3u32 {
+//!         pts.push(Point::new(oid, t as f64, oid as f64 * 0.4, t));
+//!     }
+//! }
+//! let store = InMemoryStore::new(Dataset::from_points(&pts).unwrap());
+//! let result = K2Hop::new(K2Config::new(3, 5, 1.0).unwrap())
+//!     .mine(&store)
+//!     .unwrap();
+//! assert_eq!(result.convoys.len(), 1);
+//! assert_eq!(result.convoys[0].objects.len(), 3);
+//! assert_eq!(result.convoys[0].len(), 10);
+//! ```
+
+pub mod benchpoints;
+pub mod candidates;
+pub mod extend;
+pub mod hwmt;
+pub mod merge;
+pub mod stats;
+pub mod validate;
+
+mod config;
+mod parallel;
+mod pipeline;
+
+pub use config::{ConfigError, K2Config};
+pub use parallel::K2HopParallel;
+pub use pipeline::{K2Hop, MiningResult};
+pub use stats::{PhaseTimings, PruningStats};
+
+use k2_cluster::{recluster, DbscanParams};
+use k2_model::{ObjectSet, Time};
+use k2_storage::{StoreResult, TrajectoryStore};
+
+/// Re-clusters the objects of a candidate at timestamp `t` — the paper's
+/// `reCluster(v, DB[t])`: fetch `DB[t]|O` from the store, then DBSCAN it.
+///
+/// Returns the clusters and the number of points fetched (for pruning
+/// statistics).
+pub(crate) fn recluster_at<S: TrajectoryStore + ?Sized>(
+    store: &S,
+    params: DbscanParams,
+    t: Time,
+    objects: &ObjectSet,
+) -> StoreResult<(Vec<ObjectSet>, u64)> {
+    let positions = store.multi_get(t, objects.ids())?;
+    let fetched = positions.len() as u64;
+    Ok((recluster(&positions, params), fetched))
+}

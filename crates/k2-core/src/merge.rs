@@ -1,0 +1,202 @@
+//! Merging 1st-order spanning convoys into maximal spanning convoys
+//! (§4.4, the DCM merge of \[16\]).
+
+use k2_model::{Convoy, ConvoySet};
+
+/// Merges the per-window spanning convoy sets (windows ordered left to
+/// right; window `i` spans `[bᵢ, bᵢ₊₁]`) into the set of **maximal
+/// spanning convoys** `V_M`.
+///
+/// Sweep semantics (Table 3):
+///
+/// * an *active* convoy ends at the current benchmark; it merges with each
+///   next-window convoy via object-set intersection (kept if ≥ m),
+/// * an active convoy that never extends *with its full object set* is
+///   maximal and moves to the result,
+/// * every next-window convoy also enters the active set (it may extend
+///   further right), subject to subsumption,
+/// * after the last window, all remaining active convoys are maximal.
+pub fn merge_spanning(windows: &[Vec<Convoy>], m: usize) -> ConvoySet {
+    let mut result = ConvoySet::new();
+    let mut active: ConvoySet = ConvoySet::new();
+    for (i, spanning) in windows.iter().enumerate() {
+        if i == 0 {
+            active = ConvoySet::from_convoys(spanning.iter().cloned());
+            continue;
+        }
+        let mut next_active = ConvoySet::new();
+        let boundary = spanning.first().map(|w| w.start());
+        for v in active.drain() {
+            // Only convoys that end exactly at this window's left
+            // benchmark can merge; stragglers (from windows whose spanning
+            // sets were empty) are maximal.
+            if Some(v.end()) != boundary {
+                result.update(v);
+                continue;
+            }
+            let mut extended_fully = false;
+            for w in spanning {
+                let inter = v.objects.intersect(&w.objects);
+                if inter.len() >= m {
+                    if inter.len() == v.objects.len() {
+                        extended_fully = true;
+                    }
+                    next_active.update(Convoy::from_parts(inter, v.start(), w.end()));
+                }
+            }
+            if !extended_fully {
+                result.update(v);
+            }
+        }
+        for w in spanning {
+            next_active.update(w.clone());
+        }
+        active = next_active;
+    }
+    for v in active.drain() {
+        result.update(v);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k2_model::ObjectSet;
+
+    fn cv(ids: &[u32], s: u32, e: u32) -> Convoy {
+        Convoy::from_parts(ids, s, e)
+    }
+
+    /// The paper's Figure 5 / Table 3 example. Letters mapped to ids:
+    /// a..k -> 0..10. Four hop-windows H0..H3 over benchmarks b0..b4
+    /// (represented as timestamps 0..4).
+    fn figure5_windows() -> Vec<Vec<Convoy>> {
+        vec![
+            // H0 [b0, b1]
+            vec![
+                cv(&[0, 1, 2, 3], 0, 1), // {a,b,c,d}
+                cv(&[4, 5, 6, 7], 0, 1), // {e,f,g,h}
+                cv(&[8, 9, 10], 0, 1),   // {i,j,k}
+            ],
+            // H1 [b1, b2]
+            vec![
+                cv(&[0, 1, 2, 3], 1, 2), // {a,b,c,d}
+                cv(&[4, 5], 1, 2),       // {e,f}
+                cv(&[6, 7], 1, 2),       // {g,h}
+            ],
+            // H2 [b2, b3]
+            vec![
+                cv(&[0, 1, 4, 5], 2, 3), // {a,b,e,f}
+                cv(&[2, 3, 6, 7], 2, 3), // {c,d,g,h}
+                cv(&[8, 9, 10], 2, 3),   // {i,j,k}
+            ],
+            // H3 [b3, b4]
+            vec![
+                cv(&[0, 1], 3, 4),       // {a,b}
+                cv(&[2, 3, 6, 7], 3, 4), // {c,d,g,h}
+                cv(&[4, 5], 3, 4),       // {e,f}
+            ],
+        ]
+    }
+
+    #[test]
+    fn paper_table3_maximal_spanning_convoys() {
+        // Table 3's final (3rd merge) column, merging with m = 2:
+        // {a,b}[b0,b4], {c,d}[b0,b4], {e,f}[b0,b4], {g,h}[b0,b4],
+        // {c,d,g,h}[b2,b4], plus the maximal convoys retired earlier:
+        // {a,b,c,d}[b0,b2], {e,f,g,h}[b0,b1], {i,j,k}[b0,b1],
+        // {a,b,e,f}[b2,b3], {i,j,k}[b2,b3].
+        let result = merge_spanning(&figure5_windows(), 2);
+        let expected = [
+            cv(&[0, 1], 0, 4),
+            cv(&[2, 3], 0, 4),
+            cv(&[4, 5], 0, 4),
+            cv(&[6, 7], 0, 4),
+            cv(&[2, 3, 6, 7], 2, 4),
+            cv(&[0, 1, 2, 3], 0, 2),
+            cv(&[4, 5, 6, 7], 0, 1),
+            cv(&[8, 9, 10], 0, 1),
+            cv(&[0, 1, 4, 5], 2, 3),
+            cv(&[8, 9, 10], 2, 3),
+        ];
+        for e in &expected {
+            assert!(result.contains(e), "missing {e:?}\ngot {result:#?}");
+        }
+        assert_eq!(result.len(), expected.len(), "got {result:#?}");
+    }
+
+    #[test]
+    fn single_window_passes_through() {
+        let w = vec![vec![cv(&[1, 2], 0, 1), cv(&[3, 4], 0, 1)]];
+        let result = merge_spanning(&w, 2);
+        assert_eq!(result.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(merge_spanning(&[], 2).is_empty());
+        assert!(merge_spanning(&[vec![], vec![]], 2).is_empty());
+    }
+
+    #[test]
+    fn gap_window_splits_convoys() {
+        // Convoy present in windows 0 and 2 but not 1: two separate
+        // maximal spanning convoys.
+        let windows = vec![
+            vec![cv(&[1, 2, 3], 0, 1)],
+            vec![],
+            vec![cv(&[1, 2, 3], 2, 3)],
+        ];
+        let result = merge_spanning(&windows, 2);
+        assert_eq!(result.len(), 2);
+        assert!(result.contains(&cv(&[1, 2, 3], 0, 1)));
+        assert!(result.contains(&cv(&[1, 2, 3], 2, 3)));
+    }
+
+    #[test]
+    fn full_extension_does_not_retire_original() {
+        // {1,2,3} continues fully: only the longer convoy remains.
+        let windows = vec![vec![cv(&[1, 2, 3], 0, 1)], vec![cv(&[1, 2, 3, 4], 1, 2)]];
+        let result = merge_spanning(&windows, 2);
+        assert!(result.contains(&cv(&[1, 2, 3], 0, 2)));
+        assert!(result.contains(&cv(&[1, 2, 3, 4], 1, 2)));
+        assert_eq!(result.len(), 2);
+    }
+
+    #[test]
+    fn shrinking_merge_keeps_both() {
+        // {1,2,3,4} meets {1,2,5,6}: intersection {1,2} extends, both
+        // originals are maximal.
+        let windows = vec![vec![cv(&[1, 2, 3, 4], 0, 1)], vec![cv(&[1, 2, 5, 6], 1, 2)]];
+        let result = merge_spanning(&windows, 2);
+        assert!(result.contains(&cv(&[1, 2], 0, 2)));
+        assert!(result.contains(&cv(&[1, 2, 3, 4], 0, 1)));
+        assert!(result.contains(&cv(&[1, 2, 5, 6], 1, 2)));
+        assert_eq!(result.len(), 3);
+    }
+
+    #[test]
+    fn below_m_intersection_is_dropped() {
+        let windows = vec![vec![cv(&[1, 2, 3], 0, 1)], vec![cv(&[3, 4, 5], 1, 2)]];
+        let result = merge_spanning(&windows, 2);
+        // Intersection {3} < m: no merged convoy.
+        assert_eq!(result.len(), 2);
+        assert!(result.contains(&cv(&[1, 2, 3], 0, 1)));
+        assert!(result.contains(&cv(&[3, 4, 5], 1, 2)));
+    }
+
+    #[test]
+    fn result_is_maximal_set() {
+        let result = merge_spanning(&figure5_windows(), 2);
+        for a in result.convoys() {
+            for b in result.convoys() {
+                assert!(
+                    a == b || !a.is_sub_convoy_of(b),
+                    "{a:?} subsumed by {b:?}"
+                );
+            }
+        }
+        let _ = ObjectSet::empty(); // silence unused import on some cfgs
+    }
+}

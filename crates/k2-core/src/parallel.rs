@@ -1,0 +1,329 @@
+//! Multi-threaded k/2-hop — the paper's §7 future work ("we would also
+//! like to parallelize k/2-hop").
+//!
+//! §4.3 observes that HWMT "operates on a hop-window independently of
+//! other hop-windows, [which] makes the HWMT algorithm a good candidate
+//! for distributed execution". This module exploits exactly that:
+//!
+//! * benchmark-point clustering is sharded over worker threads,
+//! * each hop-window (candidate intersection + HWMT) is an independent
+//!   task,
+//! * extension and validation are sharded per candidate convoy,
+//! * only the cheap DCM merge (and final maximality) runs sequentially.
+//!
+//! The parallel miner reads an immutable [`Dataset`] directly (shared
+//! snapshots, no interior-mutable I/O counters), so its output is
+//! *identical* to [`K2Hop`](crate::K2Hop) over an in-memory store — the
+//! unit tests and the workspace integration tests enforce this.
+
+use crate::benchpoints::benchmark_points;
+use crate::candidates::candidate_clusters;
+use crate::config::K2Config;
+use crate::merge::merge_spanning;
+use crate::validate::hwmt_star_dataset;
+use k2_cluster::{dbscan, recluster, DbscanParams};
+use k2_model::{Convoy, ConvoySet, Dataset, ObjectSet, Time};
+
+/// Parallel k/2-hop miner over an in-memory dataset.
+///
+/// ```
+/// use k2_core::{K2Config, K2HopParallel};
+/// use k2_model::{Dataset, Point};
+///
+/// let mut pts = Vec::new();
+/// for t in 0..12u32 {
+///     for oid in 0..3u32 {
+///         pts.push(Point::new(oid, t as f64, oid as f64 * 0.4, t));
+///     }
+/// }
+/// let d = Dataset::from_points(&pts).unwrap();
+/// let convoys = K2HopParallel::new(K2Config::new(3, 6, 1.0).unwrap(), 4).mine(&d);
+/// assert_eq!(convoys.len(), 1);
+/// assert_eq!(convoys[0].len(), 12);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct K2HopParallel {
+    config: K2Config,
+    threads: usize,
+}
+
+impl K2HopParallel {
+    /// Creates a parallel miner with the given worker count (≥ 1).
+    pub fn new(config: K2Config, threads: usize) -> Self {
+        Self {
+            config,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Mines all maximal fully-connected convoys of `dataset`.
+    pub fn mine(&self, dataset: &Dataset) -> Vec<Convoy> {
+        let cfg = self.config;
+        let params = cfg.dbscan();
+        let span = dataset.span();
+        if span.len() < cfg.k {
+            return Vec::new();
+        }
+        let bench = benchmark_points(span, cfg.hop());
+
+        // Step 1 (parallel): benchmark clustering.
+        let benchmark_clusters: Vec<Vec<ObjectSet>> = self.map(&bench, |&b| {
+            dbscan(
+                dataset.snapshot(b).map(|s| s.positions()).unwrap_or(&[]),
+                params,
+            )
+        });
+
+        // Steps 2–3 (parallel): candidate clusters + HWMT per window.
+        let window_inputs: Vec<(Time, Time, &Vec<ObjectSet>, &Vec<ObjectSet>)> = bench
+            .windows(2)
+            .zip(benchmark_clusters.windows(2))
+            .map(|(bw, cw)| (bw[0], bw[1], &cw[0], &cw[1]))
+            .collect();
+        let windows: Vec<Vec<Convoy>> = self.map(&window_inputs, |&(left, right, cl, cr)| {
+            let cc = candidate_clusters(cl, cr, cfg.m);
+            mine_window_dataset(dataset, params, left, right, &cc)
+        });
+
+        // Step 4 (sequential): merge.
+        let merged = merge_spanning(&windows, cfg.m);
+
+        // Step 5 (parallel): extension per convoy, then re-maximalise.
+        let merged_vec: Vec<Convoy> = merged.into_sorted_vec();
+        let extended: Vec<ConvoySet> = self.map(&merged_vec, |v| {
+            let right = extend_dataset(dataset, params, v.clone(), Direction::Right);
+            let mut out = ConvoySet::new();
+            for r in right {
+                for l in extend_dataset(dataset, params, r, Direction::Left) {
+                    if l.len() >= cfg.k {
+                        out.update(l);
+                    }
+                }
+            }
+            out
+        });
+        let mut candidates = ConvoySet::new();
+        for set in extended {
+            candidates.merge(set);
+        }
+
+        // Step 6 (parallel): validation per candidate, then final
+        // maximality.
+        let candidate_vec: Vec<Convoy> = candidates.into_sorted_vec();
+        let validated: Vec<ConvoySet> = self.map(&candidate_vec, |v| {
+            let mut queue = vec![v.clone()];
+            let mut fc = ConvoySet::new();
+            while let Some(vin) = queue.pop() {
+                let out = hwmt_star_dataset(dataset, params, cfg.k, &vin);
+                if out.len() == 1 && out.contains(&vin) {
+                    fc.update(vin);
+                } else {
+                    queue.extend(out);
+                }
+            }
+            fc
+        });
+        let mut fc = ConvoySet::new();
+        for set in validated {
+            fc.merge(set);
+        }
+        fc.into_sorted_vec()
+    }
+
+    /// Order-preserving parallel map over `items`.
+    fn map<T: Sync, R: Send>(&self, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+        if self.threads <= 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let chunk = items.len().div_ceil(self.threads);
+        let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+        out.resize_with(items.len(), || None);
+        let slots: Vec<&mut [Option<R>]> = out.chunks_mut(chunk).collect();
+        std::thread::scope(|scope| {
+            for (slot, input) in slots.into_iter().zip(items.chunks(chunk)) {
+                let f = &f;
+                scope.spawn(move || {
+                    for (o, i) in slot.iter_mut().zip(input) {
+                        *o = Some(f(i));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|o| o.expect("worker filled slot"))
+            .collect()
+    }
+}
+
+/// Dataset-direct HWMT (same semantics as [`crate::hwmt::mine_window`]).
+fn mine_window_dataset(
+    dataset: &Dataset,
+    params: DbscanParams,
+    b_left: Time,
+    b_right: Time,
+    cc: &[ObjectSet],
+) -> Vec<Convoy> {
+    use crate::benchpoints::{hop_window, hwmt_order};
+    if cc.is_empty() {
+        return Vec::new();
+    }
+    let mut survivors: Vec<ObjectSet> = cc.to_vec();
+    if let Some(window) = hop_window(b_left, b_right) {
+        for t in hwmt_order(window) {
+            let mut next = Vec::with_capacity(survivors.len());
+            for candidate in &survivors {
+                let positions = dataset.restrict_at(t, candidate);
+                next.extend(recluster(&positions, params));
+            }
+            if next.is_empty() {
+                return Vec::new();
+            }
+            survivors = next;
+        }
+    }
+    survivors
+        .into_iter()
+        .map(|objects| Convoy::from_parts(objects.ids(), b_left, b_right))
+        .collect()
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Right,
+    Left,
+}
+
+/// Dataset-direct single-convoy extension (same semantics as
+/// [`crate::extend`]).
+fn extend_dataset(
+    dataset: &Dataset,
+    params: DbscanParams,
+    seed: Convoy,
+    dir: Direction,
+) -> Vec<Convoy> {
+    let span = dataset.span();
+    let mut result = ConvoySet::new();
+    let mut prev = vec![seed];
+    loop {
+        let frontier = match dir {
+            Direction::Right => {
+                let te = prev[0].end();
+                if te >= span.end {
+                    break;
+                }
+                te + 1
+            }
+            Direction::Left => {
+                let ts = prev[0].start();
+                if ts <= span.start {
+                    break;
+                }
+                ts - 1
+            }
+        };
+        let mut next = ConvoySet::new();
+        for v in &prev {
+            let positions = dataset.restrict_at(frontier, &v.objects);
+            let clusters = recluster(&positions, params);
+            if clusters.is_empty() {
+                result.update(v.clone());
+                continue;
+            }
+            let mut intact = false;
+            for c in clusters {
+                if c == v.objects {
+                    intact = true;
+                }
+                let (s, e) = match dir {
+                    Direction::Right => (v.start(), frontier),
+                    Direction::Left => (frontier, v.end()),
+                };
+                next.update(Convoy::new(c, k2_model::TimeInterval::new(s, e)));
+            }
+            if !intact {
+                result.update(v.clone());
+            }
+        }
+        if next.is_empty() {
+            prev.clear();
+            break;
+        }
+        prev = next.drain();
+    }
+    for v in prev {
+        result.update(v);
+    }
+    result.into_sorted_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::K2Hop;
+    use k2_model::Point;
+    use k2_storage::InMemoryStore;
+
+    fn random_dataset(seed: u64) -> Dataset {
+        // Deterministic pseudo-random walkers + a planted convoy, with no
+        // rand dependency in the lib crate.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut pts = Vec::new();
+        for t in 0..40u32 {
+            for oid in 0..20u32 {
+                let x = (next() % 400) as f64 / 4.0;
+                let y = (next() % 400) as f64 / 4.0;
+                pts.push(Point::new(oid, x, y, t));
+            }
+            // Planted convoy over [8, 30].
+            for oid in 100..104u32 {
+                let (x, y) = if (8..=30).contains(&t) {
+                    (t as f64, (oid - 100) as f64 * 0.4)
+                } else {
+                    (500.0 + oid as f64 * 40.0, t as f64 * 3.0)
+                };
+                pts.push(Point::new(oid, x, y, t));
+            }
+        }
+        Dataset::from_points(&pts).unwrap()
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        for seed in 0..5u64 {
+            let d = random_dataset(seed);
+            let cfg = K2Config::new(3, 8, 1.5).unwrap();
+            let sequential = K2Hop::new(cfg)
+                .mine(&InMemoryStore::new(d.clone()))
+                .unwrap()
+                .convoys;
+            for threads in [1usize, 2, 4, 8] {
+                let parallel = K2HopParallel::new(cfg, threads).mine(&d);
+                assert_eq!(parallel, sequential, "seed {seed} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn finds_planted_convoy() {
+        let d = random_dataset(1);
+        let cfg = K2Config::new(4, 20, 1.0).unwrap();
+        let found = K2HopParallel::new(cfg, 4).mine(&d);
+        assert!(found
+            .iter()
+            .any(|c| c.objects == k2_model::ObjectSet::from([100, 101, 102, 103])
+                && c.lifespan == k2_model::TimeInterval::new(8, 30)));
+    }
+
+    #[test]
+    fn short_dataset_yields_nothing() {
+        let d = random_dataset(2).restrict_time(k2_model::TimeInterval::new(0, 3)).unwrap();
+        let cfg = K2Config::new(3, 10, 1.0).unwrap();
+        assert!(K2HopParallel::new(cfg, 4).mine(&d).is_empty());
+    }
+}

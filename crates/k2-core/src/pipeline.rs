@@ -1,0 +1,359 @@
+//! The k/2-hop pipeline (Algorithm 1).
+
+use crate::benchpoints::benchmark_points;
+use crate::candidates::{candidate_clusters, cluster_benchmark};
+use crate::config::K2Config;
+use crate::extend::{extend_left, extend_right};
+use crate::hwmt::mine_window;
+use crate::merge::merge_spanning;
+use crate::stats::{PhaseTimings, PruningStats};
+use crate::validate::validate;
+use k2_model::{Convoy, ObjectSet};
+use k2_storage::{StoreResult, TrajectoryStore};
+use std::time::Instant;
+
+/// The k/2-hop miner. Construct with a validated [`K2Config`], then call
+/// [`K2Hop::mine`] against any [`TrajectoryStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct K2Hop {
+    config: K2Config,
+}
+
+/// Everything a mining run produces.
+#[derive(Debug)]
+pub struct MiningResult {
+    /// Maximal fully-connected convoys, canonically sorted.
+    pub convoys: Vec<Convoy>,
+    /// Per-phase wall-clock timings (Figure 8i).
+    pub timings: PhaseTimings,
+    /// Data-pruning statistics (Table 5, Figure 8j).
+    pub pruning: PruningStats,
+}
+
+impl K2Hop {
+    /// Creates a miner.
+    pub fn new(config: K2Config) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> K2Config {
+        self.config
+    }
+
+    /// Runs Algorithm 1 end to end:
+    ///
+    /// 1. cluster benchmark snapshots,
+    /// 2. intersect adjacent benchmark cluster sets into candidates,
+    /// 3. HWMT every hop-window (spanning convoys),
+    /// 4. DCM-merge into maximal spanning convoys,
+    /// 5. extend right then left (discarding convoys shorter than `k`),
+    /// 6. validate into maximal fully-connected convoys.
+    pub fn mine<S: TrajectoryStore + ?Sized>(&self, store: &S) -> StoreResult<MiningResult> {
+        let cfg = self.config;
+        let params = cfg.dbscan();
+        let mut timings = PhaseTimings::default();
+        let mut pruning = PruningStats {
+            total_points: store.num_points(),
+            ..PruningStats::default()
+        };
+        let span = store.span();
+        if span.len() < cfg.k {
+            // No convoy of length k fits in the dataset.
+            return Ok(MiningResult {
+                convoys: Vec::new(),
+                timings,
+                pruning,
+            });
+        }
+
+        // Step 1: benchmark clusters (the only full-snapshot scans).
+        let t0 = Instant::now();
+        let bench = benchmark_points(span, cfg.hop());
+        let mut benchmark_clusters: Vec<Vec<ObjectSet>> = Vec::with_capacity(bench.len());
+        for &b in &bench {
+            let (clusters, scanned) = cluster_benchmark(store, params, b)?;
+            pruning.benchmark_points += scanned;
+            benchmark_clusters.push(clusters);
+        }
+        pruning.benchmark_timestamps = bench.len() as u32;
+        timings.benchmark = t0.elapsed();
+
+        // Step 2: candidate clusters per hop-window.
+        let t0 = Instant::now();
+        let ccs: Vec<Vec<ObjectSet>> = benchmark_clusters
+            .windows(2)
+            .map(|pair| candidate_clusters(&pair[0], &pair[1], cfg.m))
+            .collect();
+        pruning.candidate_clusters = ccs.iter().map(|cc| cc.len() as u32).sum();
+        timings.intersect = t0.elapsed();
+
+        // Step 3: HWMT per window.
+        let t0 = Instant::now();
+        let mut windows: Vec<Vec<Convoy>> = Vec::with_capacity(ccs.len());
+        for (i, cc) in ccs.iter().enumerate() {
+            let res = mine_window(store, params, bench[i], bench[i + 1], cc)?;
+            pruning.hwmt_points += res.points_fetched;
+            pruning.spanning_convoys += res.spanning.len() as u32;
+            windows.push(res.spanning);
+        }
+        timings.hwmt = t0.elapsed();
+
+        // Step 4: merge into maximal spanning convoys.
+        let t0 = Instant::now();
+        let merged = merge_spanning(&windows, cfg.m);
+        pruning.merged_convoys = merged.len() as u32;
+        timings.merge = t0.elapsed();
+
+        // Step 5: extension (right, then left with the k filter).
+        let t0 = Instant::now();
+        let right = extend_right(store, params, merged, span.end)?;
+        pruning.extend_points += right.points_fetched;
+        timings.extend_right = t0.elapsed();
+
+        let t0 = Instant::now();
+        let left = extend_left(store, params, right.convoys, span.start, cfg.k)?;
+        pruning.extend_points += left.points_fetched;
+        timings.extend_left = t0.elapsed();
+        pruning.pre_validation_convoys = left.convoys.len() as u32;
+
+        // Step 6: validation to fully-connected convoys.
+        let t0 = Instant::now();
+        let validated = validate(store, params, cfg.k, left.convoys)?;
+        pruning.validation_points += validated.points_fetched;
+        timings.validation = t0.elapsed();
+
+        Ok(MiningResult {
+            convoys: validated.convoys.into_sorted_vec(),
+            timings,
+            pruning,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k2_model::{Dataset, ObjectSet, Point, TimeInterval};
+    use k2_storage::InMemoryStore;
+
+    fn store_of(pts: Vec<Point>) -> InMemoryStore {
+        InMemoryStore::new(Dataset::from_points(&pts).unwrap())
+    }
+
+    /// One clean convoy of three objects over the full span, two noise
+    /// objects wandering.
+    fn simple_convoy(len: u32) -> InMemoryStore {
+        let mut pts = Vec::new();
+        for t in 0..len {
+            for oid in 0..3u32 {
+                pts.push(Point::new(oid, t as f64, oid as f64 * 0.4, t));
+            }
+            for oid in 10..12u32 {
+                pts.push(Point::new(
+                    oid,
+                    500.0 + oid as f64 * 100.0 + (t as f64 * (oid as f64 - 9.0) * 3.0),
+                    700.0,
+                    t,
+                ));
+            }
+        }
+        store_of(pts)
+    }
+
+    fn mine(store: &InMemoryStore, m: usize, k: u32, eps: f64) -> MiningResult {
+        K2Hop::new(K2Config::new(m, k, eps).unwrap())
+            .mine(store)
+            .unwrap()
+    }
+
+    #[test]
+    fn finds_a_full_span_convoy() {
+        let store = simple_convoy(20);
+        let res = mine(&store, 3, 8, 1.0);
+        assert_eq!(res.convoys.len(), 1);
+        let c = &res.convoys[0];
+        assert_eq!(c.objects, ObjectSet::from([0, 1, 2]));
+        assert_eq!(c.lifespan, TimeInterval::new(0, 19));
+    }
+
+    #[test]
+    fn k_larger_than_span_yields_nothing() {
+        let store = simple_convoy(5);
+        let res = mine(&store, 3, 10, 1.0);
+        assert!(res.convoys.is_empty());
+    }
+
+    #[test]
+    fn m_larger_than_group_yields_nothing() {
+        let store = simple_convoy(20);
+        let res = mine(&store, 4, 8, 1.0);
+        assert!(res.convoys.is_empty());
+    }
+
+    #[test]
+    fn convoy_with_interior_bounds() {
+        // Objects together only during [5, 16] of a span [0, 29].
+        let mut pts = Vec::new();
+        for t in 0..30u32 {
+            for oid in 0..4u32 {
+                let (x, y) = if (5..=16).contains(&t) {
+                    (t as f64, oid as f64 * 0.4)
+                } else {
+                    (oid as f64 * 100.0 + t as f64 * (oid + 2) as f64, 300.0)
+                };
+                pts.push(Point::new(oid, x, y, t));
+            }
+        }
+        let store = store_of(pts);
+        let res = mine(&store, 4, 6, 1.0);
+        assert_eq!(res.convoys.len(), 1);
+        assert_eq!(res.convoys[0].lifespan, TimeInterval::new(5, 16));
+        assert_eq!(res.convoys[0].objects.len(), 4);
+    }
+
+    #[test]
+    fn two_disjoint_convoys() {
+        let mut pts = Vec::new();
+        for t in 0..24u32 {
+            for oid in 0..3u32 {
+                pts.push(Point::new(oid, t as f64, oid as f64 * 0.4, t));
+            }
+            for oid in 5..8u32 {
+                pts.push(Point::new(oid, t as f64, 1000.0 + oid as f64 * 0.4, t));
+            }
+        }
+        let store = store_of(pts);
+        let res = mine(&store, 3, 10, 1.0);
+        assert_eq!(res.convoys.len(), 2);
+    }
+
+    #[test]
+    fn odd_k_works() {
+        let store = simple_convoy(21);
+        let res = mine(&store, 3, 7, 1.0);
+        assert_eq!(res.convoys.len(), 1);
+        assert_eq!(res.convoys[0].len(), 21);
+    }
+
+    #[test]
+    fn k_equals_two_degenerate_hop() {
+        let store = simple_convoy(6);
+        let res = mine(&store, 3, 2, 1.0);
+        assert_eq!(res.convoys.len(), 1);
+        assert_eq!(res.convoys[0].len(), 6);
+    }
+
+    #[test]
+    fn pruning_stats_reflect_benchmark_only_scans() {
+        let store = simple_convoy(40);
+        let res = mine(&store, 3, 20, 1.0);
+        // hop = 10: benchmarks at 0, 10, 20, 30 — 4 timestamps of 5 points.
+        assert_eq!(res.pruning.benchmark_timestamps, 4);
+        assert_eq!(res.pruning.benchmark_points, 20);
+        // Noise objects never enter HWMT: 3 candidate objects per probe.
+        assert!(res.pruning.hwmt_points <= 3 * 36);
+    }
+
+    #[test]
+    fn pruning_dominates_on_noise_heavy_data() {
+        // 3 convoy objects, 60 noise objects: the pruning ratio must be
+        // high because only the convoy objects are ever fetched outside
+        // benchmark timestamps.
+        let mut pts = Vec::new();
+        for t in 0..40u32 {
+            for oid in 0..3u32 {
+                pts.push(Point::new(oid, t as f64, oid as f64 * 0.4, t));
+            }
+            for oid in 100..160u32 {
+                pts.push(Point::new(
+                    oid,
+                    1000.0 + oid as f64 * 50.0 + t as f64 * (oid % 7 + 2) as f64,
+                    oid as f64 * 17.0,
+                    t,
+                ));
+            }
+        }
+        let store = store_of(pts);
+        let res = mine(&store, 3, 20, 1.0);
+        assert_eq!(res.convoys.len(), 1);
+        assert!(
+            res.pruning.pruning_ratio() > 0.7,
+            "pruning ratio {} too low",
+            res.pruning.pruning_ratio()
+        );
+    }
+
+    #[test]
+    fn convoy_shorter_than_k_not_reported() {
+        // Together for 7 timestamps, k = 8.
+        let mut pts = Vec::new();
+        for t in 0..20u32 {
+            for oid in 0..3u32 {
+                let (x, y) = if (5..12).contains(&t) {
+                    (t as f64, oid as f64 * 0.4)
+                } else {
+                    (oid as f64 * 90.0 + t as f64 * (oid + 1) as f64, 500.0)
+                };
+                pts.push(Point::new(oid, x, y, t));
+            }
+        }
+        let store = store_of(pts);
+        let res = mine(&store, 3, 8, 1.0);
+        assert!(res.convoys.is_empty(), "got {:?}", res.convoys);
+    }
+
+    #[test]
+    fn bridge_object_breaks_full_connectivity() {
+        // Five objects in a chain where object 2 is the middle link; when
+        // it leaves at t >= 10, {0,1} and {3,4} remain as separate pairs
+        // (never FC with each other without 2).
+        let mut pts = Vec::new();
+        for t in 0..20u32 {
+            for oid in 0..5u32 {
+                let (x, y) = if t < 10 || oid != 2 {
+                    (oid as f64 * 0.9, t as f64 * 0.01)
+                } else {
+                    (300.0, 300.0) // bridge leaves
+                };
+                pts.push(Point::new(oid, x, y, t));
+            }
+        }
+        let store = store_of(pts);
+        let res = mine(&store, 2, 12, 1.0);
+        // FC convoys of length >= 12: {0,1} [0,19] and {3,4} [0,19].
+        assert!(res
+            .convoys
+            .contains(&Convoy::from_parts([0u32, 1], 0, 19)));
+        assert!(res
+            .convoys
+            .contains(&Convoy::from_parts([3u32, 4], 0, 19)));
+        // {0,1,3,4} over the full span is NOT fully connected.
+        assert!(!res
+            .convoys
+            .iter()
+            .any(|c| c.objects == ObjectSet::from([0, 1, 3, 4])));
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let store = simple_convoy(30);
+        let res = mine(&store, 3, 10, 1.0);
+        assert!(res.timings.total() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn offset_time_range() {
+        // Dataset starting at t = 1000.
+        let mut pts = Vec::new();
+        for t in 1000..1030u32 {
+            for oid in 0..3u32 {
+                pts.push(Point::new(oid, t as f64, oid as f64 * 0.4, t));
+            }
+        }
+        let store = store_of(pts);
+        let res = mine(&store, 3, 10, 1.0);
+        assert_eq!(res.convoys.len(), 1);
+        assert_eq!(res.convoys[0].lifespan, TimeInterval::new(1000, 1029));
+    }
+}

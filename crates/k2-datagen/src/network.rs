@@ -1,0 +1,225 @@
+//! Road networks for the Brinkhoff-style generator.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A planar road network: jittered grid nodes, axis-aligned edges with a
+/// random fraction removed, three road classes with different speeds.
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    /// Node coordinates.
+    pub nodes: Vec<(f64, f64)>,
+    /// Adjacency: `(target node, length, speed)` per directed edge.
+    pub adj: Vec<Vec<Edge>>,
+    num_edges: usize,
+}
+
+/// A directed road segment.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Target node index.
+    pub to: u32,
+    /// Euclidean length.
+    pub length: f64,
+    /// Travel speed (distance per timestamp).
+    pub speed: f64,
+}
+
+impl RoadNetwork {
+    /// Generates a `cols × rows` grid network over `width × height` with
+    /// positional jitter and ~8 % of edges removed (dead ends and
+    /// irregularity, as in Brinkhoff's real-map inputs).
+    pub fn grid(cols: usize, rows: usize, width: f64, height: f64, rng: &mut StdRng) -> Self {
+        assert!(cols >= 2 && rows >= 2, "network needs at least a 2x2 grid");
+        let (dx, dy) = (width / (cols - 1) as f64, height / (rows - 1) as f64);
+        let mut nodes = Vec::with_capacity(cols * rows);
+        for r in 0..rows {
+            for c in 0..cols {
+                let jx = rng.gen_range(-0.25..0.25) * dx;
+                let jy = rng.gen_range(-0.25..0.25) * dy;
+                nodes.push((c as f64 * dx + jx, r as f64 * dy + jy));
+            }
+        }
+        let idx = |c: usize, r: usize| (r * cols + c) as u32;
+        let mut adj: Vec<Vec<Edge>> = vec![Vec::new(); nodes.len()];
+        let mut num_edges = 0;
+        // Speed classes: motorway rows/cols are faster.
+        let add = |adj: &mut Vec<Vec<Edge>>, a: u32, b: u32, class: u8, rng: &mut StdRng| {
+            if rng.gen_bool(0.08) {
+                return 0; // removed segment
+            }
+            let (ax, ay) = nodes[a as usize];
+            let (bx, by) = nodes[b as usize];
+            let length = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+            let base = match class {
+                2 => 3.0, // motorway
+                1 => 1.8, // arterial
+                _ => 1.0, // local street
+            };
+            let speed = base * dx.min(dy) * 0.25;
+            adj[a as usize].push(Edge {
+                to: b,
+                length,
+                speed,
+            });
+            adj[b as usize].push(Edge {
+                to: a,
+                length,
+                speed,
+            });
+            1
+        };
+        for r in 0..rows {
+            for c in 0..cols {
+                let class_h = if r % 5 == 0 { 2 } else { u8::from(r % 2 == 0) };
+                let class_v = if c % 5 == 0 { 2 } else { u8::from(c % 2 == 0) };
+                if c + 1 < cols {
+                    num_edges += add(&mut adj, idx(c, r), idx(c + 1, r), class_h, rng);
+                }
+                if r + 1 < rows {
+                    num_edges += add(&mut adj, idx(c, r), idx(c, r + 1), class_v, rng);
+                }
+            }
+        }
+        Self {
+            nodes,
+            adj,
+            num_edges,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Fastest route (by travel time) from `from` to `to` as a node list;
+    /// `None` when unreachable. Dijkstra over travel time.
+    pub fn route(&self, from: u32, to: u32) -> Option<Vec<u32>> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let n = self.nodes.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![u32::MAX; n];
+        let mut heap: BinaryHeap<(Reverse<OrdF64>, u32)> = BinaryHeap::new();
+        dist[from as usize] = 0.0;
+        heap.push((Reverse(OrdF64(0.0)), from));
+        while let Some((Reverse(OrdF64(d)), u)) = heap.pop() {
+            if u == to {
+                break;
+            }
+            if d > dist[u as usize] {
+                continue;
+            }
+            for e in &self.adj[u as usize] {
+                let nd = d + e.length / e.speed;
+                if nd < dist[e.to as usize] {
+                    dist[e.to as usize] = nd;
+                    prev[e.to as usize] = u;
+                    heap.push((Reverse(OrdF64(nd)), e.to));
+                }
+            }
+        }
+        if dist[to as usize].is_infinite() {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = prev[cur as usize];
+            if cur == u32::MAX {
+                return None;
+            }
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Speed of the edge `a → b`, if it exists.
+    pub fn edge_speed(&self, a: u32, b: u32) -> Option<f64> {
+        self.adj[a as usize]
+            .iter()
+            .find(|e| e.to == b)
+            .map(|e| e.speed)
+    }
+
+    /// A random node index.
+    pub fn random_node(&self, rng: &mut StdRng) -> u32 {
+        rng.gen_range(0..self.nodes.len() as u32)
+    }
+}
+
+/// Total-ordered f64 for the Dijkstra heap (no NaNs by construction).
+#[derive(PartialEq, PartialOrd)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("no NaN distances")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn net() -> RoadNetwork {
+        let mut rng = StdRng::seed_from_u64(42);
+        RoadNetwork::grid(10, 10, 100.0, 100.0, &mut rng)
+    }
+
+    #[test]
+    fn grid_has_expected_shape() {
+        let n = net();
+        assert_eq!(n.num_nodes(), 100);
+        // 2*10*9 = 180 candidate edges, ~8% removed.
+        assert!(n.num_edges() > 140 && n.num_edges() <= 180);
+    }
+
+    #[test]
+    fn routes_connect_most_pairs() {
+        let n = net();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut found = 0;
+        for _ in 0..50 {
+            let a = n.random_node(&mut rng);
+            let b = n.random_node(&mut rng);
+            if let Some(path) = n.route(a, b) {
+                assert_eq!(path[0], a);
+                assert_eq!(*path.last().unwrap(), b);
+                // Consecutive nodes must share an edge.
+                for w in path.windows(2) {
+                    assert!(n.edge_speed(w[0], w[1]).is_some());
+                }
+                found += 1;
+            }
+        }
+        assert!(found > 40, "grid should be mostly connected ({found}/50)");
+    }
+
+    #[test]
+    fn route_to_self_is_trivial() {
+        let n = net();
+        assert_eq!(n.route(5, 5), Some(vec![5]));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        let a = RoadNetwork::grid(5, 5, 10.0, 10.0, &mut r1);
+        let b = RoadNetwork::grid(5, 5, 10.0, 10.0, &mut r2);
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+}

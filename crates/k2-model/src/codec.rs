@@ -1,0 +1,203 @@
+//! Serialisation of movement data.
+//!
+//! Two formats are provided:
+//!
+//! * a fixed-width **binary** record format (24 bytes per record, sorted by
+//!   `(t, oid)`), which the storage engines in `k2-storage` build on, and
+//! * a **CSV** format (`oid,x,y,t` per line) for interoperability.
+//!
+//! All numbers are little-endian in the binary format.
+
+use crate::{Dataset, Oid, Point, Time};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// Size in bytes of one binary record: `t: u32, oid: u32, x: f64, y: f64`.
+pub const RECORD_SIZE: usize = 24;
+
+/// Encodes a single record into a 24-byte buffer.
+#[inline]
+pub fn encode_record(p: &Point, buf: &mut [u8; RECORD_SIZE]) {
+    buf[0..4].copy_from_slice(&p.t.to_le_bytes());
+    buf[4..8].copy_from_slice(&p.oid.to_le_bytes());
+    buf[8..16].copy_from_slice(&p.x.to_le_bytes());
+    buf[16..24].copy_from_slice(&p.y.to_le_bytes());
+}
+
+/// Decodes a single record from a 24-byte buffer.
+#[inline]
+pub fn decode_record(buf: &[u8; RECORD_SIZE]) -> Point {
+    let t = Time::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+    let oid = Oid::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let x = f64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+    let y = f64::from_le_bytes(buf[16..24].try_into().expect("8 bytes"));
+    Point { oid, x, y, t }
+}
+
+/// Writes a dataset in binary format, records sorted by `(t, oid)`.
+pub fn write_binary<W: Write>(dataset: &Dataset, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    let mut buf = [0u8; RECORD_SIZE];
+    for p in dataset.iter_points() {
+        encode_record(&p, &mut buf);
+        w.write_all(&buf)?;
+    }
+    w.flush()
+}
+
+/// Reads all binary records from a reader.
+pub fn read_binary_points<R: Read>(reader: R) -> io::Result<Vec<Point>> {
+    let mut r = BufReader::new(reader);
+    let mut points = Vec::new();
+    let mut buf = [0u8; RECORD_SIZE];
+    while read_exact_or_eof(&mut r, &mut buf)? {
+        points.push(decode_record(&buf));
+    }
+    Ok(points)
+}
+
+/// Reads a dataset from binary records; errors if the stream is empty.
+pub fn read_binary<R: Read>(reader: R) -> io::Result<Dataset> {
+    let points = read_binary_points(reader)?;
+    Dataset::from_points(&points)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "empty movement file"))
+}
+
+/// Reads exactly `buf.len()` bytes, or returns `Ok(false)` at a clean EOF.
+/// A partial record is an error.
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = r.read(&mut buf[filled..])?;
+        if n == 0 {
+            return if filled == 0 {
+                Ok(false)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "truncated record",
+                ))
+            };
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+/// Writes a dataset as CSV: `oid,x,y,t` per line, with a header.
+pub fn write_csv<W: Write>(dataset: &Dataset, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "oid,x,y,t")?;
+    for p in dataset.iter_points() {
+        writeln!(w, "{},{},{},{}", p.oid, p.x, p.y, p.t)?;
+    }
+    w.flush()
+}
+
+/// Reads a CSV movement file (optional `oid,x,y,t` header, blank lines
+/// ignored).
+pub fn read_csv<R: Read>(reader: R) -> io::Result<Dataset> {
+    let r = BufReader::new(reader);
+    let mut points = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || (lineno == 0 && line.starts_with("oid")) {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let parse_err =
+            |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("line {}: bad {what}", lineno + 1));
+        let oid: Oid = fields
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| parse_err("oid"))?;
+        let x: f64 = fields
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| parse_err("x"))?;
+        let y: f64 = fields
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| parse_err("y"))?;
+        let t: Time = fields
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| parse_err("t"))?;
+        points.push(Point { oid, x, y, t });
+    }
+    Dataset::from_points(&points)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty CSV movement file"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::from_points(&[
+            Point::new(1, 0.25, -1.5, 0),
+            Point::new(2, 1e9, 1e-9, 0),
+            Point::new(1, 3.5, 4.5, 1),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let p = Point::new(u32::MAX, f64::MIN_POSITIVE, -0.0, 123);
+        let mut buf = [0u8; RECORD_SIZE];
+        encode_record(&p, &mut buf);
+        let q = decode_record(&buf);
+        assert_eq!(p.oid, q.oid);
+        assert_eq!(p.t, q.t);
+        assert_eq!(p.x.to_bits(), q.x.to_bits());
+        assert_eq!(p.y.to_bits(), q.y.to_bits());
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let d = toy();
+        let mut bytes = Vec::new();
+        write_binary(&d, &mut bytes).unwrap();
+        assert_eq!(bytes.len(), 3 * RECORD_SIZE);
+        let d2 = read_binary(&bytes[..]).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn truncated_binary_is_error() {
+        let d = toy();
+        let mut bytes = Vec::new();
+        write_binary(&d, &mut bytes).unwrap();
+        bytes.truncate(RECORD_SIZE + 3);
+        assert!(read_binary(&bytes[..]).is_err());
+    }
+
+    #[test]
+    fn empty_binary_is_error() {
+        assert!(read_binary(&[][..]).is_err());
+        assert!(read_binary_points(&[][..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let d = toy();
+        let mut bytes = Vec::new();
+        write_csv(&d, &mut bytes).unwrap();
+        let d2 = read_csv(&bytes[..]).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn csv_without_header_parses() {
+        let src = "1,0.5,0.5,0\n2,1.5,1.5,0\n";
+        let d = read_csv(src.as_bytes()).unwrap();
+        assert_eq!(d.num_points(), 2);
+    }
+
+    #[test]
+    fn csv_bad_field_is_error() {
+        let src = "oid,x,y,t\n1,abc,0.5,0\n";
+        assert!(read_csv(src.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,281 @@
+//! Convoys and maximality maintenance.
+
+use crate::{ObjectSet, Time, TimeInterval};
+use std::fmt;
+
+/// A convoy candidate or result: a set of objects together over a closed
+/// time interval (paper Def. 3).
+///
+/// Whether the instance denotes a partially-connected convoy, a spanning
+/// candidate, or a validated fully-connected convoy depends on the
+/// algorithm phase that produced it; the representation is the same.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Convoy {
+    /// Member objects (`O(v)`).
+    pub objects: ObjectSet,
+    /// Lifespan (`T(v) = [ts, te]`).
+    pub lifespan: TimeInterval,
+}
+
+impl Convoy {
+    /// Creates a convoy from objects and lifespan.
+    pub fn new(objects: ObjectSet, lifespan: TimeInterval) -> Self {
+        Self { objects, lifespan }
+    }
+
+    /// Convenience constructor from raw parts.
+    pub fn from_parts(ids: impl Into<ObjectSet>, start: Time, end: Time) -> Self {
+        Self {
+            objects: ids.into(),
+            lifespan: TimeInterval::new(start, end),
+        }
+    }
+
+    /// Start of the lifespan (`ts(v)`).
+    #[inline]
+    pub fn start(&self) -> Time {
+        self.lifespan.start
+    }
+
+    /// End of the lifespan (`te(v)`).
+    #[inline]
+    pub fn end(&self) -> Time {
+        self.lifespan.end
+    }
+
+    /// Lifespan length in timestamps (`|T(v)|`).
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.lifespan.len()
+    }
+
+    /// A convoy always covers at least one timestamp and, in valid outputs,
+    /// at least `m` objects. Provided for clippy symmetry with `len`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Is `self` a sub-convoy of `other` (Def. 5): `O(self) ⊆ O(other)`
+    /// and `T(self) ⊆ T(other)`?
+    pub fn is_sub_convoy_of(&self, other: &Convoy) -> bool {
+        other.lifespan.contains_interval(&self.lifespan) && self.objects.is_subset(&other.objects)
+    }
+
+    /// Is `self` a *strict* sub-convoy of `other` (sub-convoy and not equal)?
+    pub fn is_strict_sub_convoy_of(&self, other: &Convoy) -> bool {
+        self != other && self.is_sub_convoy_of(other)
+    }
+}
+
+impl fmt::Debug for Convoy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}, {})", self.objects, self.lifespan)
+    }
+}
+
+/// A set of convoys with *maximality maintenance*.
+///
+/// This implements the `update()` helper the paper's Algorithms 3 and 4
+/// rely on: a convoy is only added if it is not a sub-convoy of an existing
+/// member, and existing members that are sub-convoys of the newcomer are
+/// evicted. The set therefore always contains pairwise-incomparable convoys.
+///
+/// ```
+/// use k2_model::{Convoy, ConvoySet};
+///
+/// let mut set = ConvoySet::new();
+/// set.update(Convoy::from_parts([1u32, 2], 2, 5));
+/// set.update(Convoy::from_parts([1u32, 2, 3], 0, 9)); // supersedes the first
+/// assert_eq!(set.len(), 1);
+/// assert!(!set.update(Convoy::from_parts([1u32, 2], 3, 4))); // dominated
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConvoySet {
+    convoys: Vec<Convoy>,
+}
+
+impl ConvoySet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a maximal set from arbitrary convoys.
+    pub fn from_convoys(convoys: impl IntoIterator<Item = Convoy>) -> Self {
+        let mut set = Self::new();
+        for c in convoys {
+            set.update(c);
+        }
+        set
+    }
+
+    /// Number of convoys.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.convoys.len()
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.convoys.is_empty()
+    }
+
+    /// The paper's `update()`: insert `candidate` unless it is a sub-convoy
+    /// of an existing convoy; evict existing convoys that are sub-convoys of
+    /// `candidate`. Returns `true` if the candidate was inserted.
+    pub fn update(&mut self, candidate: Convoy) -> bool {
+        for existing in &self.convoys {
+            if candidate.is_sub_convoy_of(existing) {
+                return false;
+            }
+        }
+        self.convoys.retain(|c| !c.is_sub_convoy_of(&candidate));
+        self.convoys.push(candidate);
+        true
+    }
+
+    /// Merges another set into this one, maintaining maximality.
+    pub fn merge(&mut self, other: ConvoySet) {
+        for c in other.convoys {
+            self.update(c);
+        }
+    }
+
+    /// Membership test (exact equality).
+    pub fn contains(&self, convoy: &Convoy) -> bool {
+        self.convoys.contains(convoy)
+    }
+
+    /// The convoys, in insertion order.
+    #[inline]
+    pub fn convoys(&self) -> &[Convoy] {
+        &self.convoys
+    }
+
+    /// Consumes the set, returning the convoys sorted canonically
+    /// (by lifespan, then objects) for deterministic output.
+    pub fn into_sorted_vec(self) -> Vec<Convoy> {
+        let mut v = self.convoys;
+        v.sort_by(|a, b| {
+            (a.lifespan, a.objects.ids()).cmp(&(b.lifespan, b.objects.ids()))
+        });
+        v
+    }
+
+    /// Iterator over the convoys.
+    pub fn iter(&self) -> impl Iterator<Item = &Convoy> {
+        self.convoys.iter()
+    }
+
+    /// Removes and returns all convoys, leaving the set empty.
+    pub fn drain(&mut self) -> Vec<Convoy> {
+        std::mem::take(&mut self.convoys)
+    }
+}
+
+impl IntoIterator for ConvoySet {
+    type Item = Convoy;
+    type IntoIter = std::vec::IntoIter<Convoy>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.convoys.into_iter()
+    }
+}
+
+impl FromIterator<Convoy> for ConvoySet {
+    fn from_iter<I: IntoIterator<Item = Convoy>>(iter: I) -> Self {
+        Self::from_convoys(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cv(ids: &[u32], s: Time, e: Time) -> Convoy {
+        Convoy::from_parts(ids, s, e)
+    }
+
+    #[test]
+    fn sub_convoy_definition() {
+        // Paper Fig. 2 example: ({a,b},[1,2]) is a sub-convoy of
+        // ({a,b,c},[1,3]). Letters mapped to 0,1,2.
+        let small = cv(&[0, 1], 1, 2);
+        let big = cv(&[0, 1, 2], 1, 3);
+        assert!(small.is_sub_convoy_of(&big));
+        assert!(small.is_strict_sub_convoy_of(&big));
+        assert!(!big.is_sub_convoy_of(&small));
+        assert!(big.is_sub_convoy_of(&big));
+        assert!(!big.is_strict_sub_convoy_of(&big));
+    }
+
+    #[test]
+    fn incomparable_convoys() {
+        // Overlapping objects but disjoint intervals: neither is a sub-convoy.
+        let a = cv(&[1, 2, 3], 0, 4);
+        let b = cv(&[1, 2, 3], 5, 9);
+        assert!(!a.is_sub_convoy_of(&b));
+        assert!(!b.is_sub_convoy_of(&a));
+        // Nested interval but extra object.
+        let cset = cv(&[1, 2, 3, 4], 1, 3);
+        assert!(!cset.is_sub_convoy_of(&a));
+    }
+
+    #[test]
+    fn update_rejects_dominated_candidate() {
+        let mut set = ConvoySet::new();
+        assert!(set.update(cv(&[1, 2, 3], 0, 10)));
+        assert!(!set.update(cv(&[1, 2], 2, 5)));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn update_evicts_dominated_members() {
+        let mut set = ConvoySet::new();
+        set.update(cv(&[1, 2], 2, 5));
+        set.update(cv(&[4, 5], 0, 1));
+        assert!(set.update(cv(&[1, 2, 3], 0, 10)));
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&cv(&[1, 2, 3], 0, 10)));
+        assert!(set.contains(&cv(&[4, 5], 0, 1)));
+    }
+
+    #[test]
+    fn update_duplicate_is_rejected() {
+        let mut set = ConvoySet::new();
+        assert!(set.update(cv(&[1, 2], 0, 5)));
+        assert!(!set.update(cv(&[1, 2], 0, 5)));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn from_convoys_keeps_only_maximal() {
+        let set = ConvoySet::from_convoys(vec![
+            cv(&[1, 2], 1, 4),
+            cv(&[1, 2, 3], 0, 5),
+            cv(&[7, 8], 0, 2),
+            cv(&[7], 1, 2),
+        ]);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn into_sorted_vec_is_deterministic() {
+        let set = ConvoySet::from_convoys(vec![cv(&[9], 5, 6), cv(&[1], 0, 3), cv(&[2], 0, 3)]);
+        let v = set.into_sorted_vec();
+        assert_eq!(v[0], cv(&[1], 0, 3));
+        assert_eq!(v[1], cv(&[2], 0, 3));
+        assert_eq!(v[2], cv(&[9], 5, 6));
+    }
+
+    #[test]
+    fn merge_maintains_maximality() {
+        let mut a = ConvoySet::from_convoys(vec![cv(&[1, 2], 0, 5)]);
+        let b = ConvoySet::from_convoys(vec![cv(&[1, 2, 3], 0, 5), cv(&[8], 0, 1)]);
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(&cv(&[1, 2, 3], 0, 5)));
+    }
+}

@@ -1,0 +1,156 @@
+//! Closed time intervals.
+
+use crate::Time;
+use std::fmt;
+
+/// A closed interval of timestamps `[start, end]` (both inclusive).
+///
+/// Convoy lifespans are closed intervals; the paper writes `[ts, te]` and
+/// measures length as the number of timestamps, `te - ts + 1`.
+///
+/// ```
+/// use k2_model::TimeInterval;
+///
+/// let a = TimeInterval::new(3, 8);
+/// assert_eq!(a.len(), 6);
+/// assert_eq!(a.intersect(&TimeInterval::new(6, 12)), Some(TimeInterval::new(6, 8)));
+/// assert!(a.contains(8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimeInterval {
+    /// First timestamp (inclusive).
+    pub start: Time,
+    /// Last timestamp (inclusive).
+    pub end: Time,
+}
+
+impl TimeInterval {
+    /// Creates `[start, end]`. Panics if `start > end` — an empty lifespan
+    /// is never a valid convoy lifespan.
+    #[inline]
+    pub fn new(start: Time, end: Time) -> Self {
+        assert!(start <= end, "TimeInterval start {start} > end {end}");
+        Self { start, end }
+    }
+
+    /// The single-timestamp interval `[t, t]`.
+    #[inline]
+    pub fn instant(t: Time) -> Self {
+        Self { start: t, end: t }
+    }
+
+    /// Number of timestamps covered (the paper's `|L|`).
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.end - self.start + 1
+    }
+
+    /// Closed intervals are never empty; provided for clippy symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Does the interval contain timestamp `t`?
+    #[inline]
+    pub fn contains(&self, t: Time) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Is `other` fully contained in `self`?
+    #[inline]
+    pub fn contains_interval(&self, other: &TimeInterval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Intersection of two intervals, if non-empty.
+    #[inline]
+    pub fn intersect(&self, other: &TimeInterval) -> Option<TimeInterval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start <= end).then_some(TimeInterval { start, end })
+    }
+
+    /// Do the intervals overlap in at least one timestamp?
+    #[inline]
+    pub fn overlaps(&self, other: &TimeInterval) -> bool {
+        self.start.max(other.start) <= self.end.min(other.end)
+    }
+
+    /// Iterator over the timestamps of the interval, in order.
+    #[inline]
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = Time> {
+        self.start..=self.end
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_counts_inclusive_endpoints() {
+        assert_eq!(TimeInterval::new(3, 3).len(), 1);
+        assert_eq!(TimeInterval::new(0, 9).len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "start")]
+    fn inverted_interval_panics() {
+        let _ = TimeInterval::new(5, 4);
+    }
+
+    #[test]
+    fn contains_checks_closed_bounds() {
+        let iv = TimeInterval::new(2, 5);
+        assert!(iv.contains(2));
+        assert!(iv.contains(5));
+        assert!(!iv.contains(1));
+        assert!(!iv.contains(6));
+    }
+
+    #[test]
+    fn intersect_overlapping() {
+        let a = TimeInterval::new(0, 10);
+        let b = TimeInterval::new(5, 20);
+        assert_eq!(a.intersect(&b), Some(TimeInterval::new(5, 10)));
+        assert!(a.overlaps(&b));
+    }
+
+    #[test]
+    fn intersect_disjoint_is_none() {
+        let a = TimeInterval::new(0, 4);
+        let b = TimeInterval::new(5, 9);
+        assert_eq!(a.intersect(&b), None);
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn intersect_touching_endpoint() {
+        let a = TimeInterval::new(0, 5);
+        let b = TimeInterval::new(5, 9);
+        assert_eq!(a.intersect(&b), Some(TimeInterval::new(5, 5)));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = TimeInterval::new(0, 10);
+        let inner = TimeInterval::new(3, 7);
+        assert!(outer.contains_interval(&inner));
+        assert!(!inner.contains_interval(&outer));
+        assert!(outer.contains_interval(&outer));
+    }
+
+    #[test]
+    fn iter_yields_all_timestamps() {
+        let iv = TimeInterval::new(4, 7);
+        let ts: Vec<_> = iv.iter().collect();
+        assert_eq!(ts, vec![4, 5, 6, 7]);
+    }
+}

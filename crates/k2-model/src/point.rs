@@ -1,0 +1,113 @@
+//! Raw movement records.
+
+use crate::{Oid, Time};
+
+/// A single movement record: object `oid` was at `(x, y)` at time `t`.
+///
+/// This mirrors the paper's physical schema `<oid, x, y, t>` (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Object identifier.
+    pub oid: Oid,
+    /// X coordinate (e.g. longitude or metres east).
+    pub x: f64,
+    /// Y coordinate (e.g. latitude or metres north).
+    pub y: f64,
+    /// Timestamp of the observation.
+    pub t: Time,
+}
+
+impl Point {
+    /// Creates a new movement record.
+    #[inline]
+    pub fn new(oid: Oid, x: f64, y: f64, t: Time) -> Self {
+        Self { oid, x, y, t }
+    }
+
+    /// The position part of the record.
+    #[inline]
+    pub fn pos(&self) -> ObjPos {
+        ObjPos {
+            oid: self.oid,
+            x: self.x,
+            y: self.y,
+        }
+    }
+}
+
+/// An object position within one snapshot (the timestamp is implied by the
+/// containing [`Snapshot`](crate::Snapshot)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjPos {
+    /// Object identifier.
+    pub oid: Oid,
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl ObjPos {
+    /// Creates a new object position.
+    #[inline]
+    pub fn new(oid: Oid, x: f64, y: f64) -> Self {
+        Self { oid, x, y }
+    }
+
+    /// Squared Euclidean distance to another position.
+    ///
+    /// Comparisons against a distance threshold `eps` should use
+    /// `dist2 <= eps * eps` — squaring the threshold once is cheaper than
+    /// taking a square root per pair.
+    #[inline]
+    pub fn dist2(&self, other: &ObjPos) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to another position.
+    #[inline]
+    pub fn dist(&self, other: &ObjPos) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Attaches a timestamp, producing a full [`Point`].
+    #[inline]
+    pub fn at(&self, t: Time) -> Point {
+        Point {
+            oid: self.oid,
+            x: self.x,
+            y: self.y,
+            t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_round_trips_through_pos() {
+        let p = Point::new(7, 1.5, -2.5, 42);
+        let pos = p.pos();
+        assert_eq!(pos.oid, 7);
+        assert_eq!(pos.at(42), p);
+    }
+
+    #[test]
+    fn dist2_matches_dist() {
+        let a = ObjPos::new(0, 0.0, 0.0);
+        let b = ObjPos::new(1, 3.0, 4.0);
+        assert_eq!(a.dist2(&b), 25.0);
+        assert_eq!(a.dist(&b), 5.0);
+    }
+
+    #[test]
+    fn dist_is_symmetric() {
+        let a = ObjPos::new(0, 1.0, 2.0);
+        let b = ObjPos::new(1, -3.5, 7.25);
+        assert_eq!(a.dist2(&b), b.dist2(&a));
+    }
+}

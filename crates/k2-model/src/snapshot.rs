@@ -1,0 +1,183 @@
+//! Per-timestamp views of a movement dataset.
+
+use crate::{ObjPos, ObjectSet, Oid};
+
+/// All object positions observed at a single timestamp, sorted by object id.
+///
+/// The sorted order gives `O(log n)` membership lookups and linear-merge
+/// restriction to an [`ObjectSet`] — the access pattern of the HWMT
+/// re-clustering step (`DB[t]|O(v)`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    positions: Vec<ObjPos>,
+}
+
+impl Snapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a snapshot from arbitrary positions (sorts by oid).
+    ///
+    /// If an object appears multiple times, the last occurrence wins — a
+    /// real feed would have deduplicated upstream, but the model stays
+    /// deterministic either way.
+    pub fn from_positions(mut positions: Vec<ObjPos>) -> Self {
+        positions.sort_by_key(|p| p.oid);
+        positions.dedup_by(|later, earlier| {
+            if later.oid == earlier.oid {
+                *earlier = *later;
+                true
+            } else {
+                false
+            }
+        });
+        Self { positions }
+    }
+
+    /// Builds a snapshot from positions already sorted by unique oid.
+    pub fn from_sorted(positions: Vec<ObjPos>) -> Self {
+        debug_assert!(
+            positions.windows(2).all(|w| w[0].oid < w[1].oid),
+            "from_sorted: oids must be strictly increasing"
+        );
+        Self { positions }
+    }
+
+    /// Number of objects present.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Is any object present?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Position of object `oid`, if present.
+    pub fn get(&self, oid: Oid) -> Option<&ObjPos> {
+        self.positions
+            .binary_search_by_key(&oid, |p| p.oid)
+            .ok()
+            .map(|i| &self.positions[i])
+    }
+
+    /// All positions, sorted by oid.
+    #[inline]
+    pub fn positions(&self) -> &[ObjPos] {
+        &self.positions
+    }
+
+    /// The positions restricted to objects in `set` — the paper's
+    /// `DB[t]|O`. Linear merge over both sorted sequences.
+    pub fn restrict(&self, set: &ObjectSet) -> Vec<ObjPos> {
+        let mut out = Vec::with_capacity(set.len().min(self.len()));
+        let ids = set.ids();
+        if ids.len() * 4 < self.len() {
+            // Few ids relative to the snapshot: binary-search each.
+            for &oid in ids {
+                if let Some(p) = self.get(oid) {
+                    out.push(*p);
+                }
+            }
+        } else {
+            let mut j = 0;
+            for p in &self.positions {
+                while j < ids.len() && ids[j] < p.oid {
+                    j += 1;
+                }
+                if j == ids.len() {
+                    break;
+                }
+                if ids[j] == p.oid {
+                    out.push(*p);
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// The set of objects present at this timestamp.
+    pub fn object_set(&self) -> ObjectSet {
+        ObjectSet::from_sorted(self.positions.iter().map(|p| p.oid).collect())
+    }
+
+    /// Inserts or replaces the position of one object.
+    pub fn upsert(&mut self, pos: ObjPos) {
+        match self.positions.binary_search_by_key(&pos.oid, |p| p.oid) {
+            Ok(i) => self.positions[i] = pos,
+            Err(i) => self.positions.insert(i, pos),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> Snapshot {
+        Snapshot::from_positions(vec![
+            ObjPos::new(5, 5.0, 0.0),
+            ObjPos::new(1, 1.0, 0.0),
+            ObjPos::new(3, 3.0, 0.0),
+        ])
+    }
+
+    #[test]
+    fn from_positions_sorts() {
+        let s = snap();
+        let oids: Vec<_> = s.positions().iter().map(|p| p.oid).collect();
+        assert_eq!(oids, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn duplicate_oid_keeps_last() {
+        let s = Snapshot::from_positions(vec![ObjPos::new(1, 0.0, 0.0), ObjPos::new(1, 9.0, 9.0)]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(1).unwrap().x, 9.0);
+    }
+
+    #[test]
+    fn get_finds_present_objects_only() {
+        let s = snap();
+        assert_eq!(s.get(3).unwrap().x, 3.0);
+        assert!(s.get(2).is_none());
+    }
+
+    #[test]
+    fn restrict_filters_and_keeps_order() {
+        let s = snap();
+        let r = s.restrict(&ObjectSet::from([3, 5, 9]));
+        let oids: Vec<_> = r.iter().map(|p| p.oid).collect();
+        assert_eq!(oids, vec![3, 5]);
+    }
+
+    #[test]
+    fn restrict_with_sparse_set_uses_lookup_path() {
+        let positions: Vec<_> = (0..100).map(|i| ObjPos::new(i, i as f64, 0.0)).collect();
+        let s = Snapshot::from_sorted(positions);
+        let r = s.restrict(&ObjectSet::from([7, 42]));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].oid, 7);
+        assert_eq!(r[1].oid, 42);
+    }
+
+    #[test]
+    fn object_set_lists_members() {
+        assert_eq!(snap().object_set(), ObjectSet::from([1, 3, 5]));
+    }
+
+    #[test]
+    fn upsert_inserts_and_replaces() {
+        let mut s = snap();
+        s.upsert(ObjPos::new(2, 2.0, 0.0));
+        assert_eq!(s.len(), 4);
+        s.upsert(ObjPos::new(2, 7.0, 0.0));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.get(2).unwrap().x, 7.0);
+    }
+}

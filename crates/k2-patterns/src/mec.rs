@@ -1,0 +1,211 @@
+//! Minimal enclosing circle (Welzl's algorithm).
+//!
+//! The flock predicate "do these objects fit in a disk of radius r?" is
+//! exactly `min_enclosing_circle(points).radius <= r`. Welzl's algorithm
+//! computes it in expected linear time with a random permutation; we use
+//! a deterministic permutation (iterative move-to-front) so results are
+//! reproducible — flock groups are tiny, so the worst case is irrelevant.
+
+/// A circle (centre + radius).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Circle {
+    /// Centre x.
+    pub x: f64,
+    /// Centre y.
+    pub y: f64,
+    /// Radius.
+    pub r: f64,
+}
+
+impl Circle {
+    /// Does the circle contain `p` (with a small tolerance)?
+    pub fn contains(&self, p: (f64, f64)) -> bool {
+        let dx = p.0 - self.x;
+        let dy = p.1 - self.y;
+        dx * dx + dy * dy <= self.r * self.r + 1e-9 * (1.0 + self.r * self.r)
+    }
+}
+
+/// Smallest circle enclosing all `points`. Radius 0 for empty/singleton
+/// input.
+pub fn min_enclosing_circle(points: &[(f64, f64)]) -> Circle {
+    let mut pts = points.to_vec();
+    // Deterministic shuffle: a fixed multiplicative permutation keeps the
+    // expected-linear behaviour on adversarial orderings.
+    if pts.len() > 3 {
+        let n = pts.len();
+        let mut permuted = Vec::with_capacity(n);
+        let mut i = 0usize;
+        let step = (n / 2) | 1; // odd => full cycle when gcd(step, n) == 1
+        let step = if n.is_multiple_of(step) { 1 } else { step };
+        let mut seen = vec![false; n];
+        for _ in 0..n {
+            while seen[i] {
+                i = (i + 1) % n;
+            }
+            permuted.push(pts[i]);
+            seen[i] = true;
+            i = (i + step) % n;
+        }
+        pts = permuted;
+    }
+    welzl(&mut pts)
+}
+
+fn welzl(pts: &mut [(f64, f64)]) -> Circle {
+    let mut c = Circle {
+        x: 0.0,
+        y: 0.0,
+        r: 0.0,
+    };
+    if pts.is_empty() {
+        return c;
+    }
+    c = circle_from_one(pts[0]);
+    for i in 1..pts.len() {
+        if c.contains(pts[i]) {
+            continue;
+        }
+        // pts[i] is on the boundary of the MEC of pts[..=i].
+        c = circle_from_one(pts[i]);
+        for j in 0..i {
+            if c.contains(pts[j]) {
+                continue;
+            }
+            c = circle_from_two(pts[i], pts[j]);
+            for l in 0..j {
+                if !c.contains(pts[l]) {
+                    c = circle_from_three(pts[i], pts[j], pts[l]);
+                }
+            }
+        }
+    }
+    c
+}
+
+fn circle_from_one(p: (f64, f64)) -> Circle {
+    Circle {
+        x: p.0,
+        y: p.1,
+        r: 0.0,
+    }
+}
+
+fn circle_from_two(a: (f64, f64), b: (f64, f64)) -> Circle {
+    let x = (a.0 + b.0) / 2.0;
+    let y = (a.1 + b.1) / 2.0;
+    let r = ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt() / 2.0;
+    Circle { x, y, r }
+}
+
+fn circle_from_three(a: (f64, f64), b: (f64, f64), c: (f64, f64)) -> Circle {
+    // Circumcircle; falls back to the widest two-point circle when the
+    // points are (nearly) collinear.
+    let d = 2.0 * (a.0 * (b.1 - c.1) + b.0 * (c.1 - a.1) + c.0 * (a.1 - b.1));
+    if d.abs() < 1e-12 {
+        let ab = circle_from_two(a, b);
+        let ac = circle_from_two(a, c);
+        let bc = circle_from_two(b, c);
+        let mut best = ab;
+        for cand in [ac, bc] {
+            if cand.r > best.r {
+                best = cand;
+            }
+        }
+        return best;
+    }
+    let a2 = a.0 * a.0 + a.1 * a.1;
+    let b2 = b.0 * b.0 + b.1 * b.1;
+    let c2 = c.0 * c.0 + c.1 * c.1;
+    let ux = (a2 * (b.1 - c.1) + b2 * (c.1 - a.1) + c2 * (a.1 - b.1)) / d;
+    let uy = (a2 * (c.0 - b.0) + b2 * (a.0 - c.0) + c2 * (b.0 - a.0)) / d;
+    let r = ((a.0 - ux).powi(2) + (a.1 - uy).powi(2)).sqrt();
+    Circle { x: ux, y: uy, r }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_encloses(points: &[(f64, f64)]) -> Circle {
+        let c = min_enclosing_circle(points);
+        for &p in points {
+            assert!(c.contains(p), "{p:?} outside {c:?}");
+        }
+        c
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(min_enclosing_circle(&[]).r, 0.0);
+        let c = min_enclosing_circle(&[(3.0, 4.0)]);
+        assert_eq!((c.x, c.y, c.r), (3.0, 4.0, 0.0));
+    }
+
+    #[test]
+    fn two_points_diameter() {
+        let c = assert_encloses(&[(0.0, 0.0), (2.0, 0.0)]);
+        assert!((c.r - 1.0).abs() < 1e-9);
+        assert!((c.x - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equilateral_triangle_circumcircle() {
+        let h = 3.0f64.sqrt() / 2.0;
+        let c = assert_encloses(&[(0.0, 0.0), (1.0, 0.0), (0.5, h)]);
+        // Circumradius of unit equilateral triangle = 1/sqrt(3).
+        assert!((c.r - 1.0 / 3.0f64.sqrt()).abs() < 1e-9, "r = {}", c.r);
+    }
+
+    #[test]
+    fn obtuse_triangle_uses_diameter() {
+        // For an obtuse triangle the MEC is the diameter of the longest
+        // side, not the circumcircle.
+        let c = assert_encloses(&[(0.0, 0.0), (10.0, 0.0), (5.0, 0.5)]);
+        assert!((c.r - 5.0).abs() < 1e-6, "r = {}", c.r);
+    }
+
+    #[test]
+    fn collinear_points() {
+        let c = assert_encloses(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (5.0, 0.0)]);
+        assert!((c.r - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interior_points_do_not_grow_the_circle() {
+        let square = [(0.0, 0.0), (2.0, 0.0), (0.0, 2.0), (2.0, 2.0)];
+        let with_interior = [
+            (0.0, 0.0),
+            (2.0, 0.0),
+            (0.0, 2.0),
+            (2.0, 2.0),
+            (1.0, 1.0),
+            (0.5, 1.5),
+        ];
+        let a = assert_encloses(&square);
+        let b = assert_encloses(&with_interior);
+        assert!((a.r - b.r).abs() < 1e-9);
+        assert!((a.r - 2.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pseudo_random_cloud_is_enclosed_minimally() {
+        // Deterministic LCG cloud; verify enclosure and minimality (the
+        // circle is supported by >= 2 boundary points).
+        let mut state = 12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 1000) as f64 / 100.0
+        };
+        let points: Vec<(f64, f64)> = (0..60).map(|_| (next(), next())).collect();
+        let c = assert_encloses(&points);
+        let on_boundary = points
+            .iter()
+            .filter(|p| {
+                let d = ((p.0 - c.x).powi(2) + (p.1 - c.y).powi(2)).sqrt();
+                (d - c.r).abs() < 1e-6
+            })
+            .count();
+        assert!(on_boundary >= 2, "MEC must be supported by boundary points");
+    }
+}

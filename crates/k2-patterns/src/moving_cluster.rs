@@ -1,0 +1,259 @@
+//! Moving clusters (Kalnis, Mamoulis, Bakiras — SSTD 2005).
+//!
+//! A *moving cluster* is a sequence of snapshot clusters
+//! `c_t, c_{t+1}, …` whose consecutive Jaccard overlap
+//! `|c_t ∩ c_{t+1}| / |c_t ∪ c_{t+1}|` is at least `θ`. Unlike a convoy,
+//! the cluster keeps its *identity* while members join and leave (§2 of
+//! the k/2-hop paper), so the benchmark-hopping lemma — which requires a
+//! fixed object set — does not apply; this module provides the exact
+//! sequential miner (MC2-style) for completeness.
+
+use k2_cluster::{dbscan, DbscanParams};
+use k2_model::{Dataset, ObjectSet, Time, TimeInterval};
+
+/// Moving-cluster parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MovingClusterConfig {
+    /// Minimum cluster size (DBSCAN `min_pts`).
+    pub m: usize,
+    /// Minimum chain length in timestamps.
+    pub k: u32,
+    /// DBSCAN distance threshold.
+    pub eps: f64,
+    /// Jaccard overlap threshold `θ ∈ (0, 1]`.
+    pub theta: f64,
+}
+
+impl MovingClusterConfig {
+    /// Validated constructor.
+    pub fn new(m: usize, k: u32, eps: f64, theta: f64) -> Self {
+        assert!(m >= 2 && k >= 1);
+        assert!(eps > 0.0 && eps.is_finite());
+        assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]");
+        Self { m, k, eps, theta }
+    }
+}
+
+/// One mined moving cluster: the per-timestamp snapshot clusters forming
+/// the chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MovingCluster {
+    /// `(timestamp, cluster members)` in time order.
+    pub chain: Vec<(Time, ObjectSet)>,
+}
+
+impl MovingCluster {
+    /// Chain lifespan.
+    pub fn lifespan(&self) -> TimeInterval {
+        TimeInterval::new(
+            self.chain.first().expect("non-empty chain").0,
+            self.chain.last().expect("non-empty chain").0,
+        )
+    }
+
+    /// Number of timestamps.
+    pub fn len(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Chains are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.chain.is_empty()
+    }
+
+    /// Every object that was ever a member.
+    pub fn all_members(&self) -> ObjectSet {
+        let mut acc = ObjectSet::empty();
+        for (_, c) in &self.chain {
+            acc = acc.union(c);
+        }
+        acc
+    }
+}
+
+/// Jaccard similarity of two object sets.
+pub fn jaccard(a: &ObjectSet, b: &ObjectSet) -> f64 {
+    let inter = a.intersection_len(b);
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        return 0.0;
+    }
+    inter as f64 / union as f64
+}
+
+/// Mines all maximal moving clusters of length ≥ `k`.
+///
+/// Clusters every snapshot, links consecutive clusters with Jaccard ≥ θ,
+/// and enumerates all maximal paths of the resulting DAG (chains may
+/// branch when one cluster splits into two sufficiently-overlapping
+/// successors).
+pub fn mine(dataset: &Dataset, config: MovingClusterConfig) -> Vec<MovingCluster> {
+    let params = DbscanParams::new(config.m, config.eps);
+    let span = dataset.span();
+
+    // Snapshot clusters per timestamp.
+    let per_t: Vec<Vec<ObjectSet>> = span
+        .iter()
+        .map(|t| {
+            dbscan(
+                dataset.snapshot(t).map(|s| s.positions()).unwrap_or(&[]),
+                params,
+            )
+        })
+        .collect();
+
+    let mut results: Vec<MovingCluster> = Vec::new();
+    // Active chains, all ending at the previous timestamp.
+    let mut active: Vec<MovingCluster> = Vec::new();
+    for (i, clusters) in per_t.iter().enumerate() {
+        let t = span.start + i as Time;
+        let mut next: Vec<MovingCluster> = Vec::new();
+        let mut continued = vec![false; clusters.len()];
+        for chain in active.drain(..) {
+            let tail = &chain.chain.last().expect("non-empty").1;
+            let mut extended = false;
+            for (ci, c) in clusters.iter().enumerate() {
+                if jaccard(tail, c) >= config.theta {
+                    let mut grown = chain.clone();
+                    grown.chain.push((t, c.clone()));
+                    next.push(grown);
+                    continued[ci] = true;
+                    extended = true;
+                }
+            }
+            if !extended && chain.len() >= config.k as usize {
+                results.push(chain);
+            }
+        }
+        // Clusters without a predecessor start fresh chains (sources of
+        // the DAG — starting elsewhere would enumerate non-maximal
+        // suffixes).
+        for (ci, c) in clusters.iter().enumerate() {
+            if !continued[ci] {
+                next.push(MovingCluster {
+                    chain: vec![(t, c.clone())],
+                });
+            }
+        }
+        active = next;
+    }
+    for chain in active {
+        if chain.len() >= config.k as usize {
+            results.push(chain);
+        }
+    }
+    results.sort_by(|a, b| {
+        (a.lifespan(), a.chain[0].1.ids()).cmp(&(b.lifespan(), b.chain[0].1.ids()))
+    });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k2_model::Point;
+
+    /// Five objects; the cluster gradually swaps one member per phase,
+    /// keeping high overlap — a moving cluster but (after the churn) not
+    /// a convoy.
+    fn churn_dataset() -> Dataset {
+        let mut pts = Vec::new();
+        for t in 0..12u32 {
+            // Member set rotates cumulatively: in phase p = t / 4 the
+            // members are {p..5} ∪ {5..5+p} — exactly one object swaps
+            // at each phase boundary (Jaccard 4/6 ≈ 0.67 at the swap).
+            let phase = t / 4;
+            let members: Vec<u32> = (phase..5).chain(5..5 + phase).collect();
+            for (i, &oid) in members.iter().enumerate() {
+                pts.push(Point::new(oid, t as f64 * 5.0 + i as f64 * 0.4, 0.0, t));
+            }
+            // Everyone not in the cluster wanders far away.
+            for oid in 0..8u32 {
+                if !members.contains(&oid) {
+                    pts.push(Point::new(oid, 900.0 + oid as f64 * 55.0, t as f64 * 7.0, t));
+                }
+            }
+        }
+        Dataset::from_points(&pts).unwrap()
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        let a = ObjectSet::from([1, 2, 3]);
+        let b = ObjectSet::from([2, 3, 4]);
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&a, &a), 1.0);
+        assert_eq!(jaccard(&a, &ObjectSet::from([9])), 0.0);
+    }
+
+    #[test]
+    fn steady_group_is_one_chain() {
+        let mut pts = Vec::new();
+        for t in 0..10u32 {
+            for oid in 0..4u32 {
+                pts.push(Point::new(oid, t as f64 * 3.0 + oid as f64 * 0.4, 0.0, t));
+            }
+        }
+        let d = Dataset::from_points(&pts).unwrap();
+        let out = mine(&d, MovingClusterConfig::new(3, 5, 1.0, 0.5));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 10);
+        assert_eq!(out[0].lifespan(), TimeInterval::new(0, 9));
+    }
+
+    #[test]
+    fn churn_survives_low_theta_but_not_high() {
+        let d = churn_dataset();
+        // One member of five swaps at t = 4 and t = 8: Jaccard at the
+        // swap is 4/6 = 0.66.
+        let loose = mine(&d, MovingClusterConfig::new(3, 12, 1.0, 0.6));
+        assert_eq!(loose.len(), 1, "identity persists through churn");
+        assert_eq!(loose[0].len(), 12);
+        // A convoy of the full span cannot exist: no fixed 3-subset stays.
+        let members_start = &loose[0].chain[0].1;
+        let members_end = &loose[0].chain[11].1;
+        assert_ne!(members_start, members_end);
+
+        let strict = mine(&d, MovingClusterConfig::new(3, 12, 1.0, 0.9));
+        assert!(strict.is_empty(), "theta = 0.9 breaks at the swaps");
+    }
+
+    #[test]
+    fn chain_branches_on_cluster_split() {
+        // One cluster of 6 splits into two triples with Jaccard 3/6 = 0.5
+        // against the parent: with theta <= 0.5 both branches continue.
+        let mut pts = Vec::new();
+        for t in 0..8u32 {
+            for oid in 0..6u32 {
+                let (x, y) = if t < 4 || oid < 3 {
+                    (oid as f64 * 0.5, 0.0)
+                } else {
+                    (oid as f64 * 0.5, 300.0)
+                };
+                pts.push(Point::new(oid, x, y, t));
+            }
+        }
+        let d = Dataset::from_points(&pts).unwrap();
+        let out = mine(&d, MovingClusterConfig::new(3, 8, 1.2, 0.5));
+        assert_eq!(out.len(), 2, "split produces two maximal chains: {out:#?}");
+        for chain in &out {
+            assert_eq!(chain.len(), 8);
+        }
+    }
+
+    #[test]
+    fn k_filter_applies() {
+        let d = churn_dataset();
+        let out = mine(&d, MovingClusterConfig::new(3, 13, 1.0, 0.6));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn all_members_accumulates_joiners() {
+        let d = churn_dataset();
+        let out = mine(&d, MovingClusterConfig::new(3, 12, 1.0, 0.6));
+        let members = out[0].all_members();
+        // 0..5 initial plus joiners 5 and 6.
+        assert_eq!(members, ObjectSet::from([0, 1, 2, 3, 4, 5, 6]));
+    }
+}

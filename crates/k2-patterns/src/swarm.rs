@@ -1,0 +1,249 @@
+//! Swarm mining (Li, Ding, Han, Kays — PVLDB 2010), mentioned in §2 of
+//! the k/2-hop paper among the patterns "plagued by" the
+//! cluster-everything cost.
+//!
+//! A *(m, k)-swarm* relaxes the convoy's consecutiveness: ≥ `m` objects
+//! that are co-clustered at ≥ `k` timestamps that need **not** be
+//! consecutive. We mine *closed* swarms: `(O, T)` such that no superset
+//! of `O` shares the same time set and no superset of `T` supports the
+//! same objects — the standard ObjectGrowth output, deduplicated to
+//! maximal `(O, T)` pairs.
+//!
+//! Because timestamps are arbitrary subsets, benchmark hopping does not
+//! apply (a swarm of support `k` can dodge every benchmark point); this
+//! is exactly why the paper's consecutiveness is what makes k/2-hop
+//! possible. The implementation shares the star-partitioning idea of the
+//! SPARE baseline, with plain support counting instead of run
+//! simplification.
+
+use k2_cluster::{dbscan, DbscanParams};
+use k2_model::{Dataset, ObjectSet, Oid, Time};
+use std::collections::HashMap;
+
+/// Swarm parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SwarmConfig {
+    /// Minimum number of objects (≥ 2).
+    pub m: usize,
+    /// Minimum number of (not necessarily consecutive) timestamps.
+    pub k: u32,
+    /// DBSCAN distance threshold for the snapshot clustering.
+    pub eps: f64,
+}
+
+impl SwarmConfig {
+    /// Validated constructor.
+    pub fn new(m: usize, k: u32, eps: f64) -> Self {
+        assert!(m >= 2 && k >= 1);
+        assert!(eps > 0.0 && eps.is_finite());
+        Self { m, k, eps }
+    }
+}
+
+/// A mined swarm: objects plus the (sorted, possibly gapped) timestamps
+/// at which they were co-clustered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Swarm {
+    /// Member objects.
+    pub objects: ObjectSet,
+    /// Supporting timestamps, ascending.
+    pub times: Vec<Time>,
+}
+
+impl Swarm {
+    /// Support (number of timestamps).
+    pub fn support(&self) -> usize {
+        self.times.len()
+    }
+}
+
+/// Mines all maximal swarms of `dataset`.
+pub fn mine(dataset: &Dataset, config: SwarmConfig) -> Vec<Swarm> {
+    let params = DbscanParams::new(config.m, config.eps);
+
+    // Stage 1: snapshot clustering; record pair co-clustering times.
+    let mut edges: HashMap<(Oid, Oid), Vec<Time>> = HashMap::new();
+    for (t, snap) in dataset.iter() {
+        for c in dbscan(snap.positions(), params) {
+            let ids = c.ids();
+            for (a, &i) in ids.iter().enumerate() {
+                for &j in &ids[a + 1..] {
+                    edges.entry((i, j)).or_default().push(t);
+                }
+            }
+        }
+    }
+
+    // Star partitioning + DFS growth with support pruning.
+    let mut stars: HashMap<Oid, Vec<(Oid, Vec<Time>)>> = HashMap::new();
+    for ((i, j), times) in edges {
+        if times.len() >= config.k as usize {
+            stars.entry(i).or_default().push((j, times));
+        }
+    }
+    let mut found: Vec<Swarm> = Vec::new();
+    let mut star_list: Vec<_> = stars.into_iter().collect();
+    star_list.sort_by_key(|(i, _)| *i);
+    for (centre, mut neighbours) in star_list {
+        neighbours.sort_by_key(|(j, _)| *j);
+        let mut members = Vec::new();
+        grow(centre, &neighbours, 0, &mut members, None, &config, &mut found);
+    }
+
+    // Keep only maximal (objects, times) pairs.
+    let mut maximal: Vec<Swarm> = Vec::new();
+    found.sort_by_key(|s| std::cmp::Reverse(s.objects.len() * s.times.len()));
+    'outer: for s in found {
+        for kept in &maximal {
+            if s.objects.is_subset(&kept.objects) && is_subseq(&s.times, &kept.times) {
+                continue 'outer;
+            }
+        }
+        maximal.retain(|kept| !(kept.objects.is_subset(&s.objects) && is_subseq(&kept.times, &s.times)));
+        maximal.push(s);
+    }
+    maximal.sort_by(|a, b| (a.objects.ids(), &a.times).cmp(&(b.objects.ids(), &b.times)));
+    maximal
+}
+
+fn grow(
+    centre: Oid,
+    neighbours: &[(Oid, Vec<Time>)],
+    from: usize,
+    members: &mut Vec<Oid>,
+    common: Option<&[Time]>,
+    config: &SwarmConfig,
+    out: &mut Vec<Swarm>,
+) {
+    for idx in from..neighbours.len() {
+        let (j, times) = &neighbours[idx];
+        let merged = match common {
+            None => times.clone(),
+            Some(ct) => intersect_sorted(ct, times),
+        };
+        if merged.len() < config.k as usize {
+            continue; // apriori: supersets only lose support
+        }
+        members.push(*j);
+        if members.len() + 1 >= config.m {
+            let mut ids = members.clone();
+            ids.push(centre);
+            out.push(Swarm {
+                objects: ObjectSet::new(ids),
+                times: merged.clone(),
+            });
+        }
+        grow(centre, neighbours, idx + 1, members, Some(&merged), config, out);
+        members.pop();
+    }
+}
+
+fn intersect_sorted(a: &[Time], b: &[Time]) -> Vec<Time> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Is sorted `a` a subsequence (subset) of sorted `b`?
+fn is_subseq(a: &[Time], b: &[Time]) -> bool {
+    let mut j = 0;
+    'outer: for &x in a {
+        while j < b.len() {
+            match b[j].cmp(&x) {
+                std::cmp::Ordering::Less => j += 1,
+                std::cmp::Ordering::Equal => {
+                    j += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k2_model::Point;
+
+    /// Two objects co-clustered every third timestamp only — a swarm but
+    /// never a convoy with k > 1.
+    fn intermittent() -> Dataset {
+        let mut pts = Vec::new();
+        for t in 0..15u32 {
+            let spread = if t % 3 == 0 { 0.4 } else { 50.0 };
+            for oid in 0..3u32 {
+                pts.push(Point::new(oid, oid as f64 * spread, 0.0, t));
+            }
+        }
+        Dataset::from_points(&pts).unwrap()
+    }
+
+    #[test]
+    fn swarm_tolerates_gaps_where_convoys_cannot() {
+        let d = intermittent();
+        let swarms = mine(&d, SwarmConfig::new(3, 5, 1.0));
+        assert_eq!(swarms.len(), 1);
+        assert_eq!(swarms[0].objects, ObjectSet::from([0, 1, 2]));
+        assert_eq!(swarms[0].times, vec![0, 3, 6, 9, 12]);
+
+        // Convoys with k = 2 find nothing (never together twice in a row).
+        let store = k2_storage::InMemoryStore::new(d);
+        let convoys = k2_core::K2Hop::new(k2_core::K2Config::new(3, 2, 1.0).unwrap())
+            .mine(&store)
+            .unwrap()
+            .convoys;
+        assert!(convoys.is_empty());
+    }
+
+    #[test]
+    fn support_threshold_applies() {
+        let d = intermittent();
+        assert!(mine(&d, SwarmConfig::new(3, 6, 1.0)).is_empty());
+        assert_eq!(mine(&d, SwarmConfig::new(3, 4, 1.0)).len(), 1);
+    }
+
+    #[test]
+    fn maximality_prefers_larger_sets_and_supports() {
+        // Objects 0..4 together at t in {0..8}; object 4 only joins at
+        // even t. Closed swarms: {0,1,2,3} x 9 times, {0,1,2,3,4} x 5.
+        let mut pts = Vec::new();
+        for t in 0..9u32 {
+            for oid in 0..4u32 {
+                pts.push(Point::new(oid, oid as f64 * 0.4, 0.0, t));
+            }
+            let x4 = if t % 2 == 0 { 1.6 } else { 70.0 };
+            pts.push(Point::new(4, x4, 0.0, t));
+        }
+        let d = Dataset::from_points(&pts).unwrap();
+        let swarms = mine(&d, SwarmConfig::new(4, 3, 1.0));
+        assert_eq!(swarms.len(), 2, "{swarms:#?}");
+        assert!(swarms
+            .iter()
+            .any(|s| s.objects.len() == 4 && s.support() == 9));
+        assert!(swarms
+            .iter()
+            .any(|s| s.objects.len() == 5 && s.support() == 5));
+    }
+
+    #[test]
+    fn subsequence_helper() {
+        assert!(is_subseq(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subseq(&[1, 4], &[1, 2, 3]));
+        assert!(is_subseq(&[], &[1]));
+        assert!(!is_subseq(&[1], &[]));
+    }
+}

@@ -1,0 +1,79 @@
+//! Storage error type.
+
+use std::fmt;
+use std::io;
+
+/// Result alias for storage operations.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// Errors surfaced by the storage engines.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying file-system error.
+    Io(io::Error),
+    /// An in-memory load would exceed the configured [`MemoryBudget`]
+    /// (simulates the paper's out-of-memory crashes of VCoDA / k2-File on
+    /// the Brinkhoff dataset).
+    ///
+    /// [`MemoryBudget`]: crate::MemoryBudget
+    MemoryBudgetExceeded {
+        /// Bytes the operation would need.
+        needed: u64,
+        /// Bytes allowed.
+        budget: u64,
+    },
+    /// On-disk data failed validation.
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StoreError::MemoryBudgetExceeded { needed, budget } => write!(
+                f,
+                "memory budget exceeded: need {needed} bytes, budget {budget} bytes"
+            ),
+            StoreError::Corrupt(msg) => write!(f, "corrupt storage file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StoreError::MemoryBudgetExceeded {
+            needed: 100,
+            budget: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("10"));
+        let e = StoreError::Corrupt("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        let e: StoreError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, StoreError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

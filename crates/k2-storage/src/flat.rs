@@ -1,0 +1,300 @@
+//! Flat-file store: sorted fixed-width records, sequential access only.
+
+use crate::iostats::IoCounters;
+use crate::{InMemoryStore, IoStats, MemoryBudget, StoreError, StoreResult, TrajectoryStore};
+use k2_model::codec::{decode_record, RECORD_SIZE};
+use k2_model::{codec, Dataset, ObjPos, Oid, Point, Time, TimeInterval};
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Read granularity for sequential scans (a generous readahead window, as
+/// an OS would give a sequential reader).
+const SCAN_CHUNK: usize = 64 * 1024;
+
+/// A flat file of 24-byte records sorted by `(t, oid)`.
+///
+/// Flat files are "good for scans but not suitable for random access"
+/// (§5): there is no index, so *every* query — snapshot scan, point get —
+/// is a sequential scan from the start of the file until the target
+/// timestamp block has passed. The sortedness only allows early
+/// termination, not skipping.
+///
+/// The paper's *k2-File* algorithm instead loads the entire file into
+/// memory first; use [`FlatFileStore::load_in_memory`] for that, which
+/// checks a [`MemoryBudget`] (the Brinkhoff-size dataset is where this
+/// fails in the paper).
+#[derive(Debug)]
+pub struct FlatFileStore {
+    path: PathBuf,
+    file: RefCell<File>,
+    num_points: u64,
+    span: TimeInterval,
+    io: IoCounters,
+}
+
+impl FlatFileStore {
+    /// Writes `dataset` to `path` in flat binary format and opens it.
+    pub fn create(path: impl AsRef<Path>, dataset: &Dataset) -> StoreResult<Self> {
+        let path = path.as_ref();
+        let file = File::create(path)?;
+        codec::write_binary(dataset, file)?;
+        Self::open(path)
+    }
+
+    /// Opens an existing flat file, validating its size and reading the
+    /// first and last record to learn the time span (two seeks — the only
+    /// non-sequential access this engine ever performs).
+    pub fn open(path: impl AsRef<Path>) -> StoreResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::open(&path)?;
+        let len = file.metadata()?.len();
+        if len == 0 || len % RECORD_SIZE as u64 != 0 {
+            return Err(StoreError::Corrupt(format!(
+                "flat file size {len} is not a positive multiple of {RECORD_SIZE}"
+            )));
+        }
+        let num_points = len / RECORD_SIZE as u64;
+        let mut buf = [0u8; RECORD_SIZE];
+        file.read_exact(&mut buf)?;
+        let first = decode_record(&buf);
+        file.seek(SeekFrom::End(-(RECORD_SIZE as i64)))?;
+        file.read_exact(&mut buf)?;
+        let last = decode_record(&buf);
+        if first.t > last.t {
+            return Err(StoreError::Corrupt("records not sorted by time".into()));
+        }
+        Ok(Self {
+            path,
+            file: RefCell::new(file),
+            num_points,
+            span: TimeInterval::new(first.t, last.t),
+            io: IoCounters::new(),
+        })
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Loads the whole file into an [`InMemoryStore`] (the k2-File mode).
+    ///
+    /// Fails with [`StoreError::MemoryBudgetExceeded`] if the resident size
+    /// would exceed `budget`.
+    pub fn load_in_memory(&self, budget: MemoryBudget) -> StoreResult<InMemoryStore> {
+        budget.check(self.num_points * RECORD_SIZE as u64)?;
+        let points = self.scan_all()?;
+        let dataset = Dataset::from_points(&points)
+            .ok_or_else(|| StoreError::Corrupt("empty flat file".into()))?;
+        Ok(InMemoryStore::new(dataset))
+    }
+
+    /// Reads every record sequentially.
+    pub fn scan_all(&self) -> StoreResult<Vec<Point>> {
+        self.io.add_range_query();
+        let mut out = Vec::with_capacity(self.num_points as usize);
+        self.scan_from_start(|p| {
+            out.push(p);
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Sequentially scans from the start, feeding each record to `visit`
+    /// until it returns `false` or EOF. Counts one seek (rewind) plus one
+    /// block read per chunk.
+    fn scan_from_start(&self, mut visit: impl FnMut(Point) -> bool) -> StoreResult<()> {
+        let mut file = self.file.borrow_mut();
+        file.seek(SeekFrom::Start(0))?;
+        self.io.add_seek();
+        let mut chunk = vec![0u8; SCAN_CHUNK];
+        let mut carry: Vec<u8> = Vec::with_capacity(RECORD_SIZE);
+        loop {
+            let n = file.read(&mut chunk)?;
+            if n == 0 {
+                if !carry.is_empty() {
+                    return Err(StoreError::Corrupt("trailing partial record".into()));
+                }
+                return Ok(());
+            }
+            self.io.add_block_read(n as u64);
+            let mut data: &[u8] = &chunk[..n];
+            // Complete a record split across chunk boundaries.
+            if !carry.is_empty() {
+                let need = RECORD_SIZE - carry.len();
+                let take = need.min(data.len());
+                carry.extend_from_slice(&data[..take]);
+                data = &data[take..];
+                if carry.len() == RECORD_SIZE {
+                    let rec: [u8; RECORD_SIZE] = carry[..].try_into().expect("record size");
+                    if !visit(decode_record(&rec)) {
+                        return Ok(());
+                    }
+                    carry.clear();
+                }
+            }
+            let whole = data.len() / RECORD_SIZE * RECORD_SIZE;
+            for rec in data[..whole].chunks_exact(RECORD_SIZE) {
+                let rec: [u8; RECORD_SIZE] = rec.try_into().expect("record size");
+                if !visit(decode_record(&rec)) {
+                    return Ok(());
+                }
+            }
+            carry.extend_from_slice(&data[whole..]);
+        }
+    }
+}
+
+impl TrajectoryStore for FlatFileStore {
+    fn span(&self) -> TimeInterval {
+        self.span
+    }
+
+    fn num_points(&self) -> u64 {
+        self.num_points
+    }
+
+    fn scan_snapshot(&self, t: Time) -> StoreResult<Vec<ObjPos>> {
+        self.io.add_range_query();
+        let mut out = Vec::new();
+        self.scan_from_start(|p| {
+            if p.t > t {
+                return false; // sorted: past the target block
+            }
+            if p.t == t {
+                out.push(p.pos());
+            }
+            true
+        })?;
+        Ok(out)
+    }
+
+    fn multi_get(&self, t: Time, oids: &[Oid]) -> StoreResult<Vec<ObjPos>> {
+        debug_assert!(oids.windows(2).all(|w| w[0] < w[1]));
+        for _ in oids {
+            self.io.add_point_query();
+        }
+        let mut out = Vec::with_capacity(oids.len());
+        self.scan_from_start(|p| {
+            if p.t > t {
+                return false;
+            }
+            if p.t == t && oids.binary_search(&p.oid).is_ok() {
+                out.push(p.pos());
+            }
+            true
+        })?;
+        Ok(out)
+    }
+
+    fn point_get(&self, t: Time, oid: Oid) -> StoreResult<Option<ObjPos>> {
+        self.io.add_point_query();
+        let mut found = None;
+        self.scan_from_start(|p| {
+            if p.t > t || (p.t == t && p.oid > oid) {
+                return false;
+            }
+            if p.t == t && p.oid == oid {
+                found = Some(p.pos());
+                return false;
+            }
+            true
+        })?;
+        Ok(found)
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.io.snapshot()
+    }
+
+    fn reset_io_stats(&self) {
+        self.io.reset()
+    }
+
+    fn name(&self) -> &'static str {
+        "k2-file"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trait_tests::{conformance, toy_dataset};
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "k2flat-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn conforms_to_trait_contract() {
+        let d = toy_dataset();
+        let store = FlatFileStore::create(tmpdir().join("toy.bin"), &d).unwrap();
+        conformance(&store, &d);
+    }
+
+    #[test]
+    fn load_in_memory_round_trips() {
+        let d = toy_dataset();
+        let store = FlatFileStore::create(tmpdir().join("mem.bin"), &d).unwrap();
+        let mem = store.load_in_memory(MemoryBudget::unlimited()).unwrap();
+        assert_eq!(mem.dataset(), &d);
+    }
+
+    #[test]
+    fn memory_budget_blocks_large_load() {
+        let d = toy_dataset();
+        let store = FlatFileStore::create(tmpdir().join("budget.bin"), &d).unwrap();
+        let err = store.load_in_memory(MemoryBudget::bytes(10)).unwrap_err();
+        assert!(matches!(err, StoreError::MemoryBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn corrupt_size_rejected() {
+        let p = tmpdir().join("corrupt.bin");
+        std::fs::write(&p, [0u8; 25]).unwrap();
+        assert!(matches!(
+            FlatFileStore::open(&p),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        let p = tmpdir().join("empty.bin");
+        std::fs::write(&p, []).unwrap();
+        assert!(FlatFileStore::open(&p).is_err());
+    }
+
+    #[test]
+    fn scans_are_counted_as_sequential_io() {
+        let d = toy_dataset();
+        let store = FlatFileStore::create(tmpdir().join("io.bin"), &d).unwrap();
+        store.reset_io_stats();
+        let _ = store.scan_snapshot(49).unwrap();
+        let s = store.io_stats();
+        // One rewind seek; whole file read in chunks.
+        assert_eq!(s.seeks, 1);
+        assert!(s.bytes_read >= d.num_points() * RECORD_SIZE as u64);
+    }
+
+    #[test]
+    fn early_termination_reads_less_for_early_timestamps() {
+        let d = toy_dataset();
+        let store = FlatFileStore::create(tmpdir().join("early.bin"), &d).unwrap();
+        store.reset_io_stats();
+        let _ = store.scan_snapshot(0).unwrap();
+        let early = store.io_stats().bytes_read;
+        store.reset_io_stats();
+        let _ = store.scan_snapshot(49).unwrap();
+        let late = store.io_stats().bytes_read;
+        assert!(early <= late);
+    }
+}

@@ -1,0 +1,208 @@
+//! I/O accounting and memory budgeting.
+
+use std::cell::Cell;
+
+/// Counters describing the I/O behaviour of a storage engine.
+///
+/// The experiments of §6 attribute the k2-RDBMS / k2-LSMT performance
+/// differences to disk access patterns; these counters make those patterns
+/// observable without depending on wall-clock noise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Non-contiguous repositioning of the read head (or, for the LSM
+    /// engine, block fetches that jump files/offsets).
+    pub seeks: u64,
+    /// Fixed-size blocks/pages fetched from disk (cache misses).
+    pub blocks_read: u64,
+    /// Block/page requests satisfied by a cache (buffer pool / block cache).
+    pub cache_hits: u64,
+    /// Total bytes read from disk.
+    pub bytes_read: u64,
+    /// Point queries served (`(t, oid)` lookups).
+    pub point_queries: u64,
+    /// Range/snapshot scans served.
+    pub range_queries: u64,
+    /// Point queries skipped by a bloom filter (LSM only).
+    pub bloom_negatives: u64,
+}
+
+impl IoStats {
+    /// Difference of two snapshots (`self - earlier`), element-wise.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            seeks: self.seeks - earlier.seeks,
+            blocks_read: self.blocks_read - earlier.blocks_read,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            point_queries: self.point_queries - earlier.point_queries,
+            range_queries: self.range_queries - earlier.range_queries,
+            bloom_negatives: self.bloom_negatives - earlier.bloom_negatives,
+        }
+    }
+}
+
+/// Interior-mutable counter cell shared by a store and its sub-components.
+#[derive(Debug, Default)]
+pub struct IoCounters {
+    seeks: Cell<u64>,
+    blocks_read: Cell<u64>,
+    cache_hits: Cell<u64>,
+    bytes_read: Cell<u64>,
+    point_queries: Cell<u64>,
+    range_queries: Cell<u64>,
+    bloom_negatives: Cell<u64>,
+}
+
+impl IoCounters {
+    /// New zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn add_seek(&self) {
+        self.seeks.set(self.seeks.get() + 1);
+    }
+
+    pub(crate) fn add_block_read(&self, bytes: u64) {
+        self.blocks_read.set(self.blocks_read.get() + 1);
+        self.bytes_read.set(self.bytes_read.get() + bytes);
+    }
+
+    pub(crate) fn add_cache_hit(&self) {
+        self.cache_hits.set(self.cache_hits.get() + 1);
+    }
+
+    pub(crate) fn add_point_query(&self) {
+        self.point_queries.set(self.point_queries.get() + 1);
+    }
+
+    pub(crate) fn add_range_query(&self) {
+        self.range_queries.set(self.range_queries.get() + 1);
+    }
+
+    pub(crate) fn add_bloom_negative(&self) {
+        self.bloom_negatives.set(self.bloom_negatives.get() + 1);
+    }
+
+    /// Snapshot of the counters.
+    pub fn snapshot(&self) -> IoStats {
+        IoStats {
+            seeks: self.seeks.get(),
+            blocks_read: self.blocks_read.get(),
+            cache_hits: self.cache_hits.get(),
+            bytes_read: self.bytes_read.get(),
+            point_queries: self.point_queries.get(),
+            range_queries: self.range_queries.get(),
+            bloom_negatives: self.bloom_negatives.get(),
+        }
+    }
+
+    /// Zeroes all counters.
+    pub fn reset(&self) {
+        self.seeks.set(0);
+        self.blocks_read.set(0);
+        self.cache_hits.set(0);
+        self.bytes_read.set(0);
+        self.point_queries.set(0);
+        self.range_queries.set(0);
+        self.bloom_negatives.set(0);
+    }
+}
+
+/// An upper bound on in-memory loading, in bytes.
+///
+/// `MemoryBudget::unlimited()` disables the check. A bounded budget makes
+/// `FlatFileStore::load_in_memory` (and the VCoDA baselines that load whole
+/// datasets) fail deterministically, reproducing the paper's crash rows for
+/// the Brinkhoff-scale dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    limit: Option<u64>,
+}
+
+impl MemoryBudget {
+    /// No limit.
+    pub fn unlimited() -> Self {
+        Self { limit: None }
+    }
+
+    /// Limit of `bytes`.
+    pub fn bytes(bytes: u64) -> Self {
+        Self { limit: Some(bytes) }
+    }
+
+    /// Limit expressed in MiB.
+    pub fn mib(mib: u64) -> Self {
+        Self::bytes(mib * 1024 * 1024)
+    }
+
+    /// Checks whether `needed` bytes fit; returns the budget error if not.
+    pub fn check(&self, needed: u64) -> Result<(), crate::StoreError> {
+        match self.limit {
+            Some(budget) if needed > budget => {
+                Err(crate::StoreError::MemoryBudgetExceeded { needed, budget })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The configured limit, if any.
+    pub fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+}
+
+impl Default for MemoryBudget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let c = IoCounters::new();
+        c.add_seek();
+        c.add_block_read(4096);
+        c.add_block_read(4096);
+        c.add_cache_hit();
+        c.add_point_query();
+        c.add_range_query();
+        c.add_bloom_negative();
+        let s = c.snapshot();
+        assert_eq!(s.seeks, 1);
+        assert_eq!(s.blocks_read, 2);
+        assert_eq!(s.bytes_read, 8192);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.point_queries, 1);
+        assert_eq!(s.range_queries, 1);
+        assert_eq!(s.bloom_negatives, 1);
+        c.reset();
+        assert_eq!(c.snapshot(), IoStats::default());
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let c = IoCounters::new();
+        c.add_block_read(100);
+        let early = c.snapshot();
+        c.add_block_read(100);
+        c.add_seek();
+        let diff = c.snapshot().since(&early);
+        assert_eq!(diff.blocks_read, 1);
+        assert_eq!(diff.bytes_read, 100);
+        assert_eq!(diff.seeks, 1);
+    }
+
+    #[test]
+    fn memory_budget_enforced() {
+        assert!(MemoryBudget::unlimited().check(u64::MAX).is_ok());
+        let b = MemoryBudget::bytes(1000);
+        assert!(b.check(1000).is_ok());
+        assert!(b.check(1001).is_err());
+        assert_eq!(MemoryBudget::mib(2).limit(), Some(2 * 1024 * 1024));
+    }
+}

@@ -1,0 +1,78 @@
+//! Composite-key encoding shared by the B+tree and LSM engines.
+//!
+//! §5.2 of the paper: *"we create a composite key `(t, oid)` … with the
+//! location coordinates `(x, y)` stored as the value"*. Keys are encoded
+//! big-endian so that byte-wise ordering equals `(t, oid)` ordering, which
+//! makes all data of one timestamp contiguous — a snapshot scan is a single
+//! key range.
+
+use k2_model::{Oid, Time};
+
+/// Encoded key width: `t: u32 BE` + `oid: u32 BE`.
+pub const KEY_SIZE: usize = 8;
+/// Encoded value width: `x: f64 LE` + `y: f64 LE`.
+pub const VAL_SIZE: usize = 16;
+
+/// Encodes `(t, oid)` into a big-endian composite key.
+#[inline]
+pub fn encode_key(t: Time, oid: Oid) -> [u8; KEY_SIZE] {
+    let mut k = [0u8; KEY_SIZE];
+    k[0..4].copy_from_slice(&t.to_be_bytes());
+    k[4..8].copy_from_slice(&oid.to_be_bytes());
+    k
+}
+
+/// Decodes a composite key back into `(t, oid)`.
+#[inline]
+pub fn decode_key(k: &[u8; KEY_SIZE]) -> (Time, Oid) {
+    let t = Time::from_be_bytes(k[0..4].try_into().expect("4 bytes"));
+    let oid = Oid::from_be_bytes(k[4..8].try_into().expect("4 bytes"));
+    (t, oid)
+}
+
+/// Encodes a position value `(x, y)`.
+#[inline]
+pub fn encode_val(x: f64, y: f64) -> [u8; VAL_SIZE] {
+    let mut v = [0u8; VAL_SIZE];
+    v[0..8].copy_from_slice(&x.to_le_bytes());
+    v[8..16].copy_from_slice(&y.to_le_bytes());
+    v
+}
+
+/// Decodes a position value.
+#[inline]
+pub fn decode_val(v: &[u8; VAL_SIZE]) -> (f64, f64) {
+    let x = f64::from_le_bytes(v[0..8].try_into().expect("8 bytes"));
+    let y = f64::from_le_bytes(v[8..16].try_into().expect("8 bytes"));
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_round_trip() {
+        for (t, oid) in [(0u32, 0u32), (1, 2), (u32::MAX, u32::MAX), (7, 0)] {
+            assert_eq!(decode_key(&encode_key(t, oid)), (t, oid));
+        }
+    }
+
+    #[test]
+    fn byte_order_matches_tuple_order() {
+        let pairs = [(0u32, 5u32), (0, 6), (1, 0), (1, u32::MAX), (2, 0)];
+        for w in pairs.windows(2) {
+            let a = encode_key(w[0].0, w[0].1);
+            let b = encode_key(w[1].0, w[1].1);
+            assert!(a < b, "{:?} !< {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn value_round_trip() {
+        let (x, y) = (-12.5, 1e-300);
+        let v = encode_val(x, y);
+        assert_eq!(decode_val(&v), (x, y));
+    }
+
+}

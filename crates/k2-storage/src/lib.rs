@@ -1,0 +1,144 @@
+//! # k2-storage — persistent storage structures for convoy mining
+//!
+//! §5 of the paper observes that k/2-hop needs exactly two access paths:
+//!
+//! 1. **fast snapshot scans** at benchmark points (all positions at one
+//!    timestamp), and
+//! 2. **fast random access** by `(timestamp, object id)` inside
+//!    hop-windows (only candidate objects are fetched).
+//!
+//! This crate implements, from scratch, the three storage structures the
+//! paper evaluates, all behind the [`TrajectoryStore`] trait:
+//!
+//! * [`FlatFileStore`] — sorted fixed-width records, sequential scans only
+//!   (the paper's *k2-File* loads it fully into memory, see
+//!   [`FlatFileStore::load_in_memory`]);
+//! * [`RelationalStore`] — a page-based **clustered B+tree** on the
+//!   composite key `(t, oid)` with an LRU buffer pool (the paper's
+//!   *k2-RDBMS*);
+//! * [`LsmStore`] — a **log-structured merge-tree**: in-memory memtable,
+//!   immutable SSTables with block-sparse indexes and bloom filters,
+//!   size-tiered compaction (the paper's *k2-LSMT*).
+//!
+//! Every store keeps [`IoStats`] counters (seeks, blocks, bytes, query
+//! counts) so the experiments can compare access behaviour, and loading
+//! into memory is gated by a [`MemoryBudget`] so the paper's
+//! "VCoDA/k2-File crashed on the largest dataset" rows are reproducible
+//! without exhausting real RAM.
+
+mod btree;
+mod error;
+mod flat;
+mod iostats;
+mod keys;
+mod lsm;
+mod memory;
+
+pub use btree::{BTreeConfig, RelationalStore};
+pub use error::{StoreError, StoreResult};
+pub use flat::FlatFileStore;
+pub use iostats::{IoStats, MemoryBudget};
+pub use keys::{decode_key, decode_val, encode_key, encode_val, KEY_SIZE, VAL_SIZE};
+pub use lsm::{BloomFilter, LsmConfig, LsmStore, SsTableReader, SsTableWriter};
+pub use memory::InMemoryStore;
+
+use k2_model::{ObjPos, Oid, Time, TimeInterval};
+
+/// Read-side interface shared by every storage engine.
+///
+/// All methods take `&self`; engines use interior mutability for buffer
+/// pools and statistics so that the mining algorithms can hold a single
+/// shared reference.
+pub trait TrajectoryStore {
+    /// The dataset's time span `[Ts, Te]`.
+    fn span(&self) -> TimeInterval;
+
+    /// Total number of movement records.
+    fn num_points(&self) -> u64;
+
+    /// All object positions at timestamp `t`, sorted by object id.
+    ///
+    /// This is the benchmark-point access path (access requirement 1 of
+    /// §5). Returns an empty vector for timestamps outside the span.
+    fn scan_snapshot(&self, t: Time) -> StoreResult<Vec<ObjPos>>;
+
+    /// Positions of the given objects at timestamp `t` (`DB[t]|O`).
+    ///
+    /// `oids` must be sorted ascending. This is the hop-window access path
+    /// (requirement 2): engines are free to implement it as point queries
+    /// (the paper's LSMT formulation) or sorted probes.
+    fn multi_get(&self, t: Time, oids: &[Oid]) -> StoreResult<Vec<ObjPos>>;
+
+    /// Position of one object at one timestamp.
+    fn point_get(&self, t: Time, oid: Oid) -> StoreResult<Option<ObjPos>>;
+
+    /// Snapshot of the I/O counters.
+    fn io_stats(&self) -> IoStats;
+
+    /// Resets the I/O counters to zero.
+    fn reset_io_stats(&self);
+
+    /// Human-readable engine name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    //! Engine-agnostic conformance tests, run against every store.
+    use super::*;
+    use k2_model::{Dataset, Point};
+
+    pub(crate) fn toy_dataset() -> Dataset {
+        let mut pts = Vec::new();
+        for t in 0..50u32 {
+            for oid in 0..20u32 {
+                // Objects 0..5 travel together; rest wander apart.
+                let (x, y) = if oid < 5 {
+                    (t as f64, oid as f64 * 0.1)
+                } else {
+                    (oid as f64 * 10.0 + t as f64 * 0.5, 100.0 + oid as f64)
+                };
+                pts.push(Point::new(oid, x, y, t));
+            }
+        }
+        Dataset::from_points(&pts).unwrap()
+    }
+
+    pub(crate) fn conformance<S: TrajectoryStore>(store: &S, reference: &Dataset) {
+        assert_eq!(store.span(), reference.span());
+        assert_eq!(store.num_points(), reference.num_points());
+
+        // Snapshot scans agree with the reference dataset.
+        for t in [0u32, 1, 25, 49] {
+            let got = store.scan_snapshot(t).unwrap();
+            let want = reference.snapshot(t).unwrap().positions();
+            assert_eq!(got, want, "snapshot {t} mismatch for {}", store.name());
+        }
+        // Outside the span: empty.
+        assert!(store.scan_snapshot(1000).unwrap().is_empty());
+
+        // Point gets.
+        let want = *reference.snapshot(25).unwrap().get(3).unwrap();
+        assert_eq!(store.point_get(25, 3).unwrap(), Some(want));
+        assert_eq!(store.point_get(25, 999).unwrap(), None);
+        assert_eq!(store.point_get(1000, 3).unwrap(), None);
+
+        // Multi gets (sorted oids, some absent).
+        let got = store.multi_get(10, &[1, 3, 999]).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].oid, 1);
+        assert_eq!(got[1].oid, 3);
+
+        // I/O stats move and reset.
+        store.reset_io_stats();
+        let _ = store.scan_snapshot(25).unwrap();
+        let after = store.io_stats();
+        assert!(
+            after.range_queries >= 1,
+            "{}: scan must be counted",
+            store.name()
+        );
+        store.reset_io_stats();
+        assert_eq!(store.io_stats().range_queries, 0);
+    }
+}

@@ -1,0 +1,519 @@
+//! Immutable sorted-string tables.
+//!
+//! An SSTable is one sorted run of `(key, value)` entries:
+//!
+//! ```text
+//! ┌──────────────┬──────────────┬───────┬────────┐
+//! │ data blocks  │ sparse index │ bloom │ footer │
+//! └──────────────┴──────────────┴───────┴────────┘
+//! data block: up to 4096 bytes of 24-byte entries (key u64 BE-order, x, y)
+//! index row:  first_key u64 | offset u64 | len u32
+//! footer:     index_off u64 | index_len u64 | bloom_off u64 | bloom_len u64
+//!             | num_entries u64 | magic "K2SS"
+//! ```
+//!
+//! The sparse index and bloom filter are small and held in memory; data
+//! blocks are fetched through a shared [`BlockCache`].
+
+use super::bloom::BloomFilter;
+use crate::iostats::IoCounters;
+use crate::keys::VAL_SIZE;
+use crate::{StoreError, StoreResult};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+/// Data-block payload size in bytes.
+pub const BLOCK_SIZE: usize = 4096;
+/// Entry width: 8-byte key + 16-byte value.
+pub const ENTRY_SIZE: usize = 8 + VAL_SIZE;
+
+const MAGIC: &[u8; 4] = b"K2SS";
+const FOOTER_SIZE: usize = 8 * 5 + 4;
+
+/// Cache key: `(table id, block number)`.
+type CacheKey = (u64, u32);
+/// Cached block plus its last-used tick.
+type CacheSlot = (Rc<[u8]>, u64);
+
+/// Shared LRU cache of decoded data blocks, keyed by `(table id, block #)`.
+#[derive(Debug)]
+pub struct BlockCache {
+    cap: usize,
+    tick: u64,
+    blocks: HashMap<CacheKey, CacheSlot>,
+}
+
+impl BlockCache {
+    /// Cache holding at most `cap` blocks.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(8),
+            tick: 0,
+            blocks: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: CacheKey) -> Option<Rc<[u8]>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.blocks.get_mut(&key).map(|(b, used)| {
+            *used = tick;
+            b.clone()
+        })
+    }
+
+    fn insert(&mut self, key: CacheKey, block: Rc<[u8]>) {
+        self.tick += 1;
+        if self.blocks.len() >= self.cap {
+            if let Some((&victim, _)) = self.blocks.iter().min_by_key(|(_, (_, used))| *used) {
+                self.blocks.remove(&victim);
+            }
+        }
+        self.blocks.insert(key, (block, self.tick));
+    }
+
+    /// Drops every cached block belonging to table `id` (after compaction).
+    pub fn evict_table(&mut self, id: u64) {
+        self.blocks.retain(|(t, _), _| *t != id);
+    }
+}
+
+/// Streaming writer producing one SSTable from keys fed in ascending order.
+pub struct SsTableWriter {
+    path: PathBuf,
+    out: BufWriter<File>,
+    block: Vec<u8>,
+    block_first_key: Option<u64>,
+    index: Vec<(u64, u64, u32)>,
+    bloom: BloomFilter,
+    offset: u64,
+    num_entries: u64,
+    last_key: Option<u64>,
+}
+
+impl SsTableWriter {
+    /// Creates a writer; `expected_entries` sizes the bloom filter.
+    pub fn create(
+        path: impl AsRef<Path>,
+        expected_entries: usize,
+        bloom_bits_per_key: usize,
+    ) -> StoreResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        let out = BufWriter::new(File::create(&path)?);
+        Ok(Self {
+            path,
+            out,
+            block: Vec::with_capacity(BLOCK_SIZE),
+            block_first_key: None,
+            index: Vec::new(),
+            bloom: BloomFilter::with_capacity(expected_entries, bloom_bits_per_key),
+            offset: 0,
+            num_entries: 0,
+            last_key: None,
+        })
+    }
+
+    /// Appends an entry; keys must arrive in strictly increasing order.
+    pub fn add(&mut self, key: u64, val: &[u8; VAL_SIZE]) -> StoreResult<()> {
+        if let Some(last) = self.last_key {
+            if key <= last {
+                return Err(StoreError::Corrupt(format!(
+                    "SSTable keys out of order: {key} after {last}"
+                )));
+            }
+        }
+        self.last_key = Some(key);
+        if self.block_first_key.is_none() {
+            self.block_first_key = Some(key);
+        }
+        self.block.extend_from_slice(&key.to_be_bytes());
+        self.block.extend_from_slice(val);
+        self.num_entries += 1;
+        if self.block.len() + ENTRY_SIZE > BLOCK_SIZE {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> StoreResult<()> {
+        if self.block.is_empty() {
+            return Ok(());
+        }
+        let first = self.block_first_key.expect("non-empty block");
+        self.index.push((first, self.offset, self.block.len() as u32));
+        self.out.write_all(&self.block)?;
+        self.offset += self.block.len() as u64;
+        self.block.clear();
+        self.block_first_key = None;
+        Ok(())
+    }
+
+    /// Records a key in the bloom filter (done automatically by `add`;
+    /// exposed for tests).
+    pub fn note_bloom(&mut self, key: u64) {
+        self.bloom.insert(key);
+    }
+
+    /// Finishes the table: writes index, bloom and footer.
+    pub fn finish(mut self) -> StoreResult<PathBuf> {
+        self.flush_block()?;
+        let index_off = self.offset;
+        let mut index_bytes = Vec::with_capacity(self.index.len() * 20);
+        for (first, off, len) in &self.index {
+            index_bytes.extend_from_slice(&first.to_be_bytes());
+            index_bytes.extend_from_slice(&off.to_le_bytes());
+            index_bytes.extend_from_slice(&len.to_le_bytes());
+        }
+        self.out.write_all(&index_bytes)?;
+        let bloom_off = index_off + index_bytes.len() as u64;
+        let bloom_bytes = self.bloom.to_bytes();
+        self.out.write_all(&bloom_bytes)?;
+        let mut footer = Vec::with_capacity(FOOTER_SIZE);
+        footer.extend_from_slice(&index_off.to_le_bytes());
+        footer.extend_from_slice(&(index_bytes.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&bloom_off.to_le_bytes());
+        footer.extend_from_slice(&(bloom_bytes.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&self.num_entries.to_le_bytes());
+        footer.extend_from_slice(MAGIC);
+        self.out.write_all(&footer)?;
+        self.out.flush()?;
+        self.out.get_ref().sync_all()?;
+        Ok(self.path)
+    }
+}
+
+impl SsTableWriter {
+    /// Convenience: `add` + bloom in one call (the normal write path).
+    pub fn put(&mut self, key: u64, val: &[u8; VAL_SIZE]) -> StoreResult<()> {
+        self.bloom.insert(key);
+        self.add(key, val)
+    }
+}
+
+/// Reader over one immutable SSTable.
+#[derive(Debug)]
+pub struct SsTableReader {
+    id: u64,
+    file: File,
+    index: Vec<(u64, u64, u32)>,
+    bloom: BloomFilter,
+    num_entries: u64,
+    cache: Rc<RefCell<BlockCache>>,
+    io: Rc<IoCounters>,
+}
+
+impl SsTableReader {
+    /// Opens a table; `id` must be unique per open store (cache keying).
+    pub fn open(
+        path: impl AsRef<Path>,
+        id: u64,
+        cache: Rc<RefCell<BlockCache>>,
+        io: Rc<IoCounters>,
+    ) -> StoreResult<Self> {
+        let file = File::open(path.as_ref())?;
+        let len = file.metadata()?.len();
+        if len < FOOTER_SIZE as u64 {
+            return Err(StoreError::Corrupt("SSTable too small".into()));
+        }
+        let mut footer = [0u8; FOOTER_SIZE];
+        file.read_exact_at(&mut footer, len - FOOTER_SIZE as u64)?;
+        if &footer[40..44] != MAGIC {
+            return Err(StoreError::Corrupt("bad SSTable magic".into()));
+        }
+        let index_off = u64::from_le_bytes(footer[0..8].try_into().expect("8"));
+        let index_len = u64::from_le_bytes(footer[8..16].try_into().expect("8"));
+        let bloom_off = u64::from_le_bytes(footer[16..24].try_into().expect("8"));
+        let bloom_len = u64::from_le_bytes(footer[24..32].try_into().expect("8"));
+        let num_entries = u64::from_le_bytes(footer[32..40].try_into().expect("8"));
+
+        let mut index_bytes = vec![0u8; index_len as usize];
+        file.read_exact_at(&mut index_bytes, index_off)?;
+        if index_len % 20 != 0 {
+            return Err(StoreError::Corrupt("bad SSTable index length".into()));
+        }
+        let index = index_bytes
+            .chunks_exact(20)
+            .map(|row| {
+                let first = u64::from_be_bytes(row[0..8].try_into().expect("8"));
+                let off = u64::from_le_bytes(row[8..16].try_into().expect("8"));
+                let blen = u32::from_le_bytes(row[16..20].try_into().expect("4"));
+                (first, off, blen)
+            })
+            .collect();
+
+        let mut bloom_bytes = vec![0u8; bloom_len as usize];
+        file.read_exact_at(&mut bloom_bytes, bloom_off)?;
+        let bloom = BloomFilter::from_bytes(&bloom_bytes)
+            .ok_or_else(|| StoreError::Corrupt("bad SSTable bloom filter".into()))?;
+
+        Ok(Self {
+            id,
+            file,
+            index,
+            bloom,
+            num_entries,
+            cache,
+            io,
+        })
+    }
+
+    /// Number of entries in the table.
+    pub fn num_entries(&self) -> u64 {
+        self.num_entries
+    }
+
+    /// Smallest key in the table (`None` for an empty table).
+    pub fn min_key(&self) -> Option<u64> {
+        self.index.first().map(|&(first, _, _)| first)
+    }
+
+    /// May `key` be present according to the bloom filter?
+    pub fn may_contain(&self, key: u64) -> bool {
+        self.bloom.may_contain(key)
+    }
+
+    /// Index of the block that could contain `key` (last block whose first
+    /// key is `<= key`), or `None` if `key` precedes the table.
+    fn block_for(&self, key: u64) -> Option<usize> {
+        let pos = self.index.partition_point(|&(first, _, _)| first <= key);
+        pos.checked_sub(1)
+    }
+
+    fn read_block(&self, block_idx: usize) -> StoreResult<Rc<[u8]>> {
+        let cache_key = (self.id, block_idx as u32);
+        if let Some(b) = self.cache.borrow_mut().get(cache_key) {
+            self.io.add_cache_hit();
+            return Ok(b);
+        }
+        let (_, off, len) = self.index[block_idx];
+        let mut buf = vec![0u8; len as usize];
+        self.file.read_exact_at(&mut buf, off)?;
+        self.io.add_seek();
+        self.io.add_block_read(len as u64);
+        let block: Rc<[u8]> = buf.into();
+        self.cache.borrow_mut().insert(cache_key, block.clone());
+        Ok(block)
+    }
+
+    /// Point lookup. Consults the bloom filter first.
+    pub fn get(&self, key: u64) -> StoreResult<Option<[u8; VAL_SIZE]>> {
+        if !self.bloom.may_contain(key) {
+            self.io.add_bloom_negative();
+            return Ok(None);
+        }
+        let Some(bi) = self.block_for(key) else {
+            return Ok(None);
+        };
+        let block = self.read_block(bi)?;
+        let n = block.len() / ENTRY_SIZE;
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let off = mid * ENTRY_SIZE;
+            let k = u64::from_be_bytes(block[off..off + 8].try_into().expect("8"));
+            match k.cmp(&key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => {
+                    let val: [u8; VAL_SIZE] =
+                        block[off + 8..off + ENTRY_SIZE].try_into().expect("val");
+                    return Ok(Some(val));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Cursor positioned at the first entry with key `>= key`.
+    pub fn iter_from(&self, key: u64) -> SsTableIter<'_> {
+        let (block_idx, entry_idx) = match self.block_for(key) {
+            None => (0, 0),
+            Some(bi) => (bi, usize::MAX), // entry index resolved lazily
+        };
+        SsTableIter {
+            table: self,
+            block_idx,
+            entry_idx,
+            seek_key: key,
+            current: None,
+        }
+    }
+}
+
+/// Forward cursor over an SSTable.
+pub struct SsTableIter<'a> {
+    table: &'a SsTableReader,
+    block_idx: usize,
+    entry_idx: usize,
+    seek_key: u64,
+    current: Option<Rc<[u8]>>,
+}
+
+impl SsTableIter<'_> {
+    /// Next entry, or `None` at end of table.
+    pub fn next(&mut self) -> StoreResult<Option<(u64, [u8; VAL_SIZE])>> {
+        loop {
+            if self.block_idx >= self.table.index.len() {
+                return Ok(None);
+            }
+            if self.current.is_none() {
+                let block = self.table.read_block(self.block_idx)?;
+                if self.entry_idx == usize::MAX {
+                    // First positioning: binary search for seek_key.
+                    let n = block.len() / ENTRY_SIZE;
+                    let mut lo = 0usize;
+                    let mut hi = n;
+                    while lo < hi {
+                        let mid = (lo + hi) / 2;
+                        let off = mid * ENTRY_SIZE;
+                        let k = u64::from_be_bytes(block[off..off + 8].try_into().expect("8"));
+                        if k < self.seek_key {
+                            lo = mid + 1;
+                        } else {
+                            hi = mid;
+                        }
+                    }
+                    self.entry_idx = lo;
+                }
+                self.current = Some(block);
+            }
+            let block = self.current.as_ref().expect("set above");
+            let n = block.len() / ENTRY_SIZE;
+            if self.entry_idx >= n {
+                self.block_idx += 1;
+                self.entry_idx = 0;
+                self.current = None;
+                continue;
+            }
+            let off = self.entry_idx * ENTRY_SIZE;
+            let k = u64::from_be_bytes(block[off..off + 8].try_into().expect("8"));
+            let val: [u8; VAL_SIZE] = block[off + 8..off + ENTRY_SIZE].try_into().expect("val");
+            self.entry_idx += 1;
+            return Ok(Some((k, val)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("k2sst-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(name)
+    }
+
+    fn fixtures() -> (Rc<RefCell<BlockCache>>, Rc<IoCounters>) {
+        (
+            Rc::new(RefCell::new(BlockCache::new(64))),
+            Rc::new(IoCounters::new()),
+        )
+    }
+
+    fn build(name: &str, keys: impl Iterator<Item = u64>) -> PathBuf {
+        let path = tmp(name);
+        let mut w = SsTableWriter::create(&path, 1024, 10).unwrap();
+        for k in keys {
+            let val = [(k % 251) as u8; VAL_SIZE];
+            w.put(k, &val).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let path = build("roundtrip.k2ss", (0..5000u64).map(|i| i * 3));
+        let (cache, io) = fixtures();
+        let r = SsTableReader::open(&path, 1, cache, io).unwrap();
+        assert_eq!(r.num_entries(), 5000);
+        assert_eq!(r.min_key(), Some(0));
+        for k in [0u64, 3, 2997, 14997] {
+            let v = r.get(k).unwrap().unwrap();
+            assert_eq!(v[0], (k % 251) as u8);
+        }
+        assert_eq!(r.get(1).unwrap(), None);
+        assert_eq!(r.get(15000).unwrap(), None);
+    }
+
+    #[test]
+    fn out_of_order_keys_rejected() {
+        let mut w = SsTableWriter::create(tmp("order.k2ss"), 16, 10).unwrap();
+        w.put(10, &[0; VAL_SIZE]).unwrap();
+        assert!(w.put(10, &[0; VAL_SIZE]).is_err());
+        assert!(w.put(5, &[0; VAL_SIZE]).is_err());
+    }
+
+    #[test]
+    fn iter_from_scans_in_order() {
+        let path = build("iter.k2ss", (0..1000u64).map(|i| i * 2));
+        let (cache, io) = fixtures();
+        let r = SsTableReader::open(&path, 2, cache, io).unwrap();
+        // Seek to key 501 -> first entry 502.
+        let mut it = r.iter_from(501);
+        let mut prev = None;
+        let mut count = 0;
+        while let Some((k, _)) = it.next().unwrap() {
+            if let Some(p) = prev {
+                assert!(k > p);
+            }
+            prev = Some(k);
+            count += 1;
+        }
+        assert_eq!(count, 1000 - 251);
+        assert_eq!(prev, Some(1998));
+    }
+
+    #[test]
+    fn iter_from_before_table_start() {
+        let path = build("iterstart.k2ss", 100..200u64);
+        let (cache, io) = fixtures();
+        let r = SsTableReader::open(&path, 3, cache, io).unwrap();
+        let mut it = r.iter_from(0);
+        assert_eq!(it.next().unwrap().unwrap().0, 100);
+    }
+
+    #[test]
+    fn bloom_filter_skips_absent_keys() {
+        let path = build("bloom.k2ss", (0..1000u64).map(|i| i * 1000));
+        let (cache, io) = fixtures();
+        let r = SsTableReader::open(&path, 4, cache, io.clone()).unwrap();
+        let mut skipped = 0;
+        for k in 1..500u64 {
+            // Keys not multiples of 1000: mostly bloom-rejected.
+            let _ = r.get(k * 1000 + 1).unwrap();
+        }
+        skipped += io.snapshot().bloom_negatives;
+        assert!(skipped > 400, "bloom skipped only {skipped}");
+    }
+
+    #[test]
+    fn block_cache_hits_on_repeat_reads() {
+        let path = build("cache.k2ss", 0..100u64);
+        let (cache, io) = fixtures();
+        let r = SsTableReader::open(&path, 5, cache, io.clone()).unwrap();
+        let _ = r.get(50).unwrap();
+        let before = io.snapshot();
+        let _ = r.get(51).unwrap();
+        let after = io.snapshot().since(&before);
+        assert_eq!(after.blocks_read, 0);
+        assert!(after.cache_hits >= 1);
+    }
+
+    #[test]
+    fn corrupt_footer_rejected() {
+        let path = tmp("corrupt.k2ss");
+        std::fs::write(&path, vec![7u8; 100]).unwrap();
+        let (cache, io) = fixtures();
+        assert!(matches!(
+            SsTableReader::open(&path, 6, cache, io),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+}

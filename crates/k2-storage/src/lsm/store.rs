@@ -1,0 +1,617 @@
+//! The LSM-tree store: memtable + SSTables + compaction + manifest.
+
+use super::sstable::{BlockCache, SsTableIter, SsTableReader, SsTableWriter};
+use crate::iostats::IoCounters;
+use crate::keys::VAL_SIZE;
+use crate::{IoStats, StoreError, StoreResult, TrajectoryStore};
+use k2_model::{Dataset, ObjPos, Oid, Point, Time, TimeInterval};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+const MANIFEST: &str = "MANIFEST";
+const MANIFEST_HEADER: &str = "K2LSMT v1";
+
+/// Tuning knobs for [`LsmStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct LsmConfig {
+    /// Memtable capacity in entries before an automatic flush.
+    pub memtable_entries: usize,
+    /// Bloom-filter budget in bits per key.
+    pub bloom_bits_per_key: usize,
+    /// Size-tiered compaction trigger: compact when the number of SSTables
+    /// exceeds this.
+    pub max_tables: usize,
+    /// Shared block-cache capacity in blocks.
+    pub cache_blocks: usize,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        Self {
+            memtable_entries: 1 << 16,
+            bloom_bits_per_key: 10,
+            max_tables: 8,
+            cache_blocks: 256,
+        }
+    }
+}
+
+/// Composite key as an integer: ordering equals `(t, oid)` ordering.
+#[inline]
+fn key_of(t: Time, oid: Oid) -> u64 {
+    ((t as u64) << 32) | oid as u64
+}
+
+#[inline]
+fn key_parts(key: u64) -> (Time, Oid) {
+    ((key >> 32) as Time, key as Oid)
+}
+
+#[inline]
+fn val_of(x: f64, y: f64) -> [u8; VAL_SIZE] {
+    crate::keys::encode_val(x, y)
+}
+
+#[inline]
+fn val_parts(v: &[u8; VAL_SIZE]) -> (f64, f64) {
+    crate::keys::decode_val(v)
+}
+
+/// A log-structured merge-tree over `(t, oid) → (x, y)`.
+///
+/// See the `k2_storage::lsm` module docs for the design. Writes go to
+/// [`LsmStore::insert`]; durability is established by [`LsmStore::flush`]
+/// (there is no write-ahead log — the workload of the paper is bulk load
+/// followed by read-only mining).
+///
+/// ```
+/// use k2_storage::{LsmStore, TrajectoryStore};
+/// use k2_model::Point;
+///
+/// let dir = std::env::temp_dir().join(format!("lsm-doc-{}", std::process::id()));
+/// let _ = std::fs::remove_dir_all(&dir);
+/// let mut store = LsmStore::create(&dir)?;
+/// store.insert(Point::new(1, 2.0, 3.0, 0))?;
+/// store.insert(Point::new(2, 2.5, 3.0, 0))?;
+/// store.flush()?;
+/// assert_eq!(store.scan_snapshot(0)?.len(), 2);
+/// assert_eq!(store.point_get(0, 1)?.unwrap().x, 2.0);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok::<(), k2_storage::StoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct LsmStore {
+    dir: PathBuf,
+    config: LsmConfig,
+    memtable: BTreeMap<u64, [u8; VAL_SIZE]>,
+    /// Oldest first; index position is the recency rank.
+    tables: Vec<SsTableReader>,
+    table_files: Vec<String>,
+    next_seq: u64,
+    next_cache_id: u64,
+    cache: Rc<RefCell<BlockCache>>,
+    io: Rc<IoCounters>,
+    span: Option<(Time, Time)>,
+}
+
+impl LsmStore {
+    /// Creates an empty store in (a fresh or empty) directory `dir`.
+    pub fn create(dir: impl AsRef<Path>) -> StoreResult<Self> {
+        Self::create_with(dir, LsmConfig::default())
+    }
+
+    /// Creates with explicit configuration.
+    pub fn create_with(dir: impl AsRef<Path>, config: LsmConfig) -> StoreResult<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let store = Self {
+            dir,
+            config,
+            memtable: BTreeMap::new(),
+            tables: Vec::new(),
+            table_files: Vec::new(),
+            next_seq: 1,
+            next_cache_id: 1,
+            cache: Rc::new(RefCell::new(BlockCache::new(config.cache_blocks))),
+            io: Rc::new(IoCounters::new()),
+            span: None,
+        };
+        store.write_manifest()?;
+        Ok(store)
+    }
+
+    /// Opens an existing store directory.
+    pub fn open(dir: impl AsRef<Path>) -> StoreResult<Self> {
+        Self::open_with(dir, LsmConfig::default())
+    }
+
+    /// Opens with explicit configuration.
+    pub fn open_with(dir: impl AsRef<Path>, config: LsmConfig) -> StoreResult<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let manifest = fs::read_to_string(dir.join(MANIFEST))?;
+        let mut lines = manifest.lines();
+        if lines.next() != Some(MANIFEST_HEADER) {
+            return Err(StoreError::Corrupt("bad manifest header".into()));
+        }
+        let span = match lines.next() {
+            Some("span none") => None,
+            Some(line) => {
+                let mut it = line
+                    .strip_prefix("span ")
+                    .ok_or_else(|| StoreError::Corrupt("missing span line".into()))?
+                    .split_whitespace();
+                let lo = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| StoreError::Corrupt("bad span".into()))?;
+                let hi = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| StoreError::Corrupt("bad span".into()))?;
+                Some((lo, hi))
+            }
+            None => return Err(StoreError::Corrupt("missing span line".into())),
+        };
+        let cache = Rc::new(RefCell::new(BlockCache::new(config.cache_blocks)));
+        let io = Rc::new(IoCounters::new());
+        let mut tables = Vec::new();
+        let mut table_files = Vec::new();
+        let mut next_seq = 1;
+        let mut next_cache_id = 1;
+        for name in lines {
+            let name = name.trim();
+            if name.is_empty() {
+                continue;
+            }
+            let reader =
+                SsTableReader::open(dir.join(name), next_cache_id, cache.clone(), io.clone())?;
+            next_cache_id += 1;
+            if let Some(seq) = name
+                .strip_prefix("sst-")
+                .and_then(|s| s.strip_suffix(".k2ss"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                next_seq = next_seq.max(seq + 1);
+            }
+            tables.push(reader);
+            table_files.push(name.to_string());
+        }
+        Ok(Self {
+            dir,
+            config,
+            memtable: BTreeMap::new(),
+            tables,
+            table_files,
+            next_seq,
+            next_cache_id,
+            cache,
+            io,
+            span,
+        })
+    }
+
+    /// Bulk-loads a dataset: inserts every record and flushes.
+    pub fn bulk_load(dir: impl AsRef<Path>, dataset: &Dataset) -> StoreResult<Self> {
+        Self::bulk_load_with(dir, dataset, LsmConfig::default())
+    }
+
+    /// Bulk-load with explicit configuration.
+    pub fn bulk_load_with(
+        dir: impl AsRef<Path>,
+        dataset: &Dataset,
+        config: LsmConfig,
+    ) -> StoreResult<Self> {
+        let mut store = Self::create_with(dir, config)?;
+        for p in dataset.iter_points() {
+            store.insert(p)?;
+        }
+        store.flush()?;
+        Ok(store)
+    }
+
+    /// Inserts one record; may trigger an automatic memtable flush.
+    pub fn insert(&mut self, p: Point) -> StoreResult<()> {
+        self.memtable.insert(key_of(p.t, p.oid), val_of(p.x, p.y));
+        self.span = Some(match self.span {
+            None => (p.t, p.t),
+            Some((lo, hi)) => (lo.min(p.t), hi.max(p.t)),
+        });
+        if self.memtable.len() >= self.config.memtable_entries {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the memtable to a new SSTable (no-op when empty), then runs
+    /// compaction if the table count exceeds the configured threshold.
+    pub fn flush(&mut self) -> StoreResult<()> {
+        if self.memtable.is_empty() {
+            return Ok(());
+        }
+        let name = format!("sst-{:06}.k2ss", self.next_seq);
+        self.next_seq += 1;
+        let path = self.dir.join(&name);
+        let mut w =
+            SsTableWriter::create(&path, self.memtable.len(), self.config.bloom_bits_per_key)?;
+        for (&k, v) in &self.memtable {
+            w.put(k, v)?;
+        }
+        w.finish()?;
+        let reader = SsTableReader::open(
+            &path,
+            self.next_cache_id,
+            self.cache.clone(),
+            self.io.clone(),
+        )?;
+        self.next_cache_id += 1;
+        self.tables.push(reader);
+        self.table_files.push(name);
+        self.memtable.clear();
+        self.write_manifest()?;
+        if self.tables.len() > self.config.max_tables {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Size-tiered full compaction: merges every SSTable into one run
+    /// (newest version of each key wins) and deletes the inputs.
+    pub fn compact(&mut self) -> StoreResult<()> {
+        if self.tables.len() <= 1 {
+            return Ok(());
+        }
+        let name = format!("sst-{:06}.k2ss", self.next_seq);
+        self.next_seq += 1;
+        let path = self.dir.join(&name);
+        let total: u64 = self.tables.iter().map(|t| t.num_entries()).sum();
+        let mut w = SsTableWriter::create(&path, total as usize, self.config.bloom_bits_per_key)?;
+        {
+            let mut merge = MergeIter::over_tables(&self.tables, 0)?;
+            while let Some((k, v)) = merge.next()? {
+                w.put(k, &v)?;
+            }
+        }
+        w.finish()?;
+        // Swap in the merged table.
+        let old_files = std::mem::take(&mut self.table_files);
+        self.tables.clear();
+        {
+            let mut cache = self.cache.borrow_mut();
+            for id in 0..self.next_cache_id {
+                cache.evict_table(id);
+            }
+        }
+        let reader = SsTableReader::open(
+            &path,
+            self.next_cache_id,
+            self.cache.clone(),
+            self.io.clone(),
+        )?;
+        self.next_cache_id += 1;
+        self.tables.push(reader);
+        self.table_files.push(name);
+        self.write_manifest()?;
+        for f in old_files {
+            let _ = fs::remove_file(self.dir.join(f));
+        }
+        Ok(())
+    }
+
+    /// Number of on-disk SSTables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Entries currently buffered in the memtable.
+    pub fn memtable_len(&self) -> usize {
+        self.memtable.len()
+    }
+
+    /// Storage directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn write_manifest(&self) -> StoreResult<()> {
+        let tmp = self.dir.join("MANIFEST.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            writeln!(f, "{MANIFEST_HEADER}")?;
+            match self.span {
+                Some((lo, hi)) => writeln!(f, "span {lo} {hi}")?,
+                None => writeln!(f, "span none")?,
+            }
+            for name in &self.table_files {
+                writeln!(f, "{name}")?;
+            }
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.dir.join(MANIFEST))?;
+        Ok(())
+    }
+
+    /// Merged range scan over `[lo, hi]`, newest version winning.
+    fn scan_merged(&self, lo: u64, hi: u64) -> StoreResult<Vec<(u64, [u8; VAL_SIZE])>> {
+        let mut merge = MergeIter::over_tables_from(&self.tables, lo)?;
+        merge.add_memtable(self.memtable.range(lo..=hi));
+        let mut out = Vec::new();
+        while let Some((k, v)) = merge.next()? {
+            if k > hi {
+                break;
+            }
+            out.push((k, v));
+        }
+        Ok(out)
+    }
+}
+
+/// K-way merging cursor over SSTable iterators plus an optional memtable
+/// range. Sources are ranked by recency (higher = newer); for duplicate
+/// keys only the newest version is emitted.
+type Entry = (u64, [u8; VAL_SIZE]);
+type MemRange<'a> = std::collections::btree_map::Range<'a, u64, [u8; VAL_SIZE]>;
+
+struct MergeIter<'a> {
+    /// `(rank, head, cursor)`; rank of the memtable is `usize::MAX`.
+    tables: Vec<(usize, Option<Entry>, SsTableIter<'a>)>,
+    mem: Option<(MemRange<'a>, Option<Entry>)>,
+}
+
+impl<'a> MergeIter<'a> {
+    fn over_tables(tables: &'a [SsTableReader], from: u64) -> StoreResult<Self> {
+        Self::over_tables_from(tables, from)
+    }
+
+    fn over_tables_from(tables: &'a [SsTableReader], from: u64) -> StoreResult<Self> {
+        let mut v = Vec::with_capacity(tables.len());
+        for (rank, t) in tables.iter().enumerate() {
+            let mut it = t.iter_from(from);
+            let head = it.next()?;
+            v.push((rank, head, it));
+        }
+        Ok(Self {
+            tables: v,
+            mem: None,
+        })
+    }
+
+    fn add_memtable(&mut self, mut range: MemRange<'a>) {
+        let head = range.next().map(|(&k, v)| (k, *v));
+        self.mem = Some((range, head));
+    }
+
+    fn next(&mut self) -> StoreResult<Option<Entry>> {
+        // Minimum key across all heads.
+        let mut min_key: Option<u64> = None;
+        for (_, head, _) in &self.tables {
+            if let Some((k, _)) = head {
+                min_key = Some(min_key.map_or(*k, |m: u64| m.min(*k)));
+            }
+        }
+        if let Some((_, Some((k, _)))) = &self.mem {
+            min_key = Some(min_key.map_or(*k, |m: u64| m.min(*k)));
+        }
+        let Some(key) = min_key else {
+            return Ok(None);
+        };
+        // Newest version wins: memtable beats tables; later tables beat
+        // earlier ones.
+        let mut best: Option<(usize, [u8; VAL_SIZE])> = None;
+        for (rank, head, it) in &mut self.tables {
+            if head.map(|(k, _)| k) == Some(key) {
+                let (_, v) = head.expect("checked above");
+                if best.is_none_or(|(r, _)| *rank > r) {
+                    best = Some((*rank, v));
+                }
+                *head = it.next()?;
+            }
+        }
+        if let Some((range, head)) = &mut self.mem {
+            if head.map(|(k, _)| k) == Some(key) {
+                let (_, v) = head.expect("checked above");
+                best = Some((usize::MAX, v));
+                *head = range.next().map(|(&k, v)| (k, *v));
+            }
+        }
+        Ok(best.map(|(_, v)| (key, v)))
+    }
+}
+
+impl TrajectoryStore for LsmStore {
+    fn span(&self) -> TimeInterval {
+        match self.span {
+            Some((lo, hi)) => TimeInterval::new(lo, hi),
+            None => TimeInterval::instant(0),
+        }
+    }
+
+    fn num_points(&self) -> u64 {
+        // Counts versions, not unique keys; exact for the append-only
+        // workloads of the experiments.
+        self.tables.iter().map(|t| t.num_entries()).sum::<u64>() + self.memtable.len() as u64
+    }
+
+    fn scan_snapshot(&self, t: Time) -> StoreResult<Vec<ObjPos>> {
+        self.io.add_range_query();
+        let entries = self.scan_merged(key_of(t, 0), key_of(t, Oid::MAX))?;
+        Ok(entries
+            .into_iter()
+            .map(|(k, v)| {
+                let (_, oid) = key_parts(k);
+                let (x, y) = val_parts(&v);
+                ObjPos::new(oid, x, y)
+            })
+            .collect())
+    }
+
+    fn multi_get(&self, t: Time, oids: &[Oid]) -> StoreResult<Vec<ObjPos>> {
+        debug_assert!(oids.windows(2).all(|w| w[0] < w[1]));
+        // §5.2: "for fetching the data for HWMT, a point query is issued
+        // for each (timestamp, oid) pair."
+        let mut out = Vec::with_capacity(oids.len());
+        for &oid in oids {
+            if let Some(p) = self.point_get(t, oid)? {
+                out.push(p);
+            }
+        }
+        Ok(out)
+    }
+
+    fn point_get(&self, t: Time, oid: Oid) -> StoreResult<Option<ObjPos>> {
+        self.io.add_point_query();
+        let key = key_of(t, oid);
+        if let Some(v) = self.memtable.get(&key) {
+            let (x, y) = val_parts(v);
+            return Ok(Some(ObjPos::new(oid, x, y)));
+        }
+        for table in self.tables.iter().rev() {
+            if let Some(v) = table.get(key)? {
+                let (x, y) = val_parts(&v);
+                return Ok(Some(ObjPos::new(oid, x, y)));
+            }
+        }
+        Ok(None)
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.io.snapshot()
+    }
+
+    fn reset_io_stats(&self) {
+        self.io.reset()
+    }
+
+    fn name(&self) -> &'static str {
+        "k2-lsmt"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trait_tests::{conformance, toy_dataset};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("k2lsm-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn conforms_to_trait_contract() {
+        let d = toy_dataset();
+        let store = LsmStore::bulk_load(tmpdir("conform"), &d).unwrap();
+        conformance(&store, &d);
+    }
+
+    #[test]
+    fn reopen_preserves_contents() {
+        let d = toy_dataset();
+        let dir = tmpdir("reopen");
+        {
+            let _ = LsmStore::bulk_load(&dir, &d).unwrap();
+        }
+        let store = LsmStore::open(&dir).unwrap();
+        conformance(&store, &d);
+    }
+
+    #[test]
+    fn small_memtable_forces_many_tables_then_compaction() {
+        let d = toy_dataset(); // 1000 points
+        let config = LsmConfig {
+            memtable_entries: 64,
+            max_tables: 4,
+            ..LsmConfig::default()
+        };
+        let store = LsmStore::bulk_load_with(tmpdir("compact"), &d, config).unwrap();
+        assert!(
+            store.num_tables() <= 5,
+            "compaction should bound table count, got {}",
+            store.num_tables()
+        );
+        conformance(&store, &d);
+    }
+
+    #[test]
+    fn explicit_compaction_to_single_table() {
+        let d = toy_dataset();
+        let config = LsmConfig {
+            memtable_entries: 100,
+            max_tables: 100, // no auto-compaction
+            ..LsmConfig::default()
+        };
+        let mut store = LsmStore::bulk_load_with(tmpdir("explicit"), &d, config).unwrap();
+        assert!(store.num_tables() > 1);
+        store.compact().unwrap();
+        assert_eq!(store.num_tables(), 1);
+        conformance(&store, &d);
+    }
+
+    #[test]
+    fn newest_version_wins_after_overwrite() {
+        let dir = tmpdir("overwrite");
+        let mut store = LsmStore::create(&dir).unwrap();
+        store.insert(Point::new(1, 1.0, 1.0, 5)).unwrap();
+        store.flush().unwrap();
+        store.insert(Point::new(1, 9.0, 9.0, 5)).unwrap();
+        // Read from memtable over table.
+        assert_eq!(store.point_get(5, 1).unwrap().unwrap().x, 9.0);
+        store.flush().unwrap();
+        // Read newest table over oldest.
+        assert_eq!(store.point_get(5, 1).unwrap().unwrap().x, 9.0);
+        let snap = store.scan_snapshot(5).unwrap();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].x, 9.0);
+        // And compaction collapses to the newest version.
+        store.compact().unwrap();
+        assert_eq!(store.point_get(5, 1).unwrap().unwrap().x, 9.0);
+    }
+
+    #[test]
+    fn unflushed_memtable_is_readable() {
+        let dir = tmpdir("memread");
+        let mut store = LsmStore::create(&dir).unwrap();
+        store.insert(Point::new(7, 3.0, 4.0, 2)).unwrap();
+        assert_eq!(store.memtable_len(), 1);
+        assert_eq!(
+            store.point_get(2, 7).unwrap(),
+            Some(ObjPos::new(7, 3.0, 4.0))
+        );
+        assert_eq!(store.scan_snapshot(2).unwrap().len(), 1);
+        assert_eq!(store.span(), TimeInterval::instant(2));
+    }
+
+    #[test]
+    fn empty_store_is_sane() {
+        let store = LsmStore::create(tmpdir("empty")).unwrap();
+        assert_eq!(store.num_points(), 0);
+        assert!(store.scan_snapshot(0).unwrap().is_empty());
+        assert_eq!(store.point_get(0, 0).unwrap(), None);
+    }
+
+    #[test]
+    fn bloom_negatives_accumulate_on_missing_probes() {
+        let d = toy_dataset();
+        let store = LsmStore::bulk_load(tmpdir("bloom"), &d).unwrap();
+        store.reset_io_stats();
+        for oid in 1000..1200u32 {
+            let _ = store.point_get(0, oid).unwrap();
+        }
+        assert!(store.io_stats().bloom_negatives > 150);
+    }
+
+    #[test]
+    fn corrupt_manifest_rejected() {
+        let dir = tmpdir("badmanifest");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(MANIFEST), "WRONG\n").unwrap();
+        assert!(matches!(
+            LsmStore::open(&dir),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+}

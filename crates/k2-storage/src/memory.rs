@@ -1,0 +1,123 @@
+//! In-memory store: a [`Dataset`] behind the [`TrajectoryStore`] trait.
+
+use crate::iostats::IoCounters;
+use crate::{IoStats, StoreResult, TrajectoryStore};
+use k2_model::{Dataset, ObjPos, Oid, Time, TimeInterval};
+
+/// A fully in-memory store.
+///
+/// This is what the paper's *k2-File* variant becomes after loading the
+/// flat file: all snapshots resident, no disk I/O. It is also the natural
+/// store for unit tests and for datasets that comfortably fit in RAM.
+#[derive(Debug)]
+pub struct InMemoryStore {
+    dataset: Dataset,
+    io: IoCounters,
+}
+
+impl InMemoryStore {
+    /// Wraps a dataset.
+    pub fn new(dataset: Dataset) -> Self {
+        Self {
+            dataset,
+            io: IoCounters::new(),
+        }
+    }
+
+    /// Borrow the underlying dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Consumes the store, returning the dataset.
+    pub fn into_dataset(self) -> Dataset {
+        self.dataset
+    }
+
+    /// Approximate resident size in bytes (24 bytes per record, the same
+    /// accounting the flat-file loader uses against a memory budget).
+    pub fn resident_bytes(&self) -> u64 {
+        self.dataset.num_points() * k2_model::codec::RECORD_SIZE as u64
+    }
+}
+
+impl TrajectoryStore for InMemoryStore {
+    fn span(&self) -> TimeInterval {
+        self.dataset.span()
+    }
+
+    fn num_points(&self) -> u64 {
+        self.dataset.num_points()
+    }
+
+    fn scan_snapshot(&self, t: Time) -> StoreResult<Vec<ObjPos>> {
+        self.io.add_range_query();
+        Ok(self
+            .dataset
+            .snapshot(t)
+            .map(|s| s.positions().to_vec())
+            .unwrap_or_default())
+    }
+
+    fn multi_get(&self, t: Time, oids: &[Oid]) -> StoreResult<Vec<ObjPos>> {
+        debug_assert!(oids.windows(2).all(|w| w[0] < w[1]));
+        for _ in oids {
+            self.io.add_point_query();
+        }
+        let Some(snap) = self.dataset.snapshot(t) else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::with_capacity(oids.len());
+        for &oid in oids {
+            if let Some(p) = snap.get(oid) {
+                out.push(*p);
+            }
+        }
+        Ok(out)
+    }
+
+    fn point_get(&self, t: Time, oid: Oid) -> StoreResult<Option<ObjPos>> {
+        self.io.add_point_query();
+        Ok(self.dataset.snapshot(t).and_then(|s| s.get(oid)).copied())
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.io.snapshot()
+    }
+
+    fn reset_io_stats(&self) {
+        self.io.reset()
+    }
+
+    fn name(&self) -> &'static str {
+        "in-memory"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trait_tests::{conformance, toy_dataset};
+
+    #[test]
+    fn conforms_to_trait_contract() {
+        let d = toy_dataset();
+        let store = InMemoryStore::new(d.clone());
+        conformance(&store, &d);
+    }
+
+    #[test]
+    fn resident_bytes_counts_records() {
+        let d = toy_dataset();
+        let store = InMemoryStore::new(d.clone());
+        assert_eq!(store.resident_bytes(), d.num_points() * 24);
+    }
+
+    #[test]
+    fn point_queries_counted_per_oid() {
+        let d = toy_dataset();
+        let store = InMemoryStore::new(d);
+        store.multi_get(0, &[0, 1, 2]).unwrap();
+        assert_eq!(store.io_stats().point_queries, 3);
+    }
+}

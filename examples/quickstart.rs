@@ -1,0 +1,57 @@
+//! Quickstart: generate a synthetic workload, mine convoys, inspect the
+//! pruning statistics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use k2hop::prelude::*;
+
+fn main() {
+    // 300 random walkers over 120 timestamps, with three planted convoys:
+    // two groups of 5 lasting 60 ticks and one group of 3 lasting 40.
+    let dataset = k2hop::datagen::ConvoyInjector::new(300, 120)
+        .convoys(2, 5, 60)
+        .convoys(1, 3, 40)
+        .seed(2024)
+        .generate();
+    println!(
+        "dataset: {} objects, {} timestamps, {} points",
+        dataset.stats().num_objects,
+        dataset.num_timestamps(),
+        dataset.num_points()
+    );
+
+    // Mine fully-connected convoys: >= 3 objects together for >= 25
+    // consecutive timestamps, density-connected within eps = 1.0.
+    let config = K2Config::new(3, 25, 1.0).expect("valid parameters");
+    let store = InMemoryStore::new(dataset);
+    let result = K2Hop::new(config).mine(&store).expect("in-memory mining");
+
+    println!("\nfound {} convoys:", result.convoys.len());
+    for convoy in &result.convoys {
+        println!(
+            "  {:>2} objects {:?} together over {} (length {})",
+            convoy.objects.len(),
+            convoy.objects,
+            convoy.lifespan,
+            convoy.len()
+        );
+    }
+
+    let p = &result.pruning;
+    println!("\npruning (the paper's Table 5 view):");
+    println!("  total points       : {}", p.total_points);
+    println!("  points processed   : {}", p.points_processed());
+    println!("  pruned             : {:.2}%", p.pruning_ratio() * 100.0);
+    println!(
+        "  benchmark scans    : {} timestamps / {} points",
+        p.benchmark_timestamps, p.benchmark_points
+    );
+
+    println!("\nphase timings (the paper's Figure 8i view):");
+    for (label, duration) in result.timings.rows() {
+        println!("  {label:<22} {duration:?}");
+    }
+    println!("  total                  {:?}", result.timings.total());
+}

@@ -1,0 +1,61 @@
+//! # k2hop — fast mining of convoy patterns with effective pruning
+//!
+//! A complete, from-scratch Rust reproduction of
+//! *Orakzai, Calders, Pedersen. "k/2-hop: Fast Mining of Convoy Patterns
+//! With Effective Pruning." PVLDB 12(9), 2019.*
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`model`] — trajectory data model (points, snapshots, datasets, convoys),
+//! * [`cluster`] — DBSCAN with a uniform-grid index,
+//! * [`storage`] — the paper's three persistent stores (flat file,
+//!   clustered B+tree "RDBMS", LSM-tree),
+//! * [`core`] — the k/2-hop algorithm itself,
+//! * [`baselines`] — CMC, PCCD, VCoDA/VCoDA*, CuTS, SPARE and DCM,
+//! * [`datagen`] — seeded synthetic workloads (Brinkhoff-style network
+//!   traffic, Trucks-like, T-Drive-like, convoy injection),
+//! * [`patterns`] — the paper's §7 future work: flocks (with k/2-hop
+//!   acceleration) and moving clusters.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use k2hop::prelude::*;
+//!
+//! // Generate a small synthetic workload with two planted convoys.
+//! let dataset = k2hop::datagen::ConvoyInjector::new(500, 60)
+//!     .convoys(2, 4, 30)
+//!     .seed(7)
+//!     .generate();
+//!
+//! // Mine fully-connected convoys: at least 4 objects together for at
+//! // least 10 consecutive timestamps, within eps = 1.5.
+//! let config = K2Config::new(4, 10, 1.5).expect("valid parameters");
+//! let store = InMemoryStore::new(dataset);
+//! let result = K2Hop::new(config).mine(&store).expect("in-memory mining");
+//!
+//! assert!(result.convoys.len() >= 2);
+//! for convoy in result.convoys.iter() {
+//!     assert!(convoy.objects.len() >= 4);
+//!     assert!(convoy.len() >= 10);
+//! }
+//! ```
+
+pub use k2_baselines as baselines;
+pub use k2_cluster as cluster;
+pub use k2_core as core;
+pub use k2_datagen as datagen;
+pub use k2_model as model;
+pub use k2_patterns as patterns;
+pub use k2_storage as storage;
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use k2_cluster::{dbscan, DbscanParams};
+    pub use k2_core::{K2Config, K2Hop, MiningResult};
+    pub use k2_model::{
+        Convoy, ConvoySet, Dataset, DatasetBuilder, ObjPos, ObjectSet, Oid, Point, Snapshot, Time,
+        TimeInterval,
+    };
+    pub use k2_storage::{InMemoryStore, TrajectoryStore};
+}

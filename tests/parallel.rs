@@ -1,0 +1,56 @@
+//! Parallel k/2-hop (§7 future work) — equivalence with the sequential
+//! pipeline on realistic workloads.
+
+use k2hop::core::{K2Config, K2Hop, K2HopParallel};
+use k2hop::datagen::{tdrive::TDriveConfig, trucks::TrucksConfig, ConvoyInjector};
+use k2hop::storage::InMemoryStore;
+
+fn sequential(d: &k2hop::model::Dataset, m: usize, k: u32, eps: f64) -> Vec<k2hop::model::Convoy> {
+    K2Hop::new(K2Config::new(m, k, eps).unwrap())
+        .mine(&InMemoryStore::new(d.clone()))
+        .unwrap()
+        .convoys
+}
+
+#[test]
+fn parallel_equals_sequential_on_injected_workloads() {
+    for seed in [1u64, 17, 99] {
+        let d = ConvoyInjector::new(80, 120)
+            .convoys(4, 4, 50)
+            .seed(seed)
+            .generate();
+        let expect = sequential(&d, 3, 20, 1.0);
+        assert!(!expect.is_empty());
+        for threads in [1usize, 2, 8] {
+            let cfg = K2Config::new(3, 20, 1.0).unwrap();
+            let got = K2HopParallel::new(cfg, threads).mine(&d);
+            assert_eq!(got, expect, "seed {seed}, {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn parallel_equals_sequential_on_trucks() {
+    let d = TrucksConfig::scaled(0.1).seed(5).generate();
+    let (m, k, eps) = (3usize, 300u32, 6.0e-5);
+    let expect = sequential(&d, m, k, eps);
+    let cfg = K2Config::new(m, k, eps).unwrap();
+    assert_eq!(K2HopParallel::new(cfg, 4).mine(&d), expect);
+}
+
+#[test]
+fn parallel_equals_sequential_on_tdrive() {
+    let d = TDriveConfig::scaled(0.05).seed(5).generate();
+    let (m, k, eps) = (3usize, 40u32, 6.0e-4);
+    let expect = sequential(&d, m, k, eps);
+    let cfg = K2Config::new(m, k, eps).unwrap();
+    assert_eq!(K2HopParallel::new(cfg, 4).mine(&d), expect);
+}
+
+#[test]
+fn oversubscribed_thread_count_is_harmless() {
+    let d = ConvoyInjector::new(20, 30).convoys(1, 3, 15).seed(2).generate();
+    let cfg = K2Config::new(3, 10, 1.0).unwrap();
+    let expect = sequential(&d, 3, 10, 1.0);
+    assert_eq!(K2HopParallel::new(cfg, 64).mine(&d), expect);
+}

@@ -1,0 +1,182 @@
+//! Property-based tests over the core invariants (proptest).
+
+use k2hop::baselines::reference;
+use k2hop::cluster::{dbscan, DbscanParams};
+use k2hop::core::{K2Config, K2Hop};
+use k2hop::model::{Dataset, ObjPos, ObjectSet, Point, TimeInterval};
+use k2hop::storage::InMemoryStore;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A small random movement dataset: `n` objects over `ts` timestamps on a
+/// coarse integer-ish grid (coarse coordinates make clusters and convoys
+/// likely enough to exercise every code path).
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (2usize..8, 4u32..16).prop_flat_map(|(n, ts)| {
+        proptest::collection::vec(0u8..12, n * ts as usize).prop_map(move |cells| {
+            let mut pts = Vec::with_capacity(cells.len());
+            let mut i = 0;
+            for t in 0..ts {
+                for oid in 0..n as u32 {
+                    // Objects sit on a 1-D line of cells 1.0 apart.
+                    pts.push(Point::new(oid, cells[i] as f64, 0.0, t));
+                    i += 1;
+                }
+            }
+            Dataset::from_points(&pts).expect("non-empty")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// k/2-hop equals the brute-force reference on arbitrary data — the
+    /// headline correctness claim of the reproduction.
+    #[test]
+    fn k2hop_equals_reference(d in dataset_strategy(), m in 2usize..4, k in 2u32..7) {
+        let store = InMemoryStore::new(d);
+        let eps = 1.0;
+        let k2 = K2Hop::new(K2Config::new(m, k, eps).unwrap())
+            .mine(&store)
+            .unwrap()
+            .convoys;
+        let brute = reference::mine(&store, m, k, eps).unwrap().convoys;
+        prop_assert_eq!(k2, brute);
+    }
+
+    /// DBSCAN output is a partition of a subset of the input: clusters are
+    /// disjoint, sized >= min_pts, and every member is an input oid.
+    #[test]
+    fn dbscan_output_is_disjoint_partition(
+        coords in proptest::collection::vec((0u32..40, 0i32..30, 0i32..30), 1..60),
+        min_pts in 1usize..5,
+    ) {
+        // Dedup oids.
+        let mut seen = BTreeSet::new();
+        let points: Vec<ObjPos> = coords
+            .into_iter()
+            .filter(|(oid, _, _)| seen.insert(*oid))
+            .map(|(oid, x, y)| ObjPos::new(oid, x as f64, y as f64))
+            .collect();
+        let clusters = dbscan(&points, DbscanParams::new(min_pts, 1.5));
+        let mut all = BTreeSet::new();
+        for c in &clusters {
+            prop_assert!(c.len() >= min_pts);
+            for oid in c.iter() {
+                prop_assert!(all.insert(oid), "oid {} in two clusters", oid);
+                prop_assert!(seen.contains(&oid));
+            }
+        }
+    }
+
+    /// Every DBSCAN cluster member has a chain of <= eps hops to every
+    /// other member (density-connection implies graph connectivity at eps).
+    #[test]
+    fn dbscan_clusters_are_eps_connected(
+        coords in proptest::collection::vec((0i32..25, 0i32..25), 2..40),
+    ) {
+        let points: Vec<ObjPos> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| ObjPos::new(i as u32, x as f64, y as f64))
+            .collect();
+        let eps = 1.5;
+        let clusters = dbscan(&points, DbscanParams::new(2, eps));
+        for c in &clusters {
+            let members: Vec<&ObjPos> = points.iter().filter(|p| c.contains(p.oid)).collect();
+            // BFS over the eps graph restricted to the cluster.
+            let mut reached = vec![false; members.len()];
+            let mut stack = vec![0usize];
+            reached[0] = true;
+            while let Some(u) = stack.pop() {
+                for v in 0..members.len() {
+                    if !reached[v] && members[u].dist2(members[v]) <= eps * eps {
+                        reached[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            prop_assert!(reached.iter().all(|&r| r), "cluster not eps-connected");
+        }
+    }
+
+    /// ObjectSet set algebra agrees with BTreeSet.
+    #[test]
+    fn object_set_model(
+        a in proptest::collection::vec(0u32..50, 0..30),
+        b in proptest::collection::vec(0u32..50, 0..30),
+    ) {
+        let sa = ObjectSet::new(a.clone());
+        let sb = ObjectSet::new(b.clone());
+        let ma: BTreeSet<u32> = a.into_iter().collect();
+        let mb: BTreeSet<u32> = b.into_iter().collect();
+        let inter: Vec<u32> = ma.intersection(&mb).copied().collect();
+        let union: Vec<u32> = ma.union(&mb).copied().collect();
+        let got_inter = sa.intersect(&sb);
+        let got_union = sa.union(&sb);
+        prop_assert_eq!(got_inter.ids(), &inter[..]);
+        prop_assert_eq!(got_union.ids(), &union[..]);
+        prop_assert_eq!(sa.intersection_len(&sb), inter.len());
+        prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
+    }
+
+    /// Interval intersection agrees with the set model.
+    #[test]
+    fn interval_model(s1 in 0u32..50, l1 in 1u32..20, s2 in 0u32..50, l2 in 1u32..20) {
+        let a = TimeInterval::new(s1, s1 + l1 - 1);
+        let b = TimeInterval::new(s2, s2 + l2 - 1);
+        let sa: BTreeSet<u32> = a.iter().collect();
+        let sb: BTreeSet<u32> = b.iter().collect();
+        let expected: BTreeSet<u32> = sa.intersection(&sb).copied().collect();
+        match a.intersect(&b) {
+            Some(iv) => {
+                let got: BTreeSet<u32> = iv.iter().collect();
+                prop_assert_eq!(&got, &expected);
+            }
+            None => prop_assert!(expected.is_empty()),
+        }
+        prop_assert_eq!(a.overlaps(&b), !expected.is_empty());
+    }
+
+    /// Mining output invariants hold regardless of input: sizes, lengths,
+    /// maximality, and full-connectedness re-verified from first
+    /// principles.
+    #[test]
+    fn mining_output_invariants(d in dataset_strategy()) {
+        let (m, k, eps) = (2usize, 3u32, 1.0);
+        let store = InMemoryStore::new(d.clone());
+        let res = K2Hop::new(K2Config::new(m, k, eps).unwrap()).mine(&store).unwrap();
+        for c in &res.convoys {
+            prop_assert!(c.objects.len() >= m);
+            prop_assert!(c.len() >= k);
+            // FC re-check: the restriction clusters into exactly {objects}
+            // at every timestamp.
+            for t in c.lifespan.iter() {
+                let positions = d.restrict_at(t, &c.objects);
+                let clusters = dbscan(&positions, DbscanParams::new(m, eps));
+                prop_assert!(
+                    clusters.len() == 1 && clusters[0] == c.objects,
+                    "convoy {:?} not FC at t={}", c, t
+                );
+            }
+        }
+        // Pairwise maximality.
+        for (i, a) in res.convoys.iter().enumerate() {
+            for (j, b) in res.convoys.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.is_sub_convoy_of(b), "{a:?} inside {b:?}");
+                }
+            }
+        }
+    }
+
+    /// Binary codec round-trips arbitrary datasets.
+    #[test]
+    fn codec_round_trip(d in dataset_strategy()) {
+        let mut buf = Vec::new();
+        k2hop::model::codec::write_binary(&d, &mut buf).unwrap();
+        let back = k2hop::model::codec::read_binary(&buf[..]).unwrap();
+        prop_assert_eq!(d, back);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the storage engines: every engine must behave like
+//! the model (a sorted map over `(t, oid)`), across random workloads,
+//! random operation orders, and reopen/compaction cycles.
+
+use k2hop::model::{Dataset, Point};
+use k2hop::storage::{
+    FlatFileStore, InMemoryStore, LsmConfig, LsmStore, RelationalStore, TrajectoryStore,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn points_strategy() -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((0u32..20, 0u32..30, -100i32..100, -100i32..100), 1..200).prop_map(
+        |rows| {
+            rows.into_iter()
+                .map(|(oid, t, x, y)| Point::new(oid, x as f64, y as f64, t))
+                .collect()
+        },
+    )
+}
+
+fn tmp(name: &str, salt: u64) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "k2storeprops-{}-{name}-{salt}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Model: last write per (t, oid) wins.
+fn model_of(points: &[Point]) -> BTreeMap<(u32, u32), (f64, f64)> {
+    let mut m = BTreeMap::new();
+    for p in points {
+        m.insert((p.t, p.oid), (p.x, p.y));
+    }
+    m
+}
+
+fn check_against_model(store: &dyn TrajectoryStore, model: &BTreeMap<(u32, u32), (f64, f64)>) {
+    let (t_lo, t_hi) = (
+        model.keys().map(|k| k.0).min().unwrap(),
+        model.keys().map(|k| k.0).max().unwrap(),
+    );
+    assert_eq!(store.span().start, t_lo, "{}", store.name());
+    assert_eq!(store.span().end, t_hi, "{}", store.name());
+    for t in t_lo..=t_hi {
+        let snap = store.scan_snapshot(t).unwrap();
+        let want: Vec<(u32, f64, f64)> = model
+            .range((t, 0)..=(t, u32::MAX))
+            .map(|(&(_, oid), &(x, y))| (oid, x, y))
+            .collect();
+        let got: Vec<(u32, f64, f64)> = snap.iter().map(|p| (p.oid, p.x, p.y)).collect();
+        assert_eq!(got, want, "{} snapshot {t}", store.name());
+    }
+    // Random probes including misses.
+    for (i, (&(t, oid), &(x, y))) in model.iter().enumerate() {
+        if i % 3 == 0 {
+            let got = store.point_get(t, oid).unwrap().unwrap();
+            assert_eq!((got.x, got.y), (x, y), "{}", store.name());
+        }
+    }
+    assert_eq!(store.point_get(t_hi + 10, 0).unwrap(), None);
+    assert_eq!(store.point_get(t_lo, 9999).unwrap(), None);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All four engines match the sorted-map model on random data.
+    #[test]
+    fn engines_match_model(points in points_strategy(), salt in 0u64..1_000_000) {
+        let dataset = Dataset::from_points(&points).unwrap();
+        let model = model_of(&points);
+        let dir = tmp("model", salt);
+
+        let mem = InMemoryStore::new(dataset.clone());
+        check_against_model(&mem, &model);
+        let flat = FlatFileStore::create(dir.join("d.bin"), &dataset).unwrap();
+        check_against_model(&flat, &model);
+        let btree = RelationalStore::create(dir.join("d.k2bt"), &dataset).unwrap();
+        check_against_model(&btree, &model);
+        let lsm = LsmStore::bulk_load(dir.join("lsm"), &dataset).unwrap();
+        check_against_model(&lsm, &model);
+    }
+
+    /// LSM with overwrites, interleaved flushes and compactions still
+    /// matches the model, including after reopen.
+    #[test]
+    fn lsm_random_ops_match_model(
+        points in points_strategy(),
+        flush_every in 1usize..40,
+        salt in 0u64..1_000_000,
+    ) {
+        let dir = tmp("lsmops", salt);
+        let config = LsmConfig {
+            memtable_entries: 16,
+            max_tables: 3,
+            ..LsmConfig::default()
+        };
+        let mut lsm = LsmStore::create_with(dir.join("lsm"), config).unwrap();
+        for (i, p) in points.iter().enumerate() {
+            lsm.insert(*p).unwrap();
+            if i % flush_every == flush_every - 1 {
+                lsm.flush().unwrap();
+            }
+        }
+        let model = model_of(&points);
+        check_against_model(&lsm, &model);
+        lsm.compact().unwrap();
+        check_against_model(&lsm, &model);
+        // Reopen sees everything that was flushed; flush first so all is.
+        lsm.flush().unwrap();
+        drop(lsm);
+        let reopened = LsmStore::open(dir.join("lsm")).unwrap();
+        check_against_model(&reopened, &model);
+    }
+
+    /// The clustered B+tree file round-trips through close/open.
+    #[test]
+    fn btree_reopen_matches_model(points in points_strategy(), salt in 0u64..1_000_000) {
+        let dataset = Dataset::from_points(&points).unwrap();
+        let model = model_of(&points);
+        let dir = tmp("btreereopen", salt);
+        let path = dir.join("d.k2bt");
+        {
+            let _ = RelationalStore::create(&path, &dataset).unwrap();
+        }
+        let store = RelationalStore::open(&path).unwrap();
+        check_against_model(&store, &model);
+    }
+}
