@@ -273,12 +273,7 @@ fn point_segment_dist2(p: (f64, f64), a: (f64, f64), b: (f64, f64)) -> f64 {
 }
 
 /// Squared minimum distance between segments `[p1,p2]` and `[q1,q2]`.
-fn segment_segment_dist2(
-    p1: (f64, f64),
-    p2: (f64, f64),
-    q1: (f64, f64),
-    q2: (f64, f64),
-) -> f64 {
+fn segment_segment_dist2(p1: (f64, f64), p2: (f64, f64), q1: (f64, f64), q2: (f64, f64)) -> f64 {
     if segments_intersect(p1, p2, q1, q2) {
         return 0.0;
     }

@@ -52,11 +52,12 @@ pub fn mine<S: TrajectoryStore + ?Sized>(
     let locals: Vec<Vec<Convoy>> = std::thread::scope(|scope| {
         let handles: Vec<_> = inputs
             .iter()
-            .map(|(part, snaps)| {
-                scope.spawn(move || local_sweep(*part, snaps, params, k))
-            })
+            .map(|(part, snaps)| scope.spawn(move || local_sweep(*part, snaps, params, k)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
     });
 
     // Merge across boundaries, left to right.

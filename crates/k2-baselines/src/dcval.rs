@@ -44,11 +44,7 @@ pub fn dcval_original<S: TrajectoryStore + ?Sized>(
                     }
                     // The flaw: the new (possibly smaller) set inherits
                     // ts(v) without re-validating earlier timestamps.
-                    next.update(Convoy::from_parts(
-                        c.ids(),
-                        v.start(),
-                        t,
-                    ));
+                    next.update(Convoy::from_parts(c.ids(), v.start(), t));
                 }
                 if !intact && v.end() >= v.start() && v.len() >= k {
                     out.update(v.clone());
@@ -74,7 +70,10 @@ mod tests {
     use k2_model::{Dataset, Point};
     use k2_storage::InMemoryStore;
 
-    const PARAMS: DbscanParams = DbscanParams { min_pts: 2, eps: 1.0 };
+    const PARAMS: DbscanParams = DbscanParams {
+        min_pts: 2,
+        eps: 1.0,
+    };
 
     /// Objects 0,1,2,3 where 3 is the bridge connecting 2 to {0,1} during
     /// [0,4]; from t = 5 the bridge leaves but 0,1,2 bunch up tightly.

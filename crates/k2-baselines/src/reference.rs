@@ -100,7 +100,10 @@ mod tests {
     use k2_model::{Dataset, Point};
     use k2_storage::InMemoryStore;
 
-    const PARAMS: DbscanParams = DbscanParams { min_pts: 2, eps: 1.0 };
+    const PARAMS: DbscanParams = DbscanParams {
+        min_pts: 2,
+        eps: 1.0,
+    };
 
     fn store_of(pts: Vec<Point>) -> InMemoryStore {
         InMemoryStore::new(Dataset::from_points(&pts).unwrap())
@@ -176,10 +179,7 @@ mod tests {
 
     #[test]
     fn too_short_span_returns_nothing() {
-        let store = store_of(vec![
-            Point::new(0, 0.0, 0.0, 0),
-            Point::new(1, 0.5, 0.0, 0),
-        ]);
+        let store = store_of(vec![Point::new(0, 0.0, 0.0, 0), Point::new(1, 0.5, 0.0, 0)]);
         let mut points = 0;
         let out = validate_fc(
             &store,

@@ -50,9 +50,8 @@ pub fn mine<S: TrajectoryStore + ?Sized>(
     }
 
     // Stage 1: per-timestamp clustering, timestamps sharded over workers.
-    let clustered: Vec<(Time, Vec<ObjectSet>)> = parallel_map(&snapshots, threads, |(t, snap)| {
-        (*t, dbscan(snap, params))
-    });
+    let clustered: Vec<(Time, Vec<ObjectSet>)> =
+        parallel_map(&snapshots, threads, |(t, snap)| (*t, dbscan(snap, params)));
 
     // Edge time-sequences: (i, j) -> sorted times both were co-clustered.
     let mut edges: HashMap<(Oid, Oid), Vec<Time>> = HashMap::new();
@@ -119,7 +118,9 @@ fn parallel_map<T: Sync, R: Send>(
             });
         }
     });
-    out.into_iter().map(|o| o.expect("worker filled slot")).collect()
+    out.into_iter()
+        .map(|o| o.expect("worker filled slot"))
+        .collect()
 }
 
 /// Apriori DFS inside one star: grow object sets containing the centre,
@@ -245,7 +246,12 @@ mod tests {
             // A pair that co-travels only briefly.
             for oid in 10..12u32 {
                 let spread = if (5..9).contains(&t) { 0.4 } else { 60.0 };
-                pts.push(Point::new(oid, 400.0 + (oid - 10) as f64 * spread, t as f64, t));
+                pts.push(Point::new(
+                    oid,
+                    400.0 + (oid - 10) as f64 * spread,
+                    t as f64,
+                    t,
+                ));
             }
         }
         InMemoryStore::new(Dataset::from_points(&pts).unwrap())

@@ -101,7 +101,10 @@ mod tests {
     use k2_model::{Dataset, ObjectSet, Point};
     use k2_storage::InMemoryStore;
 
-    const PARAMS: DbscanParams = DbscanParams { min_pts: 2, eps: 1.0 };
+    const PARAMS: DbscanParams = DbscanParams {
+        min_pts: 2,
+        eps: 1.0,
+    };
 
     /// The CMC recall-bug scenario: objects {0,1} travel together over
     /// [0,9]; objects {2,3} join them during [4,9]. The convoy
@@ -132,9 +135,7 @@ mod tests {
     fn pccd_finds_the_late_superset_convoy() {
         let store = bug_store();
         let res = snapshot_sweep(&store, PARAMS, 5, SeedRule::EveryCluster).unwrap();
-        assert!(res
-            .convoys
-            .contains(&Convoy::from_parts([0u32, 1], 0, 9)));
+        assert!(res.convoys.contains(&Convoy::from_parts([0u32, 1], 0, 9)));
         assert!(res
             .convoys
             .contains(&Convoy::from_parts([0u32, 1, 2, 3], 4, 9)));
@@ -145,9 +146,7 @@ mod tests {
     fn cmc_misses_the_late_superset_convoy() {
         let store = bug_store();
         let res = snapshot_sweep(&store, PARAMS, 5, SeedRule::UnmatchedOnly).unwrap();
-        assert!(res
-            .convoys
-            .contains(&Convoy::from_parts([0u32, 1], 0, 9)));
+        assert!(res.convoys.contains(&Convoy::from_parts([0u32, 1], 0, 9)));
         // The documented recall bug: {0,1,2,3} over [4,9] is lost.
         assert!(!res
             .convoys

@@ -107,7 +107,9 @@ mod tests {
         // {0,1} is FC throughout [0,9] (adjacent the whole time).
         assert!(res.convoys.contains(&Convoy::from_parts([0u32, 1], 0, 9)));
         // {0,1,3} over [0,9] is NOT fully connected (bridge 2 in [0,4]).
-        assert!(!res.convoys.contains(&Convoy::from_parts([0u32, 1, 3], 0, 9)));
+        assert!(!res
+            .convoys
+            .contains(&Convoy::from_parts([0u32, 1, 3], 0, 9)));
     }
 
     #[test]

@@ -92,11 +92,7 @@ fn bench_merge(c: &mut Criterion) {
             .map(|w| {
                 (0..10u32)
                     .map(|i| {
-                        Convoy::from_parts(
-                            [i * 3, i * 3 + 1, i * 3 + 2],
-                            w as u32,
-                            w as u32 + 1,
-                        )
+                        Convoy::from_parts([i * 3, i * 3 + 1, i * 3 + 2], w as u32, w as u32 + 1)
                     })
                     .collect()
             })

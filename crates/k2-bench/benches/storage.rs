@@ -12,7 +12,10 @@ use std::hint::black_box;
 use std::path::PathBuf;
 
 fn dataset() -> Dataset {
-    ConvoyInjector::new(1_000, 200).convoys(3, 5, 80).seed(13).generate()
+    ConvoyInjector::new(1_000, 200)
+        .convoys(3, 5, 80)
+        .seed(13)
+        .generate()
 }
 
 fn dir() -> PathBuf {

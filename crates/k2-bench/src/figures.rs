@@ -580,7 +580,11 @@ fn fig8l() {
         let points = d.num_points();
         let wb = Workbench::new("tdrive-scale", d);
         let p = &TDRIVE_PRESET;
-        for algo in [Algo::VCodaStar, Algo::K2(Engine::Rdbms), Algo::K2(Engine::Lsmt)] {
+        for algo in [
+            Algo::VCodaStar,
+            Algo::K2(Engine::Rdbms),
+            Algo::K2(Engine::Lsmt),
+        ] {
             if let Some(s) = secs_or_crash(&wb, algo, p.default_m, p.default_k, p.default_eps) {
                 println!("{points},{},{s:.4}", algo.label());
             }

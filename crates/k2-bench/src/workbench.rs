@@ -158,9 +158,8 @@ impl Workbench {
             }
             Algo::Cmc => self.timed_baseline(|| cmc::mine(&self.mem, m, k, eps)),
             Algo::Pccd => self.timed_baseline(|| pccd::mine(&self.mem, m, k, eps)),
-            Algo::Cuts => self.timed_baseline(|| {
-                cuts::mine(&self.mem, m, k, eps, cuts::CutsParams::default())
-            }),
+            Algo::Cuts => self
+                .timed_baseline(|| cuts::mine(&self.mem, m, k, eps, cuts::CutsParams::default())),
             Algo::Spare(threads) => {
                 self.timed_baseline(|| spare::mine(&self.mem, m, k, eps, threads))
             }
@@ -180,13 +179,10 @@ impl Workbench {
         let result = match engine {
             Engine::File => {
                 // k2-File: load the flat file fully, then mine in memory.
-                let mem = self
-                    .flat
-                    .load_in_memory(self.budget)
-                    .map_err(|e| match e {
-                        StoreError::MemoryBudgetExceeded { .. } => format!("crashed: {e}"),
-                        other => other.to_string(),
-                    })?;
+                let mem = self.flat.load_in_memory(self.budget).map_err(|e| match e {
+                    StoreError::MemoryBudgetExceeded { .. } => format!("crashed: {e}"),
+                    other => other.to_string(),
+                })?;
                 miner.mine(&mem)
             }
             Engine::Rdbms => miner.mine(&self.btree),
@@ -256,7 +252,10 @@ mod tests {
     use k2_datagen::ConvoyInjector;
 
     fn bench_dataset() -> Dataset {
-        ConvoyInjector::new(30, 40).convoys(2, 4, 25).seed(5).generate()
+        ConvoyInjector::new(30, 40)
+            .convoys(2, 4, 25)
+            .seed(5)
+            .generate()
     }
 
     #[test]

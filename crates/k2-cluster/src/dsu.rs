@@ -76,7 +76,8 @@ impl DisjointSet {
     /// sorted vector; components ordered by smallest member.
     pub fn into_components(mut self) -> Vec<Vec<u32>> {
         let n = self.len();
-        let mut buckets: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+        let mut buckets: std::collections::HashMap<u32, Vec<u32>> =
+            std::collections::HashMap::new();
         for x in 0..n as u32 {
             let r = self.find(x);
             buckets.entry(r).or_default().push(x);

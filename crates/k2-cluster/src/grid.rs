@@ -25,10 +25,7 @@ impl GridIndex {
         let mut cells: HashMap<(i64, i64), Vec<u32>> =
             HashMap::with_capacity(points.len().min(1 << 16));
         for (i, p) in points.iter().enumerate() {
-            cells
-                .entry(Self::key(p, eps))
-                .or_default()
-                .push(i as u32);
+            cells.entry(Self::key(p, eps)).or_default().push(i as u32);
         }
         Self { cell: eps, cells }
     }

@@ -189,7 +189,9 @@ mod tests {
         // A chain of points each within eps of the next: one cluster,
         // even though the endpoints are far apart (shape-free clusters are
         // the motivation for convoys over flocks).
-        let points: Vec<ObjPos> = (0..20).map(|i| ObjPos::new(i, i as f64 * 0.9, 0.0)).collect();
+        let points: Vec<ObjPos> = (0..20)
+            .map(|i| ObjPos::new(i, i as f64 * 0.9, 0.0))
+            .collect();
         let clusters = dbscan(&points, DbscanParams::new(3, 1.0));
         assert_eq!(clusters.len(), 1);
         assert_eq!(clusters[0].len(), 20);
@@ -197,7 +199,12 @@ mod tests {
 
     #[test]
     fn noise_is_dropped() {
-        let points = pts(&[(1, 0.0, 0.0), (2, 0.1, 0.0), (3, 0.2, 0.0), (99, 50.0, 50.0)]);
+        let points = pts(&[
+            (1, 0.0, 0.0),
+            (2, 0.1, 0.0),
+            (3, 0.2, 0.0),
+            (99, 50.0, 50.0),
+        ]);
         let clusters = dbscan(&points, DbscanParams::new(3, 0.5));
         assert_eq!(clusters.len(), 1);
         assert!(!clusters[0].contains(99));

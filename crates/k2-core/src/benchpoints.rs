@@ -86,13 +86,22 @@ mod tests {
             benchmark_points(TimeInterval::new(0, 16), 4),
             vec![0, 4, 8, 12, 16]
         );
-        assert_eq!(benchmark_points(TimeInterval::new(0, 15), 4), vec![0, 4, 8, 12]);
-        assert_eq!(benchmark_points(TimeInterval::new(5, 8), 1), vec![5, 6, 7, 8]);
+        assert_eq!(
+            benchmark_points(TimeInterval::new(0, 15), 4),
+            vec![0, 4, 8, 12]
+        );
+        assert_eq!(
+            benchmark_points(TimeInterval::new(5, 8), 1),
+            vec![5, 6, 7, 8]
+        );
     }
 
     #[test]
     fn benchmarks_with_offset_start() {
-        assert_eq!(benchmark_points(TimeInterval::new(10, 20), 4), vec![10, 14, 18]);
+        assert_eq!(
+            benchmark_points(TimeInterval::new(10, 20), 4),
+            vec![10, 14, 18]
+        );
     }
 
     #[test]
@@ -114,7 +123,10 @@ mod tests {
                 let crossed = bs
                     .windows(2)
                     .any(|w| convoy.contains(w[0]) && convoy.contains(w[1]));
-                assert!(crossed, "k={k} convoy {convoy} misses consecutive benchmarks");
+                assert!(
+                    crossed,
+                    "k={k} convoy {convoy} misses consecutive benchmarks"
+                );
             }
         }
     }

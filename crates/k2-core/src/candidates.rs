@@ -27,11 +27,7 @@ pub fn cluster_benchmark<S: TrajectoryStore + ?Sized>(
 /// Every object belongs to at most one cluster per timestamp, so instead
 /// of the quadratic pairwise intersection we bucket each left cluster's
 /// members by their right-cluster id — `O(Σ|cᵢ|)` total.
-pub fn candidate_clusters(
-    left: &[ObjectSet],
-    right: &[ObjectSet],
-    m: usize,
-) -> Vec<ObjectSet> {
+pub fn candidate_clusters(left: &[ObjectSet], right: &[ObjectSet], m: usize) -> Vec<ObjectSet> {
     if left.is_empty() || right.is_empty() {
         return Vec::new();
     }

@@ -164,7 +164,10 @@ mod tests {
         InMemoryStore::new(Dataset::from_points(&pts).unwrap())
     }
 
-    const PARAMS: DbscanParams = DbscanParams { min_pts: 2, eps: 1.0 };
+    const PARAMS: DbscanParams = DbscanParams {
+        min_pts: 2,
+        eps: 1.0,
+    };
 
     #[test]
     fn extend_right_finds_true_end_and_shrunk_tail() {
@@ -172,7 +175,9 @@ mod tests {
         let seed = Convoy::from_parts([0u32, 1, 2], 2, 6);
         let res = extend_right(&store, PARAMS, [seed], 12).unwrap();
         // {0,1,2} extends to t = 8 then shrinks; {0,1} continues to 11.
-        assert!(res.convoys.contains(&Convoy::from_parts([0u32, 1, 2], 2, 8)));
+        assert!(res
+            .convoys
+            .contains(&Convoy::from_parts([0u32, 1, 2], 2, 8)));
         assert!(res.convoys.contains(&Convoy::from_parts([0u32, 1], 2, 11)));
         assert_eq!(res.convoys.len(), 2);
     }
@@ -182,7 +187,9 @@ mod tests {
         let store = staged_store();
         let seed = Convoy::from_parts([0u32, 1, 2], 5, 8);
         let res = extend_left(&store, PARAMS, [seed], 0, 2).unwrap();
-        assert!(res.convoys.contains(&Convoy::from_parts([0u32, 1, 2], 2, 8)));
+        assert!(res
+            .convoys
+            .contains(&Convoy::from_parts([0u32, 1, 2], 2, 8)));
         assert_eq!(res.convoys.len(), 1);
     }
 
@@ -236,7 +243,9 @@ mod tests {
             Convoy::from_parts([0u32, 1, 2], 2, 6),
         ];
         let res = extend_right(&store, PARAMS, seeds, 12).unwrap();
-        assert!(res.convoys.contains(&Convoy::from_parts([0u32, 1, 2], 2, 8)));
+        assert!(res
+            .convoys
+            .contains(&Convoy::from_parts([0u32, 1, 2], 2, 8)));
         assert_eq!(
             res.convoys
                 .iter()

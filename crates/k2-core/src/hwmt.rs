@@ -201,15 +201,9 @@ mod tests {
         let params = DbscanParams::new(3, 1.0);
         let cc = vec![ObjectSet::from([0, 1, 2])];
         let binary = mine_window(&store, params, 0, 16, &cc).unwrap();
-        let linear = mine_window_ordered(
-            &store,
-            params,
-            0,
-            16,
-            &cc,
-            crate::benchpoints::linear_order,
-        )
-        .unwrap();
+        let linear =
+            mine_window_ordered(&store, params, 0, 16, &cc, crate::benchpoints::linear_order)
+                .unwrap();
         assert!(binary.spanning.is_empty());
         assert!(linear.spanning.is_empty());
         assert_eq!(binary.timestamps_probed, 1, "root probe kills it");

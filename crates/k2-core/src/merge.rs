@@ -191,10 +191,7 @@ mod tests {
         let result = merge_spanning(&figure5_windows(), 2);
         for a in result.convoys() {
             for b in result.convoys() {
-                assert!(
-                    a == b || !a.is_sub_convoy_of(b),
-                    "{a:?} subsumed by {b:?}"
-                );
+                assert!(a == b || !a.is_sub_convoy_of(b), "{a:?} subsumed by {b:?}");
             }
         }
         let _ = ObjectSet::empty(); // silence unused import on some cfgs

@@ -314,15 +314,17 @@ mod tests {
         let d = random_dataset(1);
         let cfg = K2Config::new(4, 20, 1.0).unwrap();
         let found = K2HopParallel::new(cfg, 4).mine(&d);
-        assert!(found
-            .iter()
-            .any(|c| c.objects == k2_model::ObjectSet::from([100, 101, 102, 103])
-                && c.lifespan == k2_model::TimeInterval::new(8, 30)));
+        assert!(found.iter().any(
+            |c| c.objects == k2_model::ObjectSet::from([100, 101, 102, 103])
+                && c.lifespan == k2_model::TimeInterval::new(8, 30)
+        ));
     }
 
     #[test]
     fn short_dataset_yields_nothing() {
-        let d = random_dataset(2).restrict_time(k2_model::TimeInterval::new(0, 3)).unwrap();
+        let d = random_dataset(2)
+            .restrict_time(k2_model::TimeInterval::new(0, 3))
+            .unwrap();
         let cfg = K2Config::new(3, 10, 1.0).unwrap();
         assert!(K2HopParallel::new(cfg, 4).mine(&d).is_empty());
     }

@@ -322,12 +322,8 @@ mod tests {
         let store = store_of(pts);
         let res = mine(&store, 2, 12, 1.0);
         // FC convoys of length >= 12: {0,1} [0,19] and {3,4} [0,19].
-        assert!(res
-            .convoys
-            .contains(&Convoy::from_parts([0u32, 1], 0, 19)));
-        assert!(res
-            .convoys
-            .contains(&Convoy::from_parts([3u32, 4], 0, 19)));
+        assert!(res.convoys.contains(&Convoy::from_parts([0u32, 1], 0, 19)));
+        assert!(res.convoys.contains(&Convoy::from_parts([3u32, 4], 0, 19)));
         // {0,1,3,4} over the full span is NOT fully connected.
         assert!(!res
             .convoys

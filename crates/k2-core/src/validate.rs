@@ -196,7 +196,10 @@ mod tests {
     use k2_model::{Dataset, Point};
     use k2_storage::InMemoryStore;
 
-    const PARAMS: DbscanParams = DbscanParams { min_pts: 2, eps: 1.0 };
+    const PARAMS: DbscanParams = DbscanParams {
+        min_pts: 2,
+        eps: 1.0,
+    };
 
     /// The paper's §4.6 motivating scenario: objects a,b,c,d,e where e is
     /// the bridge connecting d to {a,b,c} at timestamp 3. Ids 0..4 = a..e.

@@ -40,7 +40,7 @@ impl Default for BrinkhoffConfig {
             max_time: 500,
             obj_begin: 400,
             obj_time: 8,
-            grid: (28, 22), // 616 nodes (1/10 of Table 4's 6105)
+            grid: (28, 22),            // 616 nodes (1/10 of Table 4's 6105)
             space: (23572.0, 26915.0), // Table 4 data space
             seed: 0,
         }
@@ -86,7 +86,11 @@ impl BrinkhoffConfig {
         let mut active: Vec<MovingObject> = Vec::new();
         for t in 0..self.max_time {
             // Inject new objects.
-            let fresh = if t == 0 { self.obj_begin } else { self.obj_time };
+            let fresh = if t == 0 {
+                self.obj_begin
+            } else {
+                self.obj_time
+            };
             for _ in 0..fresh {
                 if let Some(obj) = MovingObject::spawn(next_oid, &network, &mut rng) {
                     active.push(obj);
@@ -158,21 +162,25 @@ impl MovingObject {
         if self.leg + 1 >= self.path.len() {
             return false;
         }
-        let a = self.path[self.leg];
-        let b = self.path[self.leg + 1];
-        let speed = network.edge_speed(a, b).unwrap_or(1.0);
-        let (ax, ay) = network.nodes[a as usize];
-        let (bx, by) = network.nodes[b as usize];
-        let len = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+        let speed = network
+            .edge_speed(self.path[self.leg], self.path[self.leg + 1])
+            .unwrap_or(1.0);
         self.progress += speed;
-        while self.progress >= len {
+        loop {
+            let a = self.path[self.leg];
+            let b = self.path[self.leg + 1];
+            let (ax, ay) = network.nodes[a as usize];
+            let (bx, by) = network.nodes[b as usize];
+            let len = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+            if self.progress < len {
+                return true;
+            }
             self.progress -= len;
             self.leg += 1;
             if self.leg + 1 >= self.path.len() {
                 return false;
             }
         }
-        true
     }
 }
 

@@ -83,7 +83,7 @@ impl ConvoyInjector {
     }
 
     fn layout(&self) -> (Dataset, Vec<(Vec<Oid>, Time, u32)>) {
-        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xC0).clone();
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xC0);
         let mut b = DatasetBuilder::new();
         let side = self.arena;
 
@@ -136,10 +136,7 @@ impl ConvoyInjector {
             }
             planted.push((members, start, length));
         }
-        (
-            b.build().expect("injector always emits points"),
-            planted,
-        )
+        (b.build().expect("injector always emits points"), planted)
     }
 }
 
@@ -158,9 +155,18 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = ConvoyInjector::new(10, 10).convoys(1, 3, 5).seed(9).generate();
-        let b = ConvoyInjector::new(10, 10).convoys(1, 3, 5).seed(9).generate();
-        let c = ConvoyInjector::new(10, 10).convoys(1, 3, 5).seed(10).generate();
+        let a = ConvoyInjector::new(10, 10)
+            .convoys(1, 3, 5)
+            .seed(9)
+            .generate();
+        let b = ConvoyInjector::new(10, 10)
+            .convoys(1, 3, 5)
+            .seed(9)
+            .generate();
+        let c = ConvoyInjector::new(10, 10)
+            .convoys(1, 3, 5)
+            .seed(10)
+            .generate();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

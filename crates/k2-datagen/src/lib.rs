@@ -38,11 +38,19 @@ use k2_model::Dataset;
 /// reachable with larger scales, see EXPERIMENTS.md).
 pub fn paper_datasets(scale: f64, seed: u64) -> [(&'static str, Dataset); 3] {
     [
-        ("trucks", trucks::TrucksConfig::scaled(scale).seed(seed).generate()),
-        ("tdrive", tdrive::TDriveConfig::scaled(scale).seed(seed).generate()),
+        (
+            "trucks",
+            trucks::TrucksConfig::scaled(scale).seed(seed).generate(),
+        ),
+        (
+            "tdrive",
+            tdrive::TDriveConfig::scaled(scale).seed(seed).generate(),
+        ),
         (
             "brinkhoff",
-            brinkhoff::BrinkhoffConfig::scaled(scale).seed(seed).generate(),
+            brinkhoff::BrinkhoffConfig::scaled(scale)
+                .seed(seed)
+                .generate(),
         ),
     ]
 }

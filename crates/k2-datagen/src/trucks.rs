@@ -95,6 +95,7 @@ impl TrucksConfig {
                 let site = sites[rng.gen_range(0..sites.len())];
                 let depart = rng.gen_range(0..self.samples_per_day / 4);
                 let pour = rng.gen_range(60..180u32); // unloading pause
+
                 // Each group parks in its own corner of the (large)
                 // construction site, so unrelated trucks at the same site
                 // do not cluster.

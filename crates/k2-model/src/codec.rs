@@ -105,8 +105,12 @@ pub fn read_csv<R: Read>(reader: R) -> io::Result<Dataset> {
             continue;
         }
         let mut fields = line.split(',');
-        let parse_err =
-            |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("line {}: bad {what}", lineno + 1));
+        let parse_err = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: bad {what}", lineno + 1),
+            )
+        };
         let oid: Oid = fields
             .next()
             .and_then(|s| s.trim().parse().ok())

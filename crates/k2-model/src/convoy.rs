@@ -158,9 +158,7 @@ impl ConvoySet {
     /// (by lifespan, then objects) for deterministic output.
     pub fn into_sorted_vec(self) -> Vec<Convoy> {
         let mut v = self.convoys;
-        v.sort_by(|a, b| {
-            (a.lifespan, a.objects.ids()).cmp(&(b.lifespan, b.objects.ids()))
-        });
+        v.sort_by(|a, b| (a.lifespan, a.objects.ids()).cmp(&(b.lifespan, b.objects.ids())));
         v
     }
 

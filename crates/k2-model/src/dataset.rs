@@ -196,8 +196,7 @@ impl DatasetBuilder {
         if self.points.is_empty() {
             return None;
         }
-        self.points
-            .sort_by_key(|a| (a.t, a.oid));
+        self.points.sort_by_key(|a| (a.t, a.oid));
         let start = self.points[0].t;
         let end = self.points[self.points.len() - 1].t;
         let mut snapshots = vec![Snapshot::new(); (end - start + 1) as usize];
@@ -295,7 +294,9 @@ mod tests {
         let d = toy();
         let pts: Vec<_> = d.iter_points().collect();
         assert_eq!(pts.len(), 5);
-        assert!(pts.windows(2).all(|w| (w[0].t, w[0].oid) < (w[1].t, w[1].oid)));
+        assert!(pts
+            .windows(2)
+            .all(|w| (w[0].t, w[0].oid) < (w[1].t, w[1].oid)));
     }
 
     #[test]

@@ -46,12 +46,7 @@ pub fn interpolate(dataset: &Dataset, max_gap: u32) -> (Dataset, u64) {
             if gap > 1 && gap - 1 <= max_gap {
                 for t in (a.t + 1)..z.t {
                     let f = (t - a.t) as f64 / gap as f64;
-                    b.record(
-                        oid,
-                        a.x + (z.x - a.x) * f,
-                        a.y + (z.y - a.y) * f,
-                        t,
-                    );
+                    b.record(oid, a.x + (z.x - a.x) * f, a.y + (z.y - a.y) * f, t);
                     inserted += 1;
                 }
             }
@@ -73,7 +68,12 @@ pub fn downsample(dataset: &Dataset, stride: u32) -> Dataset {
     let mut b = DatasetBuilder::new();
     for p in dataset.iter_points() {
         if (p.t - dataset.start()).is_multiple_of(stride) {
-            b.record(p.oid, p.x, p.y, (p.t - dataset.start()) / stride + dataset.start());
+            b.record(
+                p.oid,
+                p.x,
+                p.y,
+                (p.t - dataset.start()) / stride + dataset.start(),
+            );
         }
     }
     b.build().expect("stride keeps the first timestamp")

@@ -20,9 +20,9 @@
 //! and every baseline) is expressed in these types.
 
 pub mod codec;
-pub mod interpolate;
 mod convoy;
 mod dataset;
+pub mod interpolate;
 mod interval;
 mod object_set;
 mod point;

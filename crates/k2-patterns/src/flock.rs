@@ -409,7 +409,9 @@ mod tests {
         // The §2 motivation: a convoy can be an arbitrarily long chain,
         // a flock cannot. A 5-point chain with 0.9-spacing forms one
         // DBSCAN cluster at eps=1 but no single flock disk of radius 1.
-        let chain: Vec<ObjPos> = (0..5).map(|i| ObjPos::new(i, i as f64 * 0.9, 0.0)).collect();
+        let chain: Vec<ObjPos> = (0..5)
+            .map(|i| ObjPos::new(i, i as f64 * 0.9, 0.0))
+            .collect();
         let clusters = k2_cluster::dbscan(&chain, k2_cluster::DbscanParams::new(2, 1.0));
         assert_eq!(clusters.len(), 1, "density chain is one cluster");
         assert_eq!(clusters[0].len(), 5);

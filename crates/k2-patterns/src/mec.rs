@@ -194,7 +194,9 @@ mod tests {
         // circle is supported by >= 2 boundary points).
         let mut state = 12345u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 1000) as f64 / 100.0
         };
         let points: Vec<(f64, f64)> = (0..60).map(|_| (next(), next())).collect();

@@ -170,7 +170,12 @@ mod tests {
             // Everyone not in the cluster wanders far away.
             for oid in 0..8u32 {
                 if !members.contains(&oid) {
-                    pts.push(Point::new(oid, 900.0 + oid as f64 * 55.0, t as f64 * 7.0, t));
+                    pts.push(Point::new(
+                        oid,
+                        900.0 + oid as f64 * 55.0,
+                        t as f64 * 7.0,
+                        t,
+                    ));
                 }
             }
         }

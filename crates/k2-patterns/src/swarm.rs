@@ -87,7 +87,15 @@ pub fn mine(dataset: &Dataset, config: SwarmConfig) -> Vec<Swarm> {
     for (centre, mut neighbours) in star_list {
         neighbours.sort_by_key(|(j, _)| *j);
         let mut members = Vec::new();
-        grow(centre, &neighbours, 0, &mut members, None, &config, &mut found);
+        grow(
+            centre,
+            &neighbours,
+            0,
+            &mut members,
+            None,
+            &config,
+            &mut found,
+        );
     }
 
     // Keep only maximal (objects, times) pairs.
@@ -99,7 +107,9 @@ pub fn mine(dataset: &Dataset, config: SwarmConfig) -> Vec<Swarm> {
                 continue 'outer;
             }
         }
-        maximal.retain(|kept| !(kept.objects.is_subset(&s.objects) && is_subseq(&kept.times, &s.times)));
+        maximal.retain(|kept| {
+            !(kept.objects.is_subset(&s.objects) && is_subseq(&kept.times, &s.times))
+        });
         maximal.push(s);
     }
     maximal.sort_by(|a, b| (a.objects.ids(), &a.times).cmp(&(b.objects.ids(), &b.times)));
@@ -133,7 +143,15 @@ fn grow(
                 times: merged.clone(),
             });
         }
-        grow(centre, neighbours, idx + 1, members, Some(&merged), config, out);
+        grow(
+            centre,
+            neighbours,
+            idx + 1,
+            members,
+            Some(&merged),
+            config,
+            out,
+        );
         members.pop();
     }
 }

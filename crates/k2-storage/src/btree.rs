@@ -158,31 +158,30 @@ impl RelationalStore {
         let mut leaf: Vec<u8> = Vec::with_capacity(PAGE_SIZE);
         let mut leaf_count: u16 = 0;
         let mut leaf_first_key: Option<[u8; KEY_SIZE]> = None;
-        let flush_leaf =
-            |buf: &mut Vec<u8>,
-             count: &mut u16,
-             first: &mut Option<[u8; KEY_SIZE]>,
-             out: &mut Vec<u8>,
-             next_page: &mut u32,
-             firsts: &mut Vec<([u8; KEY_SIZE], u32)>,
-             more_coming: bool| {
-                if *count == 0 {
-                    return;
-                }
-                let id = *next_page;
-                *next_page += 1;
-                let next_leaf = if more_coming { id + 1 } else { 0 };
-                let mut page = vec![0u8; PAGE_SIZE];
-                page[0] = TAG_LEAF;
-                page[1..3].copy_from_slice(&count.to_le_bytes());
-                page[3..7].copy_from_slice(&next_leaf.to_le_bytes());
-                page[LEAF_HDR..LEAF_HDR + buf.len()].copy_from_slice(buf);
-                out.extend_from_slice(&page);
-                firsts.push((first.expect("non-empty leaf has a first key"), id));
-                buf.clear();
-                *count = 0;
-                *first = None;
-            };
+        let flush_leaf = |buf: &mut Vec<u8>,
+                          count: &mut u16,
+                          first: &mut Option<[u8; KEY_SIZE]>,
+                          out: &mut Vec<u8>,
+                          next_page: &mut u32,
+                          firsts: &mut Vec<([u8; KEY_SIZE], u32)>,
+                          more_coming: bool| {
+            if *count == 0 {
+                return;
+            }
+            let id = *next_page;
+            *next_page += 1;
+            let next_leaf = if more_coming { id + 1 } else { 0 };
+            let mut page = vec![0u8; PAGE_SIZE];
+            page[0] = TAG_LEAF;
+            page[1..3].copy_from_slice(&count.to_le_bytes());
+            page[3..7].copy_from_slice(&next_leaf.to_le_bytes());
+            page[LEAF_HDR..LEAF_HDR + buf.len()].copy_from_slice(buf);
+            out.extend_from_slice(&page);
+            firsts.push((first.expect("non-empty leaf has a first key"), id));
+            buf.clear();
+            *count = 0;
+            *first = None;
+        };
 
         let mut points_iter = dataset.iter_points().peekable();
         while let Some(p) = points_iter.next() {
@@ -567,12 +566,9 @@ mod tests {
     #[test]
     fn tiny_pool_still_correct() {
         let d = toy_dataset();
-        let store = RelationalStore::create_with(
-            tmp("tinypool.k2bt"),
-            &d,
-            BTreeConfig { pool_pages: 1 },
-        )
-        .unwrap();
+        let store =
+            RelationalStore::create_with(tmp("tinypool.k2bt"), &d, BTreeConfig { pool_pages: 1 })
+                .unwrap();
         conformance(&store, &d);
     }
 

@@ -74,5 +74,4 @@ mod tests {
         let v = encode_val(x, y);
         assert_eq!(decode_val(&v), (x, y));
     }
-
 }

@@ -145,7 +145,8 @@ impl SsTableWriter {
             return Ok(());
         }
         let first = self.block_first_key.expect("non-empty block");
-        self.index.push((first, self.offset, self.block.len() as u32));
+        self.index
+            .push((first, self.offset, self.block.len() as u32));
         self.out.write_all(&self.block)?;
         self.offset += self.block.len() as u64;
         self.block.clear();

@@ -609,9 +609,6 @@ mod tests {
         let dir = tmpdir("badmanifest");
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join(MANIFEST), "WRONG\n").unwrap();
-        assert!(matches!(
-            LsmStore::open(&dir),
-            Err(StoreError::Corrupt(_))
-        ));
+        assert!(matches!(LsmStore::open(&dir), Err(StoreError::Corrupt(_))));
     }
 }

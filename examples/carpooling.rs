@@ -57,10 +57,7 @@ fn main() {
         let mut days = 0u32;
         for day in 0..DAYS {
             let window = TimeInterval::new(day * COMMUTE_TICKS, (day + 1) * COMMUTE_TICKS - 1);
-            let overlap = convoy
-                .lifespan
-                .intersect(&window)
-                .map_or(0, |iv| iv.len());
+            let overlap = convoy.lifespan.intersect(&window).map_or(0, |iv| iv.len());
             if overlap >= 20 {
                 days += 1;
             }

@@ -69,10 +69,8 @@ fn main() {
     );
 
     // --- Moving clusters: the churn group keeps its identity ---
-    let chains = k2hop::patterns::moving_cluster::mine(
-        &dataset,
-        MovingClusterConfig::new(4, 50, 1.0, 0.6),
-    );
+    let chains =
+        k2hop::patterns::moving_cluster::mine(&dataset, MovingClusterConfig::new(4, 50, 1.0, 0.6));
     println!("\nmoving clusters (m=4, k=50, eps=1, theta=0.6):");
     for mc in &chains {
         println!(

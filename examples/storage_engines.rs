@@ -57,7 +57,12 @@ fn main() {
     btree.reset_io_stats();
     let t0 = Instant::now();
     let res_b = miner.mine(&btree).expect("mining");
-    print_row("k2-rdbms", res_b.convoys.len(), t0.elapsed(), btree.io_stats());
+    print_row(
+        "k2-rdbms",
+        res_b.convoys.len(),
+        t0.elapsed(),
+        btree.io_stats(),
+    );
 
     // k2-LSMT.
     lsm.reset_io_stats();
@@ -71,9 +76,21 @@ fn main() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-fn print_row(name: &str, convoys: usize, elapsed: std::time::Duration, io: k2hop::storage::IoStats) {
+fn print_row(
+    name: &str,
+    convoys: usize,
+    elapsed: std::time::Duration,
+    io: k2hop::storage::IoStats,
+) {
     println!(
         "{:<10} {:>9} {:>8.1?} {:>10} {:>10} {:>10} {:>9} {:>8}",
-        name, convoys, elapsed, io.seeks, io.blocks_read, io.bytes_read, io.point_queries, io.cache_hits
+        name,
+        convoys,
+        elapsed,
+        io.seeks,
+        io.blocks_read,
+        io.bytes_read,
+        io.point_queries,
+        io.cache_hits
     );
 }

@@ -65,7 +65,9 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 /// Splits positional args from `--flag value` pairs.
-fn parse_flags<'a>(args: &[&'a String]) -> Result<(Vec<&'a str>, HashMap<&'a str, &'a str>), String> {
+fn parse_flags<'a>(
+    args: &[&'a String],
+) -> Result<(Vec<&'a str>, HashMap<&'a str, &'a str>), String> {
     let mut positional = Vec::new();
     let mut flags = HashMap::new();
     let mut i = 0;
@@ -241,10 +243,7 @@ fn mine(args: &[&String]) -> Result<(), String> {
         }
     };
     let elapsed = start.elapsed();
-    println!(
-        "{} convoys in {elapsed:.2?} ({algo}{extra})",
-        convoys.len()
-    );
+    println!("{} convoys in {elapsed:.2?} ({algo}{extra})", convoys.len());
     if !quiet {
         for c in &convoys {
             println!("  {:?} over {} (len {})", c.objects, c.lifespan, c.len());
@@ -277,6 +276,9 @@ fn convert(args: &[&String]) -> Result<(), String> {
     };
     let dataset = load(input)?;
     save(&dataset, output)?;
-    println!("converted {input} -> {output} ({} points)", dataset.num_points());
+    println!(
+        "converted {input} -> {output} ({} points)",
+        dataset.num_points()
+    );
     Ok(())
 }

@@ -105,7 +105,16 @@ fn bad_usage_fails_with_help() {
     assert!(!out.status.success());
 
     let out = k2()
-        .args(["mine", "/nonexistent.bin", "--m", "3", "--k", "5", "--eps", "1"])
+        .args([
+            "mine",
+            "/nonexistent.bin",
+            "--m",
+            "3",
+            "--k",
+            "5",
+            "--eps",
+            "1",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());

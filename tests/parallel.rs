@@ -49,7 +49,10 @@ fn parallel_equals_sequential_on_tdrive() {
 
 #[test]
 fn oversubscribed_thread_count_is_harmless() {
-    let d = ConvoyInjector::new(20, 30).convoys(1, 3, 15).seed(2).generate();
+    let d = ConvoyInjector::new(20, 30)
+        .convoys(1, 3, 15)
+        .seed(2)
+        .generate();
     let cfg = K2Config::new(3, 10, 1.0).unwrap();
     let expect = sequential(&d, 3, 10, 1.0);
     assert_eq!(K2HopParallel::new(cfg, 64).mine(&d), expect);

@@ -19,7 +19,10 @@ fn tmpdir(name: &str) -> std::path::PathBuf {
 
 #[test]
 fn all_engines_agree_on_mining_results() {
-    let dataset = ConvoyInjector::new(60, 50).convoys(3, 4, 25).seed(21).generate();
+    let dataset = ConvoyInjector::new(60, 50)
+        .convoys(3, 4, 25)
+        .seed(21)
+        .generate();
     let dir = tmpdir("agree");
 
     let mem = InMemoryStore::new(dataset.clone());
@@ -44,7 +47,10 @@ fn all_engines_agree_on_mining_results() {
 
 #[test]
 fn disk_engines_serve_benchmark_scans_and_point_queries() {
-    let dataset = ConvoyInjector::new(40, 30).convoys(1, 4, 20).seed(3).generate();
+    let dataset = ConvoyInjector::new(40, 30)
+        .convoys(1, 4, 20)
+        .seed(3)
+        .generate();
     let dir = tmpdir("iostats");
     let btree = RelationalStore::create(dir.join("d.k2bt"), &dataset).unwrap();
     let lsm = LsmStore::bulk_load(dir.join("lsm"), &dataset).unwrap();
@@ -80,7 +86,10 @@ fn vcoda_on_flat_file_hits_memory_budget() {
 
 #[test]
 fn lsm_reopen_mid_experiment_is_consistent() {
-    let dataset = ConvoyInjector::new(30, 30).convoys(2, 3, 18).seed(8).generate();
+    let dataset = ConvoyInjector::new(30, 30)
+        .convoys(2, 3, 18)
+        .seed(8)
+        .generate();
     let dir = tmpdir("reopen");
     let miner = K2Hop::new(K2Config::new(3, 8, 1.0).unwrap());
     let before = {
@@ -104,7 +113,10 @@ fn lsm_reopen_mid_experiment_is_consistent() {
 fn trait_objects_support_heterogeneous_pipelines() {
     // The miner accepts `&dyn TrajectoryStore` — the bench harness depends
     // on this to sweep engines generically.
-    let dataset = ConvoyInjector::new(20, 20).convoys(1, 3, 12).seed(2).generate();
+    let dataset = ConvoyInjector::new(20, 20)
+        .convoys(1, 3, 12)
+        .seed(2)
+        .generate();
     let dir = tmpdir("dyn");
     let stores: Vec<Box<dyn TrajectoryStore>> = vec![
         Box::new(InMemoryStore::new(dataset.clone())),

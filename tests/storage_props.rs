@@ -20,10 +20,7 @@ fn points_strategy() -> impl Strategy<Value = Vec<Point>> {
 }
 
 fn tmp(name: &str, salt: u64) -> std::path::PathBuf {
-    let d = std::env::temp_dir().join(format!(
-        "k2storeprops-{}-{name}-{salt}",
-        std::process::id()
-    ));
+    let d = std::env::temp_dir().join(format!("k2storeprops-{}-{name}-{salt}", std::process::id()));
     let _ = std::fs::remove_dir_all(&d);
     std::fs::create_dir_all(&d).unwrap();
     d

@@ -1,0 +1,71 @@
+//! Configuration, per-case RNG, and failure plumbing.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Runner configuration. Only `cases` is honoured by this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Deterministic per-case random source handed to strategies.
+///
+/// Reseeded from the case index (optionally offset by `PROPTEST_SEED`),
+/// so a failing case number identifies its inputs exactly.
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// RNG for the `case`-th case of a property.
+    pub fn for_case(case: u32) -> Self {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        Self {
+            rng: StdRng::seed_from_u64(
+                base ^ ((case as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F)),
+            ),
+        }
+    }
+}
+
+/// A failed property case (carried by `prop_assert!` and friends).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
