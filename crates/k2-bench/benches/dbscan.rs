@@ -60,10 +60,17 @@ fn bench_dbscan_density(c: &mut Criterion) {
 
 fn bench_recluster_small(c: &mut Criterion) {
     // The HWMT hot path: re-clustering tiny candidate sets thousands of
-    // times.
+    // times. The scratch-reuse variant is what the probe loops actually
+    // run — steady state allocates nothing.
     let points = snapshot(8, 1.0, 3);
     c.bench_function("dbscan/candidate_recluster_8pts", |b| {
         b.iter(|| dbscan(black_box(&points), DbscanParams::new(3, 1.0)))
+    });
+    c.bench_function("dbscan/candidate_recluster_8pts_scratch", |b| {
+        let mut scratch = k2_cluster::GridScratch::new();
+        b.iter(|| {
+            k2_cluster::dbscan_with(black_box(&points), DbscanParams::new(3, 1.0), &mut scratch)
+        })
     });
 }
 

@@ -1,0 +1,172 @@
+//! Grid-layout microbenchmarks: CSR (counting-sort, this PR) vs the
+//! pre-existing `HashMap` layout, A/B'd on build cost, neighbour-query
+//! cost, and a full DBSCAN over the 10k-point uniform snapshot — the
+//! workload the perf acceptance criterion is stated against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use k2_cluster::{dbscan, dbscan_with, DbscanParams, GridIndex, GridScratch};
+use k2_model::{ObjPos, ObjectSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const EPS: f64 = 1.0;
+
+/// Uniform snapshot over a square of side `sqrt(n) * 10` — ~1 point per
+/// 100 cells at eps 1, the sparse-occupancy regime of movement data.
+fn uniform(n: usize, seed: u64) -> Vec<ObjPos> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = (n as f64).sqrt() * 10.0;
+    (0..n)
+        .map(|i| ObjPos::new(i as u32, rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid/build");
+    for &n in &[1_000usize, 10_000] {
+        let points = uniform(n, 13);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("csr", n), &points, |b, pts| {
+            b.iter(|| black_box(GridIndex::build(pts, EPS).is_csr()))
+        });
+        group.bench_with_input(BenchmarkId::new("csr_reused", n), &points, |b, pts| {
+            let mut grid = GridIndex::new();
+            b.iter(|| {
+                grid.rebuild(pts, EPS);
+                black_box(grid.is_csr())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hashmap", n), &points, |b, pts| {
+            b.iter(|| black_box(GridIndex::build_sparse(pts, EPS).is_csr()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_neighbours(c: &mut Criterion) {
+    let n = 10_000usize;
+    let points = uniform(n, 17);
+    let csr = GridIndex::build(&points, EPS);
+    let sparse = GridIndex::build_sparse(&points, EPS);
+    assert!(csr.is_csr() && !sparse.is_csr());
+    let mut group = c.benchmark_group("grid/neighbours_10k");
+    group.throughput(Throughput::Elements(n as u64));
+    for (label, grid) in [("csr", &csr), ("hashmap", &sparse)] {
+        group.bench_function(label, |b| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                let mut total = 0usize;
+                for idx in 0..points.len() {
+                    out.clear();
+                    grid.neighbours(&points, idx, EPS * EPS, &mut out);
+                    total += out.len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The pre-PR DBSCAN, reproduced verbatim at the bench level on top of
+/// the `HashMap` grid layout: fresh allocations per call, `Vec<Vec<u32>>`
+/// cluster gather. This is the baseline the ≥2× acceptance criterion is
+/// measured against.
+fn dbscan_hashmap_baseline(points: &[ObjPos], params: DbscanParams) -> Vec<ObjectSet> {
+    if points.len() < params.min_pts {
+        return Vec::new();
+    }
+    let eps2 = params.eps * params.eps;
+    let grid = GridIndex::build_sparse(points, params.eps);
+    const UNVISITED: u32 = u32::MAX;
+    const NOISE: u32 = u32::MAX - 1;
+    let mut label = vec![UNVISITED; points.len()];
+    let mut cluster_count: u32 = 0;
+    let mut neighbours: Vec<u32> = Vec::new();
+    let mut frontier: Vec<u32> = Vec::new();
+    for start in 0..points.len() {
+        if label[start] != UNVISITED {
+            continue;
+        }
+        neighbours.clear();
+        grid.neighbours(points, start, eps2, &mut neighbours);
+        if neighbours.len() < params.min_pts {
+            label[start] = NOISE;
+            continue;
+        }
+        let cid = cluster_count;
+        cluster_count += 1;
+        label[start] = cid;
+        frontier.clear();
+        for &n in &neighbours {
+            let l = label[n as usize];
+            if l == UNVISITED || l == NOISE {
+                if l == UNVISITED {
+                    frontier.push(n);
+                }
+                label[n as usize] = cid;
+            }
+        }
+        while let Some(q) = frontier.pop() {
+            neighbours.clear();
+            grid.neighbours(points, q as usize, eps2, &mut neighbours);
+            if neighbours.len() < params.min_pts {
+                continue;
+            }
+            for &n in &neighbours {
+                let l = label[n as usize];
+                if l == UNVISITED || l == NOISE {
+                    if l == UNVISITED {
+                        frontier.push(n);
+                    }
+                    label[n as usize] = cid;
+                }
+            }
+        }
+    }
+    let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); cluster_count as usize];
+    for (i, &l) in label.iter().enumerate() {
+        if l < NOISE {
+            clusters[l as usize].push(points[i].oid);
+        }
+    }
+    let mut out: Vec<ObjectSet> = clusters
+        .into_iter()
+        .filter(|c| c.len() >= params.min_pts)
+        .map(ObjectSet::new)
+        .collect();
+    out.sort_by(|a, b| a.ids().cmp(b.ids()));
+    out
+}
+
+fn bench_dbscan_uniform_10k(c: &mut Criterion) {
+    let points = uniform(10_000, 7);
+    let params = DbscanParams::new(3, EPS);
+    // Both paths must agree before we compare their speed.
+    assert_eq!(
+        dbscan(&points, params),
+        dbscan_hashmap_baseline(&points, params)
+    );
+    let mut group = c.benchmark_group("grid/dbscan_uniform_10k");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("csr", |b| {
+        b.iter(|| black_box(dbscan(&points, params).len()))
+    });
+    group.bench_function("csr_scratch_reuse", |b| {
+        let mut scratch = GridScratch::new();
+        b.iter(|| black_box(dbscan_with(&points, params, &mut scratch).len()))
+    });
+    group.bench_function("hashmap_pre_pr", |b| {
+        b.iter(|| black_box(dbscan_hashmap_baseline(&points, params).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build,
+    bench_neighbours,
+    bench_dbscan_uniform_10k
+);
+criterion_main!(benches);

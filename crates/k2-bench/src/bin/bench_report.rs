@@ -1,0 +1,233 @@
+//! Fixed-workload performance report — the repo's measured perf
+//! trajectory.
+//!
+//! Runs k/2-hop end to end on a seeded Brinkhoff-style workload (the
+//! same shape `figures` uses for the paper's Brinkhoff experiments),
+//! plus two microbenchmarks of the clustering substrate, and writes the
+//! numbers as JSON. Each perf-focused PR commits its report as
+//! `BENCH_<n>.json` at the repo root so speedups (and regressions) are
+//! visible in history, not just claimed in PR descriptions.
+//!
+//! ```sh
+//! cargo run --release -p k2-bench --bin bench-report -- --out BENCH_2.json
+//! cargo run --release -p k2-bench --bin bench-report -- --scale 0.1 --runs 1
+//! ```
+
+use k2_cluster::{dbscan_with, DbscanParams, GridScratch};
+use k2_core::{K2Config, K2Hop, MiningResult};
+use k2_datagen::brinkhoff::BrinkhoffConfig;
+use k2_storage::InMemoryStore;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Mining parameters. Chosen so the scaled Brinkhoff traffic yields real
+/// convoys (a few dozen at scale 1.0) and every pipeline phase does
+/// non-trivial work; the figures-harness preset `(3, 80, 100)` finds
+/// nothing at laptop scale, which would make the report a degenerate
+/// perf point.
+const M: usize = 2;
+const K: u32 = 40;
+const EPS: f64 = 600.0;
+
+struct Args {
+    out: String,
+    scale: f64,
+    seed: u64,
+    runs: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH_2.json".into(),
+        scale: 1.0,
+        seed: 42,
+        runs: 3,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--out" => args.out = value("--out"),
+            "--scale" => args.scale = value("--scale").parse().expect("--scale: f64"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed: u64"),
+            "--runs" => args.runs = value("--runs").parse().expect("--runs: usize"),
+            "--help" | "-h" => {
+                eprintln!("usage: bench-report [--out FILE] [--scale F] [--seed N] [--runs N]");
+                std::process::exit(2);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(args.runs >= 1, "--runs must be >= 1");
+    assert!(args.scale > 0.0, "--scale must be positive");
+    args
+}
+
+fn median_by_total(mut runs: Vec<(f64, MiningResult)>) -> (f64, MiningResult) {
+    runs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+    let mid = runs.len() / 2;
+    runs.swap_remove(mid)
+}
+
+fn main() {
+    let args = parse_args();
+
+    // The fixed workload: the figures harness's Brinkhoff shape at
+    // `--scale` (1.0 = the committed BENCH_*.json point).
+    let cfg = BrinkhoffConfig {
+        max_time: ((1300.0 * args.scale).round() as u32).max(60),
+        obj_begin: ((300.0 * args.scale).round() as u32).max(20),
+        obj_time: ((5.0 * args.scale).round() as u32).max(1),
+        ..BrinkhoffConfig::default()
+    }
+    .seed(args.seed);
+    eprintln!("generating brinkhoff workload (scale {})...", args.scale);
+    let dataset = cfg.generate();
+    let stats = dataset.stats();
+    let store = InMemoryStore::new(dataset);
+
+    // End-to-end k/2-hop, median of `--runs` by total time.
+    let miner = K2Hop::new(K2Config::new(M, K, EPS).expect("valid config"));
+    let mut runs = Vec::with_capacity(args.runs);
+    for i in 0..args.runs {
+        let start = Instant::now();
+        let result = miner.mine(&store).expect("in-memory mining cannot fail");
+        let secs = start.elapsed().as_secs_f64();
+        eprintln!(
+            "run {}/{}: {secs:.3}s, {} convoys",
+            i + 1,
+            args.runs,
+            result.convoys.len()
+        );
+        runs.push((secs, result));
+    }
+    let (mine_secs, result) = median_by_total(runs);
+
+    // Microbenchmark 1: full-snapshot DBSCAN on the largest snapshot
+    // (the benchmark-clustering unit of work).
+    let largest = store
+        .dataset()
+        .iter()
+        .max_by_key(|(_, s)| s.len())
+        .map(|(t, _)| t)
+        .expect("non-empty dataset");
+    let snapshot = store.dataset().snapshot(largest).expect("largest snapshot");
+    let params = DbscanParams::new(M, EPS);
+    let mut scratch = GridScratch::new();
+    let dbscan_secs = median_secs(31, || {
+        dbscan_with(snapshot.positions(), params, &mut scratch).len()
+    });
+
+    // Microbenchmark 2: a tiny `reCluster`-style probe (restrict + cluster
+    // of an m-sized candidate), the HWMT/extension/validation unit of work.
+    let candidate =
+        k2_model::ObjectSet::new(snapshot.positions().iter().take(8).map(|p| p.oid).collect());
+    let mut positions = Vec::new();
+    let probe_secs = median_secs(1001, || {
+        store
+            .dataset()
+            .restrict_at_into(largest, &candidate, &mut positions);
+        dbscan_with(&positions, params, &mut scratch).len()
+    });
+
+    let json = render_json(
+        &args,
+        &stats,
+        mine_secs,
+        &result,
+        snapshot.len(),
+        dbscan_secs,
+        probe_secs,
+    );
+    std::fs::write(&args.out, &json).expect("write report");
+    eprintln!("wrote {}", args.out);
+    println!("{json}");
+}
+
+/// Median wall-clock seconds of `iters` calls to `f` (odd `iters`).
+fn median_secs(iters: usize, mut f: impl FnMut() -> usize) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    samples[samples.len() / 2]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    args: &Args,
+    stats: &k2_model::DatasetStats,
+    mine_secs: f64,
+    result: &MiningResult,
+    snapshot_n: usize,
+    dbscan_secs: f64,
+    probe_secs: f64,
+) -> String {
+    let t = &result.timings;
+    let phases: [(&str, f64); 7] = [
+        ("benchmark", t.benchmark.as_secs_f64()),
+        ("intersect", t.intersect.as_secs_f64()),
+        ("hwmt", t.hwmt.as_secs_f64()),
+        ("merge", t.merge.as_secs_f64()),
+        ("extend_right", t.extend_right.as_secs_f64()),
+        ("extend_left", t.extend_left.as_secs_f64()),
+        ("validation", t.validation.as_secs_f64()),
+    ];
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"k2hop-bench-report/1\",");
+    let _ = writeln!(
+        s,
+        "  \"workload\": {{\"generator\": \"brinkhoff\", \"scale\": {}, \"seed\": {}, \"m\": {M}, \"k\": {K}, \"eps\": {EPS:.1}}},",
+        args.scale, args.seed
+    );
+    let _ = writeln!(
+        s,
+        "  \"dataset\": {{\"points\": {}, \"timestamps\": {}, \"objects\": {}, \"max_snapshot\": {}}},",
+        stats.num_points, stats.num_timestamps, stats.num_objects, stats.max_snapshot_size
+    );
+    let _ = writeln!(s, "  \"mine\": {{");
+    let _ = writeln!(s, "    \"runs\": {},", args.runs);
+    let _ = writeln!(s, "    \"median_total_secs\": {mine_secs:.6},");
+    let _ = writeln!(
+        s,
+        "    \"points_per_sec\": {:.0},",
+        stats.num_points as f64 / mine_secs
+    );
+    let _ = writeln!(s, "    \"convoys\": {},", result.convoys.len());
+    let _ = writeln!(
+        s,
+        "    \"points_processed\": {},",
+        result.pruning.points_processed()
+    );
+    let _ = writeln!(
+        s,
+        "    \"pruning_ratio\": {:.4},",
+        result.pruning.pruning_ratio()
+    );
+    s.push_str("    \"phases_secs\": {");
+    for (i, (name, secs)) in phases.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(s, "{sep}\"{name}\": {secs:.6}");
+    }
+    s.push_str("}\n  },\n");
+    let _ = writeln!(
+        s,
+        "  \"dbscan_largest_snapshot\": {{\"points\": {snapshot_n}, \"median_secs\": {dbscan_secs:.6}, \"points_per_sec\": {:.0}}},",
+        snapshot_n as f64 / dbscan_secs
+    );
+    let _ = writeln!(
+        s,
+        "  \"recluster_probe_8pt\": {{\"median_nanos\": {:.0}}}",
+        probe_secs * 1e9
+    );
+    s.push_str("}\n");
+    s
+}

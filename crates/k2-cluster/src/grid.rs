@@ -1,7 +1,45 @@
 //! Uniform-grid spatial index for eps-neighbourhood queries.
+//!
+//! Two physical layouts share one logical index:
+//!
+//! * **CSR** (the default): a counting-sort compressed-sparse-row layout
+//!   over the snapshot's bounding box — one `offsets` array of
+//!   `cols * rows + 1` cell boundaries and one `slots` array holding every
+//!   point index, grouped by row-major cell id. Building it is three
+//!   linear passes with zero hashing, and a 3×3 neighbourhood probe reads
+//!   exactly three contiguous `slots` ranges (one per grid row), which the
+//!   prefetcher loves.
+//! * **Sparse** (the fallback): the original `HashMap<(i64, i64), Vec<u32>>`
+//!   keyed by absolute cell coordinates, used when the bounding box is
+//!   degenerate — non-finite coordinates, or an extent so large relative
+//!   to `eps` that the dense `offsets` array would dwarf the point set.
+//!
+//! All buffers live inside the [`GridIndex`] value and are reused by
+//! [`GridIndex::rebuild`], so the thousands of tiny `recluster` probes in
+//! the HWMT / extension / validation phases amortise every allocation.
 
 use k2_model::ObjPos;
 use std::collections::HashMap;
+
+/// Target CSR occupancy: aim for about this many cells per point. Any
+/// cell side `>= eps` preserves the 3×3 neighbourhood guarantee, so when
+/// the eps-sized grid would be much sparser than this the cell side is
+/// scaled up — zero-filling a hundred empty cells per point costs more
+/// than filtering a couple of extra distance candidates.
+const CSR_TARGET_CELLS_PER_POINT: usize = 4;
+/// Never scale the cell side by more than this factor over `eps`: beyond
+/// it the extent is so outlier-stretched that coarse cells would degrade
+/// queries toward `O(n)`, and the sparse layout handles it better.
+const CSR_MAX_CELL_SCALE: f64 = 8.0;
+/// Densest CSR grid we allow after scaling, as a multiple of the point
+/// count. Beyond this the zero-fill of `offsets` would dominate the
+/// build, so the sparse fallback wins.
+const CSR_MAX_CELLS_PER_POINT: usize = 192;
+/// Grids up to this many cells are always allowed (the multipliers above
+/// only bite for large point sets).
+const CSR_MIN_CELL_BUDGET: usize = 1 << 16;
+/// Absolute ceiling on dense cells (bounds `offsets` to ~64 MiB).
+const CSR_ABS_MAX_CELLS: usize = 1 << 24;
 
 /// A uniform grid over a point set with cell side `eps`.
 ///
@@ -11,41 +49,193 @@ use std::collections::HashMap;
 /// movement data this gives expected `O(1)` work per query and `O(n)` per
 /// DBSCAN run, replacing the `O(n²)` pairwise scan the paper identifies as
 /// the bottleneck of naive implementations.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct GridIndex {
     cell: f64,
-    /// Cell coordinates -> indices into the points slice.
-    cells: HashMap<(i64, i64), Vec<u32>>,
+    /// Which layout the last `rebuild` chose.
+    repr: Repr,
+    // --- CSR layout (valid when `repr == Repr::Csr`) ---
+    min_x: f64,
+    min_y: f64,
+    cols: usize,
+    rows: usize,
+    /// `offsets[c]..offsets[c + 1]` is the `slots` range of cell `c`.
+    offsets: Vec<u32>,
+    /// Point indices grouped by row-major cell id.
+    slots: Vec<u32>,
+    /// Build scratch: cell id of each point (reused across rebuilds).
+    cell_of: Vec<u32>,
+    // --- sparse fallback (valid when `repr == Repr::Sparse`) ---
+    sparse: HashMap<(i64, i64), Vec<u32>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Repr {
+    #[default]
+    Csr,
+    Sparse,
 }
 
 impl GridIndex {
+    /// Creates an empty index (no points, no allocation). Populate it with
+    /// [`rebuild`](Self::rebuild).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Builds the index over `points` with cell side `eps`.
     pub fn build(points: &[ObjPos], eps: f64) -> Self {
+        let mut g = Self::new();
+        g.rebuild(points, eps);
+        g
+    }
+
+    /// Builds the index using the sparse `HashMap` layout unconditionally.
+    ///
+    /// This is the pre-CSR representation, kept as the degenerate-extent
+    /// fallback; the constructor is public so property tests and benches
+    /// can compare the two layouts directly.
+    pub fn build_sparse(points: &[ObjPos], eps: f64) -> Self {
+        let mut g = Self::new();
+        g.rebuild_sparse(points, eps);
+        g
+    }
+
+    /// Re-populates the index over `points`, reusing every internal
+    /// buffer from previous builds (the `recluster` hot path).
+    pub fn rebuild(&mut self, points: &[ObjPos], eps: f64) {
         debug_assert!(eps > 0.0 && eps.is_finite());
-        let mut cells: HashMap<(i64, i64), Vec<u32>> =
-            HashMap::with_capacity(points.len().min(1 << 16));
-        for (i, p) in points.iter().enumerate() {
-            cells.entry(Self::key(p, eps)).or_default().push(i as u32);
+        match csr_extent(points, eps) {
+            Some(extent) => self.rebuild_csr(points, extent),
+            None => self.rebuild_sparse(points, eps),
         }
-        Self { cell: eps, cells }
+    }
+
+    /// Is the dense CSR layout active (diagnostics / tests)?
+    pub fn is_csr(&self) -> bool {
+        self.repr == Repr::Csr
+    }
+
+    fn rebuild_csr(&mut self, points: &[ObjPos], extent: CsrExtent) {
+        self.cell = extent.cell;
+        self.repr = Repr::Csr;
+        self.min_x = extent.min_x;
+        self.min_y = extent.min_y;
+        self.cols = extent.cols;
+        self.rows = extent.rows;
+        self.sparse.clear();
+
+        let cells = extent.cols * extent.rows;
+        // Pass 1: cell id per point + per-cell counts (in `offsets`).
+        self.offsets.clear();
+        self.offsets.resize(cells + 1, 0);
+        self.cell_of.clear();
+        self.cell_of.reserve(points.len());
+        for p in points {
+            let col = ((p.x - extent.min_x) / extent.cell) as usize;
+            let row = ((p.y - extent.min_y) / extent.cell) as usize;
+            let cell = (row * extent.cols + col) as u32;
+            self.cell_of.push(cell);
+            self.offsets[cell as usize + 1] += 1;
+        }
+        // Pass 2: exclusive prefix sum -> cell start offsets.
+        let mut acc = 0u32;
+        for o in self.offsets.iter_mut() {
+            acc += *o;
+            *o = acc;
+        }
+        // Pass 3: scatter point indices into their cell's slot range.
+        // After this loop `offsets[c]` has advanced to the *end* of cell
+        // c's range, i.e. exactly the value `offsets[c + 1]` had before —
+        // so reading ranges as `offsets[c]..offsets[c + 1]` works with
+        // `offsets[0]` implicitly 0 via the shifted indexing below.
+        self.slots.clear();
+        self.slots.resize(points.len(), 0);
+        for (i, &cell) in self.cell_of.iter().enumerate() {
+            let slot = self.offsets[cell as usize];
+            self.slots[slot as usize] = i as u32;
+            self.offsets[cell as usize] += 1;
+        }
+        // `offsets[c]` now holds end-of-cell-c == start-of-cell-(c+1), and
+        // `offsets[cells]` == points.len(); ranges are read shifted:
+        // cell c spans `start(c)..offsets[c]` with start(0) == 0 and
+        // start(c) == offsets[c - 1]`.
+    }
+
+    fn rebuild_sparse(&mut self, points: &[ObjPos], eps: f64) {
+        self.cell = eps;
+        self.repr = Repr::Sparse;
+        self.offsets.clear();
+        self.slots.clear();
+        self.cell_of.clear();
+        for bucket in self.sparse.values_mut() {
+            bucket.clear();
+        }
+        for (i, p) in points.iter().enumerate() {
+            self.sparse
+                .entry(Self::sparse_key(p, eps))
+                .or_default()
+                .push(i as u32);
+        }
+        // Cells occupied in a previous build but empty now would otherwise
+        // linger as empty buckets and skew `occupied_cells`.
+        self.sparse.retain(|_, bucket| !bucket.is_empty());
     }
 
     #[inline]
-    fn key(p: &ObjPos, cell: f64) -> (i64, i64) {
+    fn sparse_key(p: &ObjPos, cell: f64) -> (i64, i64) {
         ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// `slots` range of CSR cell `c` (see `rebuild_csr` for why the
+    /// offsets are read shifted by one).
+    #[inline]
+    fn cell_range(&self, c: usize) -> std::ops::Range<usize> {
+        let start = if c == 0 {
+            0
+        } else {
+            self.offsets[c - 1] as usize
+        };
+        start..self.offsets[c] as usize
     }
 
     /// Appends the indices of all points within distance `sqrt(eps2)` of
     /// `points[idx]` (including `idx` itself) to `out`.
     pub fn neighbours(&self, points: &[ObjPos], idx: usize, eps2: f64, out: &mut Vec<u32>) {
         let p = &points[idx];
-        let (cx, cy) = Self::key(p, self.cell);
-        for dx in -1..=1 {
-            for dy in -1..=1 {
-                if let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) {
-                    for &j in bucket {
+        match self.repr {
+            Repr::Csr => {
+                if self.slots.is_empty() {
+                    return;
+                }
+                let col = ((p.x - self.min_x) / self.cell) as usize;
+                let row = ((p.y - self.min_y) / self.cell) as usize;
+                let lo_c = col.saturating_sub(1);
+                let hi_c = (col + 1).min(self.cols - 1);
+                let lo_r = row.saturating_sub(1);
+                let hi_r = (row + 1).min(self.rows - 1);
+                for r in lo_r..=hi_r {
+                    // Cells of one grid row are adjacent in `offsets`, so
+                    // the 3-cell block is a single contiguous slot range.
+                    let start = self.cell_range(r * self.cols + lo_c).start;
+                    let end = self.cell_range(r * self.cols + hi_c).end;
+                    for &j in &self.slots[start..end] {
                         if points[j as usize].dist2(p) <= eps2 {
                             out.push(j);
+                        }
+                    }
+                }
+            }
+            Repr::Sparse => {
+                let (cx, cy) = Self::sparse_key(p, self.cell);
+                for dx in -1..=1 {
+                    for dy in -1..=1 {
+                        if let Some(bucket) = self.sparse.get(&(cx + dx, cy + dy)) {
+                            for &j in bucket {
+                                if points[j as usize].dist2(p) <= eps2 {
+                                    out.push(j);
+                                }
+                            }
                         }
                     }
                 }
@@ -55,8 +245,93 @@ impl GridIndex {
 
     /// Number of occupied cells (diagnostics).
     pub fn occupied_cells(&self) -> usize {
-        self.cells.len()
+        match self.repr {
+            Repr::Csr => (0..self.cols * self.rows)
+                .filter(|&c| !self.cell_range(c).is_empty())
+                .count(),
+            Repr::Sparse => self.sparse.len(),
+        }
     }
+}
+
+/// Bounding-box geometry of a CSR build, or `None` when the sparse
+/// fallback must be used. `cell` is the chosen cell side — `eps`, or a
+/// bounded multiple of it when the eps-sized grid would be mostly empty.
+struct CsrExtent {
+    min_x: f64,
+    min_y: f64,
+    cols: usize,
+    rows: usize,
+    cell: f64,
+}
+
+fn csr_extent(points: &[ObjPos], eps: f64) -> Option<CsrExtent> {
+    let first = points.first()?;
+    let (mut min_x, mut max_x) = (first.x, first.x);
+    let (mut min_y, mut max_y) = (first.y, first.y);
+    for p in points {
+        // f64::min/max ignore NaN operands, so non-finite coordinates must
+        // be rejected explicitly (they have no cell).
+        if !(p.x.is_finite() && p.y.is_finite()) {
+            return None;
+        }
+        min_x = min_x.min(p.x);
+        max_x = max_x.max(p.x);
+        min_y = min_y.min(p.y);
+        max_y = max_y.max(p.y);
+    }
+    let dims = |cell: f64| -> Option<(usize, usize, usize)> {
+        let span_cols = (max_x - min_x) / cell;
+        let span_rows = (max_y - min_y) / cell;
+        // Bail out before the usize casts can overflow or saturate.
+        if !(span_cols.is_finite() && span_rows.is_finite())
+            || span_cols >= CSR_ABS_MAX_CELLS as f64
+            || span_rows >= CSR_ABS_MAX_CELLS as f64
+        {
+            return None;
+        }
+        let cols = span_cols as usize + 1;
+        let rows = span_rows as usize + 1;
+        let cells = cols.checked_mul(rows)?;
+        Some((cols, rows, cells))
+    };
+
+    let target = 1024.max(points.len().saturating_mul(CSR_TARGET_CELLS_PER_POINT));
+    let mut cell = eps;
+    let mut geometry = dims(cell);
+    match geometry {
+        Some((_, _, cells)) if cells > target => {
+            // Sparser than the target: coarsen the cell side (correctness
+            // is unaffected — any side >= eps keeps eps-neighbours within
+            // the 3×3 block) so `offsets` stays proportional to n.
+            let scale = ((cells as f64 / target as f64).sqrt()).min(CSR_MAX_CELL_SCALE);
+            if scale > 1.0 {
+                cell = eps * scale;
+                geometry = dims(cell);
+            }
+        }
+        Some(_) => {}
+        None => {
+            // The eps grid overflows outright; the max coarsening is the
+            // only CSR candidate left.
+            cell = eps * CSR_MAX_CELL_SCALE;
+            geometry = dims(cell);
+        }
+    }
+    let (cols, rows, cells) = geometry?;
+    let budget = CSR_MIN_CELL_BUDGET
+        .max(points.len().saturating_mul(CSR_MAX_CELLS_PER_POINT))
+        .min(CSR_ABS_MAX_CELLS);
+    if cells > budget {
+        return None;
+    }
+    Some(CsrExtent {
+        min_x,
+        min_y,
+        cols,
+        rows,
+        cell,
+    })
 }
 
 #[cfg(test)]
@@ -75,9 +350,22 @@ mod tests {
         v
     }
 
+    fn assert_matches_brute(points: &[ObjPos], eps: f64) {
+        let csr = GridIndex::build(points, eps);
+        let sparse = GridIndex::build_sparse(points, eps);
+        for idx in 0..points.len() {
+            let want = brute(points, idx, eps * eps);
+            for (label, grid) in [("csr", &csr), ("sparse", &sparse)] {
+                let mut got = Vec::new();
+                grid.neighbours(points, idx, eps * eps, &mut got);
+                got.sort_unstable();
+                assert_eq!(got, want, "{label} idx {idx}");
+            }
+        }
+    }
+
     #[test]
     fn matches_brute_force_on_a_lattice() {
-        let eps = 1.0;
         let mut points = Vec::new();
         let mut oid = 0;
         for i in 0..10 {
@@ -86,13 +374,7 @@ mod tests {
                 oid += 1;
             }
         }
-        let grid = GridIndex::build(&points, eps);
-        for idx in [0, 13, 57, 99] {
-            let mut got = Vec::new();
-            grid.neighbours(&points, idx, eps * eps, &mut got);
-            got.sort_unstable();
-            assert_eq!(got, brute(&points, idx, eps * eps), "idx {idx}");
-        }
+        assert_matches_brute(&points, 1.0);
     }
 
     #[test]
@@ -117,6 +399,7 @@ mod tests {
         grid.neighbours(&points, 0, 4.0, &mut out);
         out.sort_unstable();
         assert_eq!(out, vec![0, 1]);
+        assert_matches_brute(&points, 2.0);
     }
 
     #[test]
@@ -128,5 +411,95 @@ mod tests {
         ];
         let grid = GridIndex::build(&points, 1.0);
         assert_eq!(grid.occupied_cells(), 2);
+        let sparse = GridIndex::build_sparse(&points, 1.0);
+        assert_eq!(sparse.occupied_cells(), 2);
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers_across_extents() {
+        let mut grid = GridIndex::new();
+        let a = vec![ObjPos::new(0, 0.0, 0.0), ObjPos::new(1, 0.5, 0.5)];
+        grid.rebuild(&a, 1.0);
+        assert!(grid.is_csr());
+        let mut out = Vec::new();
+        grid.neighbours(&a, 0, 1.0, &mut out);
+        assert_eq!(out.len(), 2);
+
+        // Rebuild over a different, bigger cloud: results must match a
+        // fresh build.
+        let b: Vec<ObjPos> = (0..50)
+            .map(|i| ObjPos::new(i, (i % 7) as f64 * 0.9, (i / 7) as f64 * 0.9 - 3.0))
+            .collect();
+        grid.rebuild(&b, 1.0);
+        let fresh = GridIndex::build(&b, 1.0);
+        for idx in 0..b.len() {
+            let (mut got, mut want) = (Vec::new(), Vec::new());
+            grid.neighbours(&b, idx, 1.0, &mut got);
+            fresh.neighbours(&b, idx, 1.0, &mut want);
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn huge_extent_falls_back_to_sparse() {
+        // Two points astronomically far apart: a dense grid would need
+        // ~1e18 cells, so the sparse layout must kick in — and still
+        // answer correctly.
+        let points = vec![
+            ObjPos::new(0, 0.0, 0.0),
+            ObjPos::new(1, 0.5, 0.0),
+            ObjPos::new(2, 1.0e12, 1.0e12),
+        ];
+        let grid = GridIndex::build(&points, 1.0);
+        assert!(!grid.is_csr());
+        let mut out = Vec::new();
+        grid.neighbours(&points, 0, 1.0, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn non_finite_coordinates_fall_back_to_sparse() {
+        let points = vec![
+            ObjPos::new(0, 0.0, 0.0),
+            ObjPos::new(1, 0.5, 0.0),
+            ObjPos::new(2, f64::NAN, 3.0),
+        ];
+        let grid = GridIndex::build(&points, 1.0);
+        assert!(!grid.is_csr());
+        let mut out = Vec::new();
+        grid.neighbours(&points, 0, 1.0, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn coincident_points_share_a_cell() {
+        let points = vec![
+            ObjPos::new(0, 2.5, 2.5),
+            ObjPos::new(1, 2.5, 2.5),
+            ObjPos::new(2, 2.5, 2.5),
+        ];
+        assert_matches_brute(&points, 0.1);
+    }
+
+    #[test]
+    fn single_point_grid() {
+        let points = vec![ObjPos::new(7, -3.25, 9.75)];
+        let grid = GridIndex::build(&points, 2.0);
+        assert!(grid.is_csr());
+        let mut out = Vec::new();
+        grid.neighbours(&points, 0, 4.0, &mut out);
+        assert_eq!(out, vec![0]);
+        assert_eq!(grid.occupied_cells(), 1);
+    }
+
+    #[test]
+    fn empty_point_set_is_fine() {
+        let grid = GridIndex::build(&[], 1.0);
+        assert!(!grid.is_csr(), "no extent: sparse (and empty) repr");
+        assert_eq!(grid.occupied_cells(), 0);
     }
 }

@@ -29,6 +29,11 @@ pub use grid::GridIndex;
 
 use k2_model::{ObjPos, ObjectSet};
 
+/// Point sets up to this size skip the grid entirely: a direct `O(n²)`
+/// pairwise scan beats building any index for the tiny `reCluster`
+/// candidates (size ≈ m) that dominate the k/2-hop probe loop.
+const SMALL_SNAPSHOT_CUTOFF: usize = 24;
+
 /// Parameters of a `(m, eps)` density clustering.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DbscanParams {
@@ -70,28 +75,83 @@ impl DbscanParams {
 /// assert_eq!(clusters, vec![ObjectSet::from([1, 2, 3])]);
 /// ```
 pub fn dbscan(points: &[ObjPos], params: DbscanParams) -> Vec<ObjectSet> {
+    dbscan_with(points, params, &mut GridScratch::new())
+}
+
+/// Reusable working memory for [`dbscan_with`] / [`recluster_with`].
+///
+/// One `GridScratch` amortises every allocation of the clustering hot
+/// path — the grid's CSR arrays, the visit labels, the BFS frontier and
+/// the cluster-gather buffers — across the thousands of `reCluster`
+/// probes the HWMT, extension and validation phases issue. Create one per
+/// worker (it is cheap and empty until first use) and pass it to every
+/// call.
+#[derive(Debug, Default)]
+pub struct GridScratch {
+    grid: GridIndex,
+    label: Vec<u32>,
+    neighbours: Vec<u32>,
+    frontier: Vec<u32>,
+    /// Counting-sort buffers for the final cluster gather.
+    cluster_offsets: Vec<u32>,
+    member_oids: Vec<u32>,
+}
+
+impl GridScratch {
+    /// Creates an empty scratch (no allocation until first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`dbscan`] with caller-provided scratch buffers — the allocation-free
+/// hot path. Steady state performs no heap allocation beyond the returned
+/// clusters themselves (and none at all when no cluster survives, the
+/// common outcome of a failed HWMT probe).
+pub fn dbscan_with(
+    points: &[ObjPos],
+    params: DbscanParams,
+    scratch: &mut GridScratch,
+) -> Vec<ObjectSet> {
     if points.len() < params.min_pts {
         return Vec::new();
     }
     let eps2 = params.eps * params.eps;
-    let grid = GridIndex::build(points, params.eps);
+    // Tiny probes skip the index entirely (see `SMALL_SNAPSHOT_CUTOFF`).
+    let use_grid = points.len() > SMALL_SNAPSHOT_CUTOFF;
+    if use_grid {
+        scratch.grid.rebuild(points, params.eps);
+    }
+    let neighbours_of = |idx: usize, out: &mut Vec<u32>| {
+        out.clear();
+        if use_grid {
+            scratch.grid.neighbours(points, idx, eps2, out);
+        } else {
+            let p = &points[idx];
+            for (j, q) in points.iter().enumerate() {
+                if q.dist2(p) <= eps2 {
+                    out.push(j as u32);
+                }
+            }
+        }
+    };
 
     const UNVISITED: u32 = u32::MAX;
     const NOISE: u32 = u32::MAX - 1;
-    let mut label = vec![UNVISITED; points.len()];
+    let label = &mut scratch.label;
+    label.clear();
+    label.resize(points.len(), UNVISITED);
     let mut cluster_count: u32 = 0;
 
-    // Scratch buffers reused across seed expansions to avoid per-cluster
-    // allocations (hot loop: one dbscan call per timestamp).
-    let mut neighbours: Vec<u32> = Vec::new();
-    let mut frontier: Vec<u32> = Vec::new();
+    let neighbours = &mut scratch.neighbours;
+    let frontier = &mut scratch.frontier;
+    frontier.clear();
 
     for start in 0..points.len() {
         if label[start] != UNVISITED {
             continue;
         }
-        neighbours.clear();
-        grid.neighbours(points, start, eps2, &mut neighbours);
+        neighbours_of(start, neighbours);
         if neighbours.len() < params.min_pts {
             label[start] = NOISE;
             continue;
@@ -101,7 +161,7 @@ pub fn dbscan(points: &[ObjPos], params: DbscanParams) -> Vec<ObjectSet> {
         cluster_count += 1;
         label[start] = cid;
         frontier.clear();
-        for &n in &neighbours {
+        for &n in neighbours.iter() {
             let l = label[n as usize];
             if l == UNVISITED || l == NOISE {
                 if l == UNVISITED {
@@ -111,12 +171,11 @@ pub fn dbscan(points: &[ObjPos], params: DbscanParams) -> Vec<ObjectSet> {
             }
         }
         while let Some(q) = frontier.pop() {
-            neighbours.clear();
-            grid.neighbours(points, q as usize, eps2, &mut neighbours);
+            neighbours_of(q as usize, neighbours);
             if neighbours.len() < params.min_pts {
                 continue; // border point: belongs to the cluster, no expansion
             }
-            for &n in &neighbours {
+            for &n in neighbours.iter() {
                 let l = label[n as usize];
                 if l == UNVISITED || l == NOISE {
                     if l == UNVISITED {
@@ -127,22 +186,48 @@ pub fn dbscan(points: &[ObjPos], params: DbscanParams) -> Vec<ObjectSet> {
             }
         }
     }
+    if cluster_count == 0 {
+        return Vec::new();
+    }
 
-    // Gather clusters; enforce the (m, eps)-cluster size bound. (Every
+    // Gather clusters by counting sort over the labels (no per-cluster
+    // Vec allocations); enforce the (m, eps)-cluster size bound. (Every
     // cluster contains a core point whose neighbourhood has >= m members,
     // all of which join the cluster, so the filter only matters when
     // duplicate coordinates collapse — kept for safety.)
-    let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); cluster_count as usize];
-    for (i, &l) in label.iter().enumerate() {
+    let offsets = &mut scratch.cluster_offsets;
+    offsets.clear();
+    offsets.resize(cluster_count as usize + 1, 0);
+    for &l in label.iter() {
         if l < NOISE {
-            clusters[l as usize].push(points[i].oid);
+            offsets[l as usize + 1] += 1;
         }
     }
-    let mut out: Vec<ObjectSet> = clusters
-        .into_iter()
-        .filter(|c| c.len() >= params.min_pts)
-        .map(ObjectSet::new)
-        .collect();
+    let mut acc = 0u32;
+    for o in offsets.iter_mut() {
+        acc += *o;
+        *o = acc;
+    }
+    let members = &mut scratch.member_oids;
+    members.clear();
+    members.resize(acc as usize, 0);
+    // Scatter, advancing each cluster's cursor; afterwards `offsets[c]`
+    // holds the *end* of cluster c, read shifted as in the CSR grid.
+    for (i, &l) in label.iter().enumerate() {
+        if l < NOISE {
+            let slot = offsets[l as usize];
+            members[slot as usize] = points[i].oid;
+            offsets[l as usize] += 1;
+        }
+    }
+    let mut out: Vec<ObjectSet> = Vec::with_capacity(cluster_count as usize);
+    for c in 0..cluster_count as usize {
+        let start = if c == 0 { 0 } else { offsets[c - 1] as usize };
+        let slice = &members[start..offsets[c] as usize];
+        if slice.len() >= params.min_pts {
+            out.push(ObjectSet::new(slice.to_vec()));
+        }
+    }
     out.sort_by(|a, b| a.ids().cmp(b.ids()));
     out
 }
@@ -155,6 +240,17 @@ pub fn dbscan(points: &[ObjPos], params: DbscanParams) -> Vec<ObjectSet> {
 #[inline]
 pub fn recluster(restricted: &[ObjPos], params: DbscanParams) -> Vec<ObjectSet> {
     dbscan(restricted, params)
+}
+
+/// [`recluster`] with caller-provided scratch — the form every hot loop
+/// (HWMT, extension, validation) uses.
+#[inline]
+pub fn recluster_with(
+    restricted: &[ObjPos],
+    params: DbscanParams,
+    scratch: &mut GridScratch,
+) -> Vec<ObjectSet> {
+    dbscan_with(restricted, params, scratch)
 }
 
 #[cfg(test)]
@@ -303,6 +399,39 @@ mod tests {
         let b = dbscan(&points, DbscanParams::new(2, 0.5));
         assert_eq!(a, b);
         assert_eq!(a[0], ObjectSet::from([3, 4])); // sorted by smallest member
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        // One scratch across wildly different point sets (tiny, large,
+        // negative coords) must give identical results to fresh calls.
+        let mut scratch = GridScratch::new();
+        let small = pts(&[(1, 0.0, 0.0), (2, 0.5, 0.0), (3, 1.0, 0.0)]);
+        let large: Vec<ObjPos> = (0..200)
+            .map(|i| ObjPos::new(i, (i % 20) as f64 * 0.8 - 7.0, (i / 20) as f64 * 0.8 - 3.0))
+            .collect();
+        for points in [&small, &large, &small] {
+            let params = DbscanParams::new(3, 1.0);
+            assert_eq!(
+                dbscan_with(points, params, &mut scratch),
+                dbscan(points, params)
+            );
+        }
+    }
+
+    #[test]
+    fn small_and_grid_paths_agree_at_the_cutoff() {
+        // n = cutoff uses the pairwise scan, n = cutoff + 1 the grid; both
+        // must produce the same clusters on the same geometry.
+        for n in [SMALL_SNAPSHOT_CUTOFF, SMALL_SNAPSHOT_CUTOFF + 1] {
+            let points: Vec<ObjPos> = (0..n)
+                .map(|i| ObjPos::new(i as u32, (i % 5) as f64 * 0.9, (i / 5) as f64 * 0.9))
+                .collect();
+            let params = DbscanParams::new(3, 1.0);
+            let clusters = dbscan(&points, params);
+            assert_eq!(clusters.len(), 1, "n = {n}");
+            assert_eq!(clusters[0].len(), n, "n = {n}");
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Extending maximal spanning convoys to their true endpoints
 //! (§4.5, Algorithm 3 `extendRight` and its left mirror).
 
-use crate::recluster_at;
+use crate::{recluster_at_with, ProbeScratch};
 use k2_cluster::DbscanParams;
 use k2_model::{Convoy, ConvoySet, Time};
 use k2_storage::{StoreResult, TrajectoryStore};
@@ -70,6 +70,7 @@ fn extend_directed<S: TrajectoryStore + ?Sized>(
 ) -> StoreResult<ExtendResult> {
     let mut result = ConvoySet::new();
     let mut points_fetched = 0u64;
+    let mut scratch = ProbeScratch::default();
     let emit = |set: &mut ConvoySet, v: Convoy| {
         if min_len.is_none_or(|k| v.len() >= k) {
             set.update(v);
@@ -100,7 +101,8 @@ fn extend_directed<S: TrajectoryStore + ?Sized>(
             };
             let mut next = ConvoySet::new();
             for v in &prev {
-                let (clusters, fetched) = recluster_at(store, params, frontier, &v.objects)?;
+                let (clusters, fetched) =
+                    recluster_at_with(store, params, frontier, &v.objects, &mut scratch)?;
                 points_fetched += fetched;
                 if clusters.is_empty() {
                     // Line 7–8: v cannot be extended.

@@ -1,7 +1,7 @@
 //! Hop-Window Mining Tree (§4.3, Algorithm 2).
 
 use crate::benchpoints::{hop_window, hwmt_order};
-use crate::recluster_at;
+use crate::{recluster_at_with, ProbeScratch};
 use k2_cluster::DbscanParams;
 use k2_model::{Convoy, ObjectSet, Time, TimeInterval};
 use k2_storage::{StoreResult, TrajectoryStore};
@@ -58,12 +58,14 @@ pub fn mine_window_ordered<S: TrajectoryStore + ?Sized>(
         return Ok(result);
     }
     let mut survivors: Vec<ObjectSet> = cc.to_vec();
+    let mut scratch = ProbeScratch::default();
     if let Some(window) = hop_window(b_left, b_right) {
         for t in order(window) {
             result.timestamps_probed += 1;
             let mut next = Vec::with_capacity(survivors.len());
             for candidate in &survivors {
-                let (clusters, fetched) = recluster_at(store, params, t, candidate)?;
+                let (clusters, fetched) =
+                    recluster_at_with(store, params, t, candidate, &mut scratch)?;
                 result.points_fetched += fetched;
                 next.extend(clusters);
             }

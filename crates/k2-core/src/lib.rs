@@ -60,22 +60,37 @@ pub use parallel::K2HopParallel;
 pub use pipeline::{K2Hop, MiningResult};
 pub use stats::{PhaseTimings, PruningStats};
 
-use k2_cluster::{recluster, DbscanParams};
-use k2_model::{ObjectSet, Time};
+use k2_cluster::{recluster_with, DbscanParams, GridScratch};
+use k2_model::{ObjPos, ObjectSet, Time};
 use k2_storage::{StoreResult, TrajectoryStore};
 
+/// Reusable working memory for one `reCluster` probe loop: the fetched
+/// `DB[t]|O` positions plus the clustering scratch ([`GridScratch`]).
+///
+/// Every probe loop (HWMT, extension, validation) creates one of these
+/// per task and reuses it across all its probes, so the steady state of
+/// the hottest code in the system performs no heap allocation.
+#[derive(Debug, Default)]
+pub(crate) struct ProbeScratch {
+    positions: Vec<ObjPos>,
+    cluster: GridScratch,
+}
+
 /// Re-clusters the objects of a candidate at timestamp `t` — the paper's
-/// `reCluster(v, DB[t])`: fetch `DB[t]|O` from the store, then DBSCAN it.
+/// `reCluster(v, DB[t])`: fetch `DB[t]|O` from the store, then DBSCAN it,
+/// reusing `scratch` for both steps.
 ///
 /// Returns the clusters and the number of points fetched (for pruning
 /// statistics).
-pub(crate) fn recluster_at<S: TrajectoryStore + ?Sized>(
+pub(crate) fn recluster_at_with<S: TrajectoryStore + ?Sized>(
     store: &S,
     params: DbscanParams,
     t: Time,
     objects: &ObjectSet,
+    scratch: &mut ProbeScratch,
 ) -> StoreResult<(Vec<ObjectSet>, u64)> {
-    let positions = store.multi_get(t, objects.ids())?;
-    let fetched = positions.len() as u64;
-    Ok((recluster(&positions, params), fetched))
+    store.multi_get_into(t, objects.ids(), &mut scratch.positions)?;
+    let fetched = scratch.positions.len() as u64;
+    let clusters = recluster_with(&scratch.positions, params, &mut scratch.cluster);
+    Ok((clusters, fetched))
 }

@@ -20,9 +20,10 @@ use crate::benchpoints::benchmark_points;
 use crate::candidates::candidate_clusters;
 use crate::config::K2Config;
 use crate::merge::merge_spanning;
-use crate::validate::hwmt_star_dataset;
-use k2_cluster::{dbscan, recluster, DbscanParams};
+use crate::validate::{hwmt_star_dataset_scratched, DatasetProbeScratch};
+use k2_cluster::{dbscan, recluster_with, DbscanParams};
 use k2_model::{Convoy, ConvoySet, Dataset, ObjectSet, Time};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Parallel k/2-hop miner over an in-memory dataset.
 ///
@@ -113,8 +114,9 @@ impl K2HopParallel {
         let validated: Vec<ConvoySet> = self.map(&candidate_vec, |v| {
             let mut queue = vec![v.clone()];
             let mut fc = ConvoySet::new();
+            let mut scratch = DatasetProbeScratch::default();
             while let Some(vin) = queue.pop() {
-                let out = hwmt_star_dataset(dataset, params, cfg.k, &vin);
+                let out = hwmt_star_dataset_scratched(dataset, params, cfg.k, &vin, &mut scratch);
                 if out.len() == 1 && out.contains(&vin) {
                     fc.update(vin);
                 } else {
@@ -131,26 +133,44 @@ impl K2HopParallel {
     }
 
     /// Order-preserving parallel map over `items`.
+    ///
+    /// Work is self-scheduled: each worker atomically claims the next
+    /// unprocessed index, so skewed items (hop-windows whose candidates
+    /// die at the root probe vs. windows that probe every timestamp)
+    /// cannot strand one thread with all the slow work the way static
+    /// `chunks()` partitioning did. Results are re-placed by index, so the
+    /// output order is identical to the sequential map.
     fn map<T: Sync, R: Send>(&self, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
         if self.threads <= 1 || items.len() <= 1 {
             return items.iter().map(f).collect();
         }
-        let chunk = items.len().div_ceil(self.threads);
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(items.len());
         let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
         out.resize_with(items.len(), || None);
-        let slots: Vec<&mut [Option<R>]> = out.chunks_mut(chunk).collect();
         std::thread::scope(|scope| {
-            for (slot, input) in slots.into_iter().zip(items.chunks(chunk)) {
-                let f = &f;
-                scope.spawn(move || {
-                    for (o, i) in slot.iter_mut().zip(input) {
-                        *o = Some(f(i));
-                    }
-                });
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (f, next) = (&f, &next);
+                    scope.spawn(move || {
+                        let mut produced: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else { break };
+                            produced.push((i, f(item)));
+                        }
+                        produced
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, r) in handle.join().expect("worker panicked") {
+                    out[i] = Some(r);
+                }
             }
         });
         out.into_iter()
-            .map(|o| o.expect("worker filled slot"))
+            .map(|o| o.expect("every index was claimed"))
             .collect()
     }
 }
@@ -168,12 +188,17 @@ fn mine_window_dataset(
         return Vec::new();
     }
     let mut survivors: Vec<ObjectSet> = cc.to_vec();
+    let mut scratch = DatasetProbeScratch::default();
     if let Some(window) = hop_window(b_left, b_right) {
         for t in hwmt_order(window) {
             let mut next = Vec::with_capacity(survivors.len());
             for candidate in &survivors {
-                let positions = dataset.restrict_at(t, candidate);
-                next.extend(recluster(&positions, params));
+                dataset.restrict_at_into(t, candidate, &mut scratch.positions);
+                next.extend(recluster_with(
+                    &scratch.positions,
+                    params,
+                    &mut scratch.cluster,
+                ));
             }
             if next.is_empty() {
                 return Vec::new();
@@ -204,6 +229,7 @@ fn extend_dataset(
     let span = dataset.span();
     let mut result = ConvoySet::new();
     let mut prev = vec![seed];
+    let mut scratch = DatasetProbeScratch::default();
     loop {
         let frontier = match dir {
             Direction::Right => {
@@ -223,8 +249,8 @@ fn extend_dataset(
         };
         let mut next = ConvoySet::new();
         for v in &prev {
-            let positions = dataset.restrict_at(frontier, &v.objects);
-            let clusters = recluster(&positions, params);
+            dataset.restrict_at_into(frontier, &v.objects, &mut scratch.positions);
+            let clusters = recluster_with(&scratch.positions, params, &mut scratch.cluster);
             if clusters.is_empty() {
                 result.update(v.clone());
                 continue;

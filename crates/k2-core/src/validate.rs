@@ -21,7 +21,7 @@
 //!   has strictly fewer objects or a strictly shorter lifespan.
 
 use crate::benchpoints::hwmt_star_order;
-use crate::recluster_at;
+use crate::{recluster_at_with, ProbeScratch};
 use k2_cluster::DbscanParams;
 use k2_model::{Convoy, ConvoySet, ObjectSet, Time, TimeInterval};
 use k2_storage::{StoreResult, TrajectoryStore};
@@ -49,8 +49,9 @@ pub fn validate<S: TrajectoryStore + ?Sized>(
         .filter(|v| v.len() >= min_len)
         .collect();
     let mut fc = ConvoySet::new();
+    let mut scratch = ProbeScratch::default();
     while let Some(vin) = queue.pop() {
-        let out = hwmt_star(store, params, min_len, &vin, &mut fetched)?;
+        let out = hwmt_star_scratched(store, params, min_len, &vin, &mut fetched, &mut scratch)?;
         if out.len() == 1 && out.contains(&vin) {
             fc.update(vin);
         } else {
@@ -86,8 +87,28 @@ pub fn hwmt_star<S: TrajectoryStore + ?Sized>(
     v: &Convoy,
     fetched: &mut u64,
 ) -> StoreResult<Vec<Convoy>> {
+    hwmt_star_scratched(
+        store,
+        params,
+        min_len,
+        v,
+        fetched,
+        &mut ProbeScratch::default(),
+    )
+}
+
+/// [`hwmt_star`] reusing a caller-provided probe scratch (what
+/// [`validate`] does across its whole candidate queue).
+fn hwmt_star_scratched<S: TrajectoryStore + ?Sized>(
+    store: &S,
+    params: DbscanParams,
+    min_len: u32,
+    v: &Convoy,
+    fetched: &mut u64,
+    scratch: &mut ProbeScratch,
+) -> StoreResult<Vec<Convoy>> {
     hwmt_star_with(params, min_len, v, |t, objects| {
-        let (clusters, n) = recluster_at(store, params, t, objects)?;
+        let (clusters, n) = recluster_at_with(store, params, t, objects, scratch)?;
         *fetched += n;
         Ok(clusters)
     })
@@ -101,10 +122,37 @@ pub fn hwmt_star_dataset(
     min_len: u32,
     v: &Convoy,
 ) -> Vec<Convoy> {
+    hwmt_star_dataset_scratched(
+        dataset,
+        params,
+        min_len,
+        v,
+        &mut DatasetProbeScratch::default(),
+    )
+}
+
+/// Reusable buffers for the dataset-direct probe loops of the parallel
+/// miner (mirror of the store-path [`ProbeScratch`]).
+#[derive(Debug, Default)]
+pub(crate) struct DatasetProbeScratch {
+    pub(crate) positions: Vec<k2_model::ObjPos>,
+    pub(crate) cluster: k2_cluster::GridScratch,
+}
+
+/// [`hwmt_star_dataset`] reusing caller-provided scratch buffers.
+pub(crate) fn hwmt_star_dataset_scratched(
+    dataset: &k2_model::Dataset,
+    params: DbscanParams,
+    min_len: u32,
+    v: &Convoy,
+    scratch: &mut DatasetProbeScratch,
+) -> Vec<Convoy> {
     let result: StoreResult<Vec<Convoy>> = hwmt_star_with(params, min_len, v, |t, objects| {
-        Ok(k2_cluster::recluster(
-            &dataset.restrict_at(t, objects),
+        dataset.restrict_at_into(t, objects, &mut scratch.positions);
+        Ok(k2_cluster::recluster_with(
+            &scratch.positions,
             params,
+            &mut scratch.cluster,
         ))
     });
     result.expect("dataset-direct clustering cannot fail")

@@ -72,33 +72,46 @@ impl Snapshot {
     }
 
     /// The positions restricted to objects in `set` — the paper's
-    /// `DB[t]|O`. Linear merge over both sorted sequences.
+    /// `DB[t]|O`.
     pub fn restrict(&self, set: &ObjectSet) -> Vec<ObjPos> {
         let mut out = Vec::with_capacity(set.len().min(self.len()));
-        let ids = set.ids();
-        if ids.len() * 4 < self.len() {
-            // Few ids relative to the snapshot: binary-search each.
-            for &oid in ids {
-                if let Some(p) = self.get(oid) {
-                    out.push(*p);
-                }
-            }
-        } else {
-            let mut j = 0;
-            for p in &self.positions {
-                while j < ids.len() && ids[j] < p.oid {
+        self.restrict_into(set, &mut out);
+        out
+    }
+
+    /// [`restrict`](Self::restrict) appending into a caller-provided
+    /// buffer — the allocation-free form the `reCluster` probe loop uses.
+    ///
+    /// Both sequences are sorted by oid, so this is a galloping merge:
+    /// whichever side is behind jumps forward by exponential search
+    /// instead of stepping. Sparse candidate sets (|O| ≪ |snapshot|, the
+    /// HWMT common case) finish in `O(|O| · log |snapshot|)`; dense sets
+    /// degrade gracefully to the linear merge.
+    pub fn restrict_into(&self, set: &ObjectSet, out: &mut Vec<ObjPos>) {
+        self.restrict_ids_into(set.ids(), out);
+    }
+
+    /// [`restrict_into`](Self::restrict_into) over a raw sorted id slice
+    /// (what the storage layer's `multi_get` receives).
+    pub fn restrict_ids_into(&self, ids: &[Oid], out: &mut Vec<ObjPos>) {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        let pos = &self.positions[..];
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ids.len() && j < pos.len() {
+            match ids[i].cmp(&pos[j].oid) {
+                std::cmp::Ordering::Equal => {
+                    out.push(pos[j]);
+                    i += 1;
                     j += 1;
                 }
-                if j == ids.len() {
-                    break;
+                std::cmp::Ordering::Less => {
+                    i = gallop(ids, i + 1, |&id| id < pos[j].oid);
                 }
-                if ids[j] == p.oid {
-                    out.push(*p);
-                    j += 1;
+                std::cmp::Ordering::Greater => {
+                    j = gallop(pos, j + 1, |p| p.oid < ids[i]);
                 }
             }
         }
-        out
     }
 
     /// The set of objects present at this timestamp.
@@ -113,6 +126,23 @@ impl Snapshot {
             Err(i) => self.positions.insert(i, pos),
         }
     }
+}
+
+/// First index `>= lo` at which `below` turns false, found by doubling
+/// steps from `lo` and then binary-searching the bracketed window.
+/// `below` must be a monotone true-prefix predicate over `xs[lo..]`.
+#[inline]
+fn gallop<T>(xs: &[T], lo: usize, below: impl Fn(&T) -> bool) -> usize {
+    let mut step = 1usize;
+    let mut prev = lo;
+    let mut probe = lo;
+    while probe < xs.len() && below(&xs[probe]) {
+        prev = probe + 1;
+        probe += step;
+        step <<= 1;
+    }
+    let hi = probe.min(xs.len());
+    prev + xs[prev..hi].partition_point(below)
 }
 
 #[cfg(test)]
@@ -169,6 +199,39 @@ mod tests {
     #[test]
     fn object_set_lists_members() {
         assert_eq!(snap().object_set(), ObjectSet::from([1, 3, 5]));
+    }
+
+    #[test]
+    fn restrict_into_reuses_buffer_and_matches_restrict() {
+        let positions: Vec<_> = (0..200)
+            .filter(|i| i % 3 != 0)
+            .map(|i| ObjPos::new(i, i as f64, 0.0))
+            .collect();
+        let s = Snapshot::from_sorted(positions);
+        let mut buf = vec![ObjPos::new(999, 9.0, 9.0)]; // stale content
+        for set in [
+            ObjectSet::from([7, 42, 500]),
+            ObjectSet::empty(),
+            s.object_set(),
+            ObjectSet::from([0, 3, 6, 9]), // all absent (multiples of 3)
+            ObjectSet::new((0..400).collect()),
+        ] {
+            buf.clear();
+            s.restrict_into(&set, &mut buf);
+            assert_eq!(buf, s.restrict(&set), "set {set:?}");
+        }
+    }
+
+    #[test]
+    fn gallop_finds_first_non_below() {
+        let xs = [1u32, 3, 5, 7, 9, 11, 13];
+        for target in 0..15u32 {
+            for lo in 0..=xs.len() {
+                let got = gallop(&xs[..], lo, |&x| x < target);
+                let want = lo + xs[lo..].iter().take_while(|&&x| x < target).count();
+                assert_eq!(got, want, "target {target} lo {lo}");
+            }
+        }
     }
 
     #[test]

@@ -185,11 +185,12 @@ impl FlockMiner {
             return Vec::new();
         }
         let mut survivors: Vec<ObjectSet> = cc.to_vec();
+        let mut positions = Vec::new();
         if let Some(window) = hop_window(b_left, b_right) {
             for t in hwmt_order(window) {
                 let mut next: Vec<ObjectSet> = Vec::new();
                 for candidate in &survivors {
-                    let positions = dataset.restrict_at(t, candidate);
+                    dataset.restrict_at_into(t, candidate, &mut positions);
                     for g in disk_groups(&positions, r, m) {
                         if !next.iter().any(|c| g.is_subset(c)) {
                             next.retain(|c| !c.is_subset(&g));
@@ -216,6 +217,7 @@ impl FlockMiner {
         let span = dataset.span();
         let mut result = ConvoySet::new();
         let mut prev = vec![seed];
+        let mut positions = Vec::new();
         loop {
             let frontier = if rightward {
                 let te = prev[0].end();
@@ -232,7 +234,7 @@ impl FlockMiner {
             };
             let mut next = ConvoySet::new();
             for v in &prev {
-                let positions = dataset.restrict_at(frontier, &v.objects);
+                dataset.restrict_at_into(frontier, &v.objects, &mut positions);
                 let groups = disk_groups(&positions, r, m);
                 if groups.is_empty() {
                     result.update(v.clone());

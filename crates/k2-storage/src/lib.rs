@@ -69,6 +69,19 @@ pub trait TrajectoryStore {
     /// (the paper's LSMT formulation) or sorted probes.
     fn multi_get(&self, t: Time, oids: &[Oid]) -> StoreResult<Vec<ObjPos>>;
 
+    /// [`multi_get`](Self::multi_get) into a caller-provided buffer
+    /// (cleared first).
+    ///
+    /// The k/2-hop probe loops (HWMT, extension, validation) call this
+    /// thousands of times on tiny candidate sets; engines that can serve
+    /// it without a fresh allocation (see [`InMemoryStore`]) should
+    /// override the default, which delegates to `multi_get`.
+    fn multi_get_into(&self, t: Time, oids: &[Oid], out: &mut Vec<ObjPos>) -> StoreResult<()> {
+        out.clear();
+        out.extend(self.multi_get(t, oids)?);
+        Ok(())
+    }
+
     /// Position of one object at one timestamp.
     fn point_get(&self, t: Time, oid: Oid) -> StoreResult<Option<ObjPos>>;
 
@@ -128,6 +141,13 @@ mod trait_tests {
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].oid, 1);
         assert_eq!(got[1].oid, 3);
+
+        // The buffer-reusing form agrees and clears stale content.
+        let mut buf = vec![ObjPos::new(77, 0.0, 0.0)];
+        store.multi_get_into(10, &[1, 3, 999], &mut buf).unwrap();
+        assert_eq!(buf, got, "multi_get_into mismatch for {}", store.name());
+        store.multi_get_into(1000, &[1], &mut buf).unwrap();
+        assert!(buf.is_empty(), "out-of-span must clear the buffer");
 
         // I/O stats move and reset.
         store.reset_io_stats();

@@ -76,6 +76,17 @@ impl TrajectoryStore for InMemoryStore {
         Ok(out)
     }
 
+    fn multi_get_into(&self, t: Time, oids: &[Oid], out: &mut Vec<ObjPos>) -> StoreResult<()> {
+        for _ in oids {
+            self.io.add_point_query();
+        }
+        out.clear();
+        if let Some(snap) = self.dataset.snapshot(t) {
+            snap.restrict_ids_into(oids, out);
+        }
+        Ok(())
+    }
+
     fn point_get(&self, t: Time, oid: Oid) -> StoreResult<Option<ObjPos>> {
         self.io.add_point_query();
         Ok(self.dataset.snapshot(t).and_then(|s| s.get(oid)).copied())

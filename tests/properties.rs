@@ -1,7 +1,7 @@
 //! Property-based tests over the core invariants (proptest).
 
 use k2hop::baselines::reference;
-use k2hop::cluster::{dbscan, DbscanParams};
+use k2hop::cluster::{dbscan, DbscanParams, GridIndex};
 use k2hop::core::{K2Config, K2Hop};
 use k2hop::model::{Dataset, ObjPos, ObjectSet, Point, TimeInterval};
 use k2hop::storage::InMemoryStore;
@@ -26,6 +26,75 @@ fn dataset_strategy() -> impl Strategy<Value = Dataset> {
             Dataset::from_points(&pts).expect("non-empty")
         })
     })
+}
+
+/// Textbook DBSCAN with `O(n²)` neighbourhood scans — no spatial index,
+/// no scratch reuse. Cluster membership (including border-point claiming)
+/// depends only on the seed-point visit order, which both implementations
+/// share, so outputs must be identical.
+fn brute_force_dbscan(points: &[ObjPos], params: DbscanParams) -> Vec<k2hop::model::ObjectSet> {
+    if points.len() < params.min_pts {
+        return Vec::new();
+    }
+    let eps2 = params.eps * params.eps;
+    let nh = |idx: usize| -> Vec<usize> {
+        (0..points.len())
+            .filter(|&j| points[j].dist2(&points[idx]) <= eps2)
+            .collect()
+    };
+    const UNVISITED: usize = usize::MAX;
+    const NOISE: usize = usize::MAX - 1;
+    let mut label = vec![UNVISITED; points.len()];
+    let mut cluster_count = 0usize;
+    for start in 0..points.len() {
+        if label[start] != UNVISITED {
+            continue;
+        }
+        let seeds = nh(start);
+        if seeds.len() < params.min_pts {
+            label[start] = NOISE;
+            continue;
+        }
+        let cid = cluster_count;
+        cluster_count += 1;
+        label[start] = cid;
+        let mut frontier = Vec::new();
+        for n in seeds {
+            if label[n] == UNVISITED {
+                frontier.push(n);
+            }
+            if label[n] == UNVISITED || label[n] == NOISE {
+                label[n] = cid;
+            }
+        }
+        while let Some(q) = frontier.pop() {
+            let reach = nh(q);
+            if reach.len() < params.min_pts {
+                continue;
+            }
+            for n in reach {
+                if label[n] == UNVISITED {
+                    frontier.push(n);
+                }
+                if label[n] == UNVISITED || label[n] == NOISE {
+                    label[n] = cid;
+                }
+            }
+        }
+    }
+    let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); cluster_count];
+    for (i, &l) in label.iter().enumerate() {
+        if l < NOISE {
+            clusters[l].push(points[i].oid);
+        }
+    }
+    let mut out: Vec<k2hop::model::ObjectSet> = clusters
+        .into_iter()
+        .filter(|c| c.len() >= params.min_pts)
+        .map(k2hop::model::ObjectSet::new)
+        .collect();
+    out.sort_by(|a, b| a.ids().cmp(b.ids()));
+    out
 }
 
 proptest! {
@@ -169,6 +238,66 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The CSR-grid DBSCAN equals a brute-force `O(n²)` reference on
+    /// random point clouds — negative coordinates, coincident points and
+    /// exact eps-boundary distances included (coordinates are multiples
+    /// of 0.5, so with eps = 1.0 boundary-distance pairs are common and
+    /// exactly representable).
+    #[test]
+    fn csr_dbscan_equals_brute_force(
+        coords in proptest::collection::vec((0u32..60, -30i32..30, -30i32..30), 0..80),
+        min_pts in 1usize..5,
+    ) {
+        let mut seen = BTreeSet::new();
+        let points: Vec<ObjPos> = coords
+            .into_iter()
+            .filter(|(oid, _, _)| seen.insert(*oid))
+            .map(|(oid, x, y)| ObjPos::new(oid, x as f64 * 0.5, y as f64 * 0.5))
+            .collect();
+        let params = DbscanParams::new(min_pts, 1.0);
+        prop_assert_eq!(dbscan(&points, params), brute_force_dbscan(&points, params));
+    }
+
+    /// The CSR and HashMap grid layouts answer every neighbourhood query
+    /// identically (the tentpole's layout-equivalence guarantee).
+    #[test]
+    fn csr_and_sparse_grids_agree(
+        coords in proptest::collection::vec((-40i32..40, -40i32..40), 1..60),
+        eps10 in 5u32..30,
+    ) {
+        let eps = eps10 as f64 / 10.0;
+        let points: Vec<ObjPos> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| ObjPos::new(i as u32, x as f64 * 0.5, y as f64 * 0.5))
+            .collect();
+        let csr = GridIndex::build(&points, eps);
+        let sparse = GridIndex::build_sparse(&points, eps);
+        for idx in 0..points.len() {
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            csr.neighbours(&points, idx, eps * eps, &mut a);
+            sparse.neighbours(&points, idx, eps * eps, &mut b);
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b, "idx {} eps {}", idx, eps);
+        }
+    }
+
+    /// `restrict_at_into` is exactly `restrict_at` into a reused buffer,
+    /// for arbitrary datasets, timestamps and object sets.
+    #[test]
+    fn restrict_at_into_equals_restrict_at(
+        d in dataset_strategy(),
+        ids in proptest::collection::vec(0u32..12, 0..10),
+        t_off in 0u32..20,
+    ) {
+        let set = ObjectSet::new(ids);
+        let t = d.start() + t_off; // sometimes outside the span
+        let mut buf = vec![ObjPos::new(u32::MAX, -1.0, -1.0)]; // stale content
+        d.restrict_at_into(t, &set, &mut buf);
+        prop_assert_eq!(buf, d.restrict_at(t, &set));
     }
 
     /// Binary codec round-trips arbitrary datasets.
