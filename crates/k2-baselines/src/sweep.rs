@@ -165,7 +165,10 @@ mod tests {
         let store = bug_store();
         let res = snapshot_sweep(&store, PARAMS, 7, SeedRule::EveryCluster).unwrap();
         assert_eq!(res.convoys.len(), 1);
-        assert_eq!(res.convoys.convoys()[0].objects, ObjectSet::from([0, 1]));
+        assert_eq!(
+            res.convoys.iter().next().unwrap().objects,
+            ObjectSet::from([0, 1])
+        );
     }
 
     #[test]

@@ -9,9 +9,15 @@
 //! visible in history, not just claimed in PR descriptions.
 //!
 //! ```sh
-//! cargo run --release -p k2-bench --bin bench-report -- --out BENCH_2.json
+//! cargo run --release -p k2-bench --bin bench-report -- --out BENCH_3.json
 //! cargo run --release -p k2-bench --bin bench-report -- --scale 0.1 --runs 1
 //! ```
+//!
+//! `BENCH_SMOKE.json` is the committed tiny-workload baseline the CI
+//! bench-smoke job diffs fresh runs against; regenerate it with exactly
+//! the flags the CI job uses (`--scale 0.5 --runs 5`, see
+//! `.github/workflows/ci.yml` and `scripts/bench_gate.py` — the gate
+//! fails on a workload mismatch).
 
 use k2_cluster::{dbscan_with, DbscanParams, GridScratch};
 use k2_core::{K2Config, K2Hop, MiningResult};
@@ -38,7 +44,7 @@ struct Args {
 
 fn parse_args() -> Args {
     let mut args = Args {
-        out: "BENCH_2.json".into(),
+        out: "BENCH_3.json".into(),
         scale: 1.0,
         seed: 42,
         runs: 3,
@@ -218,9 +224,13 @@ fn render_json(
         let _ = write!(s, "{sep}\"{name}\": {secs:.6}");
     }
     s.push_str("}\n  },\n");
+    // Nanosecond precision: this field is the denominator of the CI smoke
+    // gate's machine-speed normalization (scripts/bench_gate.py), and the
+    // measured value is single-digit microseconds — {:.6} would leave it
+    // ~1 significant digit.
     let _ = writeln!(
         s,
-        "  \"dbscan_largest_snapshot\": {{\"points\": {snapshot_n}, \"median_secs\": {dbscan_secs:.6}, \"points_per_sec\": {:.0}}},",
+        "  \"dbscan_largest_snapshot\": {{\"points\": {snapshot_n}, \"median_secs\": {dbscan_secs:.9}, \"points_per_sec\": {:.0}}},",
         snapshot_n as f64 / dbscan_secs
     );
     let _ = writeln!(

@@ -27,7 +27,7 @@ mod grid;
 pub use dsu::DisjointSet;
 pub use grid::GridIndex;
 
-use k2_model::{ObjPos, ObjectSet};
+use k2_model::{ObjPos, ObjectSet, SetPool};
 
 /// Point sets up to this size skip the grid entirely: a direct `O(n²)`
 /// pairwise scan beats building any index for the tiny `reCluster`
@@ -95,12 +95,26 @@ pub struct GridScratch {
     /// Counting-sort buffers for the final cluster gather.
     cluster_offsets: Vec<u32>,
     member_oids: Vec<u32>,
+    /// Interning arena for the emitted cluster sets: a candidate that
+    /// survives a probe intact re-emerges as the *same* set at every
+    /// timestamp, so hash-consing turns the per-cluster `ObjectSet`
+    /// allocation into a table hit with shared storage.
+    pool: SetPool,
+    /// Sort buffer for the (rare) unsorted-input gather path.
+    sort_buf: Vec<u32>,
 }
 
 impl GridScratch {
     /// Creates an empty scratch (no allocation until first use).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The scratch's set-interning pool — shared with callers (e.g. the
+    /// candidate-cluster intersection) so their sets dedup against the
+    /// cluster sets emitted here.
+    pub fn pool_mut(&mut self) -> &mut SetPool {
+        &mut self.pool
     }
 }
 
@@ -225,7 +239,20 @@ pub fn dbscan_with(
         let start = if c == 0 { 0 } else { offsets[c - 1] as usize };
         let slice = &members[start..offsets[c] as usize];
         if slice.len() >= params.min_pts {
-            out.push(ObjectSet::new(slice.to_vec()));
+            // Members follow the input point order; snapshots and probe
+            // restrictions are oid-sorted, so the slice is almost always
+            // already strictly ascending and interns directly. Arbitrary
+            // caller input falls back to a sort + dedup in scratch.
+            let id = if slice.windows(2).all(|w| w[0] < w[1]) {
+                scratch.pool.intern_sorted(slice)
+            } else {
+                scratch.sort_buf.clear();
+                scratch.sort_buf.extend_from_slice(slice);
+                scratch.sort_buf.sort_unstable();
+                scratch.sort_buf.dedup();
+                scratch.pool.intern_sorted(&scratch.sort_buf)
+            };
+            out.push(scratch.pool.handle(id));
         }
     }
     out.sort_by(|a, b| a.ids().cmp(b.ids()));

@@ -1,7 +1,7 @@
 //! Benchmark clustering and candidate clusters (§4.1–§4.2).
 
 use k2_cluster::{dbscan, DbscanParams};
-use k2_model::{ObjectSet, Oid, Time};
+use k2_model::{ObjectSet, Oid, SetPool, Time};
 use k2_storage::{StoreResult, TrajectoryStore};
 use std::collections::HashMap;
 
@@ -28,6 +28,37 @@ pub fn cluster_benchmark<S: TrajectoryStore + ?Sized>(
 /// of the quadratic pairwise intersection we bucket each left cluster's
 /// members by their right-cluster id — `O(Σ|cᵢ|)` total.
 pub fn candidate_clusters(left: &[ObjectSet], right: &[ObjectSet], m: usize) -> Vec<ObjectSet> {
+    candidate_clusters_with(left, right, m, &mut |ids| {
+        ObjectSet::from_sorted(ids.to_vec())
+    })
+}
+
+/// [`candidate_clusters`] interning the emitted sets through `pool`.
+///
+/// Candidate clusters are intersections of benchmark clusters; a cluster
+/// that survives a hop intact produces a candidate *equal* to it, and
+/// adjacent windows repeat candidates wholesale — interning makes those
+/// repeats share storage with the cluster sets already in the pool, so
+/// every downstream equality/subsumption check starts with a pointer
+/// compare.
+pub fn candidate_clusters_pooled(
+    left: &[ObjectSet],
+    right: &[ObjectSet],
+    m: usize,
+    pool: &mut SetPool,
+) -> Vec<ObjectSet> {
+    candidate_clusters_with(left, right, m, &mut |ids| {
+        let id = pool.intern_sorted(ids);
+        pool.handle(id)
+    })
+}
+
+fn candidate_clusters_with(
+    left: &[ObjectSet],
+    right: &[ObjectSet],
+    m: usize,
+    make_set: &mut dyn FnMut(&[Oid]) -> ObjectSet,
+) -> Vec<ObjectSet> {
     if left.is_empty() || right.is_empty() {
         return Vec::new();
     }
@@ -52,7 +83,7 @@ pub fn candidate_clusters(left: &[ObjectSet], right: &[ObjectSet], m: usize) -> 
             if ids.len() >= m {
                 // Members iterated in ascending oid order per cluster, so
                 // each bucket is already sorted.
-                out.push(ObjectSet::from_sorted(ids.clone()));
+                out.push(make_set(ids));
             }
         }
     }

@@ -70,6 +70,10 @@ fn extend_directed<S: TrajectoryStore + ?Sized>(
 ) -> StoreResult<ExtendResult> {
     let mut result = ConvoySet::new();
     let mut points_fetched = 0u64;
+    // One scratch for the whole pass: probe buffers plus the set-interning
+    // pool, so a convoy that extends intact re-derives the *same* (shared)
+    // object set at every frontier and the survived-intact equality below
+    // is a pointer compare.
     let mut scratch = ProbeScratch::default();
     let emit = |set: &mut ConvoySet, v: Convoy| {
         if min_len.is_none_or(|k| v.len() >= k) {
@@ -78,6 +82,10 @@ fn extend_directed<S: TrajectoryStore + ?Sized>(
     };
 
     for vsp in convoys {
+        // Rotate the interning pool per seed: the repeats it captures are
+        // within one extension chain, and clearing keeps its retention
+        // bounded by a single chain's distinct sets.
+        scratch.cluster.pool_mut().clear();
         // Vprev: convoys still extending (line 2).
         let mut prev: Vec<Convoy> = vec![vsp];
         loop {

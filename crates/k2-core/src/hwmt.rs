@@ -48,6 +48,29 @@ pub fn mine_window_ordered<S: TrajectoryStore + ?Sized>(
     cc: &[ObjectSet],
     order: impl Fn(TimeInterval) -> Vec<Time>,
 ) -> StoreResult<WindowResult> {
+    mine_window_scratched(
+        store,
+        params,
+        b_left,
+        b_right,
+        cc,
+        order,
+        &mut ProbeScratch::default(),
+    )
+}
+
+/// [`mine_window_ordered`] reusing a caller-provided probe scratch — the
+/// pipeline passes one scratch (buffers + set-interning pool) across all
+/// its hop-windows so the steady state of the probe loop never allocates.
+pub(crate) fn mine_window_scratched<S: TrajectoryStore + ?Sized>(
+    store: &S,
+    params: DbscanParams,
+    b_left: Time,
+    b_right: Time,
+    cc: &[ObjectSet],
+    order: impl Fn(TimeInterval) -> Vec<Time>,
+    scratch: &mut ProbeScratch,
+) -> StoreResult<WindowResult> {
     let lifespan = TimeInterval::new(b_left, b_right);
     let mut result = WindowResult {
         spanning: Vec::new(),
@@ -58,14 +81,12 @@ pub fn mine_window_ordered<S: TrajectoryStore + ?Sized>(
         return Ok(result);
     }
     let mut survivors: Vec<ObjectSet> = cc.to_vec();
-    let mut scratch = ProbeScratch::default();
     if let Some(window) = hop_window(b_left, b_right) {
         for t in order(window) {
             result.timestamps_probed += 1;
             let mut next = Vec::with_capacity(survivors.len());
             for candidate in &survivors {
-                let (clusters, fetched) =
-                    recluster_at_with(store, params, t, candidate, &mut scratch)?;
+                let (clusters, fetched) = recluster_at_with(store, params, t, candidate, scratch)?;
                 result.points_fetched += fetched;
                 next.extend(clusters);
             }

@@ -52,6 +52,7 @@ pub mod stats;
 pub mod validate;
 
 mod config;
+mod par;
 mod parallel;
 mod pipeline;
 

@@ -1,7 +1,7 @@
 //! Merging 1st-order spanning convoys into maximal spanning convoys
 //! (§4.4, the DCM merge of \[16\]).
 
-use k2_model::{Convoy, ConvoySet};
+use k2_model::{Convoy, ConvoySet, SetPool};
 
 /// Merges the per-window spanning convoy sets (windows ordered left to
 /// right; window `i` spans `[bᵢ, bᵢ₊₁]`) into the set of **maximal
@@ -19,6 +19,11 @@ use k2_model::{Convoy, ConvoySet};
 pub fn merge_spanning(windows: &[Vec<Convoy>], m: usize) -> ConvoySet {
     let mut result = ConvoySet::new();
     let mut active: ConvoySet = ConvoySet::new();
+    // Interning arena for the intersections: a convoy that keeps merging
+    // across windows re-derives the same object set every step, so the
+    // repeat intersections cost a table hit, share storage, and make the
+    // maximality checks inside `update()` pointer-fast.
+    let mut pool = SetPool::new();
     for (i, spanning) in windows.iter().enumerate() {
         if i == 0 {
             active = ConvoySet::from_convoys(spanning.iter().cloned());
@@ -36,7 +41,7 @@ pub fn merge_spanning(windows: &[Vec<Convoy>], m: usize) -> ConvoySet {
             }
             let mut extended_fully = false;
             for w in spanning {
-                let inter = v.objects.intersect(&w.objects);
+                let inter = pool.intersect_sets(&v.objects, &w.objects);
                 if inter.len() >= m {
                     if inter.len() == v.objects.len() {
                         extended_fully = true;
@@ -189,8 +194,8 @@ mod tests {
     #[test]
     fn result_is_maximal_set() {
         let result = merge_spanning(&figure5_windows(), 2);
-        for a in result.convoys() {
-            for b in result.convoys() {
+        for a in result.iter() {
+            for b in result.iter() {
                 assert!(a == b || !a.is_sub_convoy_of(b), "{a:?} subsumed by {b:?}");
             }
         }

@@ -1,0 +1,104 @@
+//! Self-scheduled, order-preserving parallel map — the work engine shared
+//! by the sequential miner's benchmark-clustering phase and every phase of
+//! [`K2HopParallel`](crate::K2HopParallel).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `items` on up to `threads` workers, preserving order.
+///
+/// Work is self-scheduled: each worker atomically claims the next
+/// unprocessed index, so skewed items (hop-windows whose candidates die at
+/// the root probe vs. windows that probe every timestamp, dense vs. sparse
+/// benchmark snapshots) cannot strand one thread with all the slow work
+/// the way static `chunks()` partitioning would. Results are re-placed by
+/// index, so the output order is identical to the sequential map.
+///
+/// Every worker builds one context with `make_ctx` and reuses it across
+/// all the items it claims — this is how per-worker scratch
+/// (`GridScratch`, probe buffers, set pools) is threaded through without
+/// any locking.
+pub(crate) fn self_scheduled_map<T, R, C>(
+    threads: usize,
+    items: &[T],
+    make_ctx: impl Fn() -> C + Sync,
+    f: impl Fn(&mut C, &T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    if threads <= 1 || items.len() <= 1 {
+        let mut ctx = make_ctx();
+        return items.iter().map(|item| f(&mut ctx, item)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(items.len());
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (f, make_ctx, next) = (&f, &make_ctx, &next);
+                scope.spawn(move || {
+                    let mut ctx = make_ctx();
+                    let mut produced: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        produced.push((i, f(&mut ctx, item)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("worker panicked") {
+                out[i] = Some(r);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("every index was claimed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_for_any_thread_count() {
+        let items: Vec<u32> = (0..97).collect();
+        let expect: Vec<u32> = items.iter().map(|x| x * 3).collect();
+        for threads in [1usize, 2, 4, 16, 128] {
+            let got = self_scheduled_map(threads, &items, || (), |_, &x| x * 3);
+            assert_eq!(got, expect, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn context_is_reused_within_a_worker() {
+        // Sequential path: one context sees every item.
+        let items = [1u32, 2, 3, 4];
+        let sums = self_scheduled_map(
+            1,
+            &items,
+            || 0u32,
+            |acc, &x| {
+                *acc += x;
+                *acc
+            },
+        );
+        assert_eq!(sums, vec![1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(self_scheduled_map(8, &empty, || (), |_, &x: &u32| x).is_empty());
+        assert_eq!(
+            self_scheduled_map(8, &[7u32], || (), |_, &x| x + 1),
+            vec![8]
+        );
+    }
+}

@@ -17,13 +17,13 @@
 //! unit tests and the workspace integration tests enforce this.
 
 use crate::benchpoints::benchmark_points;
-use crate::candidates::candidate_clusters;
+use crate::candidates::candidate_clusters_pooled;
 use crate::config::K2Config;
 use crate::merge::merge_spanning;
+use crate::par::self_scheduled_map;
 use crate::validate::{hwmt_star_dataset_scratched, DatasetProbeScratch};
-use k2_cluster::{dbscan, recluster_with, DbscanParams};
+use k2_cluster::{dbscan_with, recluster_with, DbscanParams, GridScratch};
 use k2_model::{Convoy, ConvoySet, Dataset, ObjectSet, Time};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Parallel k/2-hop miner over an in-memory dataset.
 ///
@@ -67,42 +67,60 @@ impl K2HopParallel {
         }
         let bench = benchmark_points(span, cfg.hop());
 
-        // Step 1 (parallel): benchmark clustering.
-        let benchmark_clusters: Vec<Vec<ObjectSet>> = self.map(&bench, |&b| {
-            dbscan(
-                dataset.snapshot(b).map(|s| s.positions()).unwrap_or(&[]),
-                params,
-            )
-        });
+        // Step 1 (parallel): benchmark clustering, one grid scratch per
+        // worker.
+        let benchmark_clusters: Vec<Vec<ObjectSet>> =
+            self_scheduled_map(self.threads, &bench, GridScratch::new, |scratch, &b| {
+                dbscan_with(
+                    dataset.snapshot(b).map(|s| s.positions()).unwrap_or(&[]),
+                    params,
+                    scratch,
+                )
+            });
 
-        // Steps 2–3 (parallel): candidate clusters + HWMT per window.
+        // Steps 2–3 (parallel): candidate clusters + HWMT per window, one
+        // probe scratch (buffers + interning pool) per worker.
         let window_inputs: Vec<(Time, Time, &Vec<ObjectSet>, &Vec<ObjectSet>)> = bench
             .windows(2)
             .zip(benchmark_clusters.windows(2))
             .map(|(bw, cw)| (bw[0], bw[1], &cw[0], &cw[1]))
             .collect();
-        let windows: Vec<Vec<Convoy>> = self.map(&window_inputs, |&(left, right, cl, cr)| {
-            let cc = candidate_clusters(cl, cr, cfg.m);
-            mine_window_dataset(dataset, params, left, right, &cc)
-        });
+        let windows: Vec<Vec<Convoy>> = self_scheduled_map(
+            self.threads,
+            &window_inputs,
+            DatasetProbeScratch::default,
+            |scratch, &(left, right, cl, cr)| {
+                // Pool rotated per window (bounded retention; see the
+                // sequential pipeline).
+                scratch.cluster.pool_mut().clear();
+                let cc = candidate_clusters_pooled(cl, cr, cfg.m, scratch.cluster.pool_mut());
+                mine_window_dataset(dataset, params, left, right, &cc, scratch)
+            },
+        );
 
         // Step 4 (sequential): merge.
         let merged = merge_spanning(&windows, cfg.m);
 
         // Step 5 (parallel): extension per convoy, then re-maximalise.
         let merged_vec: Vec<Convoy> = merged.into_sorted_vec();
-        let extended: Vec<ConvoySet> = self.map(&merged_vec, |v| {
-            let right = extend_dataset(dataset, params, v.clone(), Direction::Right);
-            let mut out = ConvoySet::new();
-            for r in right {
-                for l in extend_dataset(dataset, params, r, Direction::Left) {
-                    if l.len() >= cfg.k {
-                        out.update(l);
+        let extended: Vec<ConvoySet> = self_scheduled_map(
+            self.threads,
+            &merged_vec,
+            DatasetProbeScratch::default,
+            |scratch, v| {
+                scratch.cluster.pool_mut().clear();
+                let right = extend_dataset(dataset, params, v.clone(), Direction::Right, scratch);
+                let mut out = ConvoySet::new();
+                for r in right {
+                    for l in extend_dataset(dataset, params, r, Direction::Left, scratch) {
+                        if l.len() >= cfg.k {
+                            out.update(l);
+                        }
                     }
                 }
-            }
-            out
-        });
+                out
+            },
+        );
         let mut candidates = ConvoySet::new();
         for set in extended {
             candidates.merge(set);
@@ -111,67 +129,30 @@ impl K2HopParallel {
         // Step 6 (parallel): validation per candidate, then final
         // maximality.
         let candidate_vec: Vec<Convoy> = candidates.into_sorted_vec();
-        let validated: Vec<ConvoySet> = self.map(&candidate_vec, |v| {
-            let mut queue = vec![v.clone()];
-            let mut fc = ConvoySet::new();
-            let mut scratch = DatasetProbeScratch::default();
-            while let Some(vin) = queue.pop() {
-                let out = hwmt_star_dataset_scratched(dataset, params, cfg.k, &vin, &mut scratch);
-                if out.len() == 1 && out.contains(&vin) {
-                    fc.update(vin);
-                } else {
-                    queue.extend(out);
+        let validated: Vec<ConvoySet> = self_scheduled_map(
+            self.threads,
+            &candidate_vec,
+            DatasetProbeScratch::default,
+            |scratch, v| {
+                scratch.cluster.pool_mut().clear();
+                let mut queue = vec![v.clone()];
+                let mut fc = ConvoySet::new();
+                while let Some(vin) = queue.pop() {
+                    let out = hwmt_star_dataset_scratched(dataset, params, cfg.k, &vin, scratch);
+                    if out.len() == 1 && out.contains(&vin) {
+                        fc.update(vin);
+                    } else {
+                        queue.extend(out);
+                    }
                 }
-            }
-            fc
-        });
+                fc
+            },
+        );
         let mut fc = ConvoySet::new();
         for set in validated {
             fc.merge(set);
         }
         fc.into_sorted_vec()
-    }
-
-    /// Order-preserving parallel map over `items`.
-    ///
-    /// Work is self-scheduled: each worker atomically claims the next
-    /// unprocessed index, so skewed items (hop-windows whose candidates
-    /// die at the root probe vs. windows that probe every timestamp)
-    /// cannot strand one thread with all the slow work the way static
-    /// `chunks()` partitioning did. Results are re-placed by index, so the
-    /// output order is identical to the sequential map.
-    fn map<T: Sync, R: Send>(&self, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-        if self.threads <= 1 || items.len() <= 1 {
-            return items.iter().map(f).collect();
-        }
-        let next = AtomicUsize::new(0);
-        let workers = self.threads.min(items.len());
-        let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
-        out.resize_with(items.len(), || None);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let (f, next) = (&f, &next);
-                    scope.spawn(move || {
-                        let mut produced: Vec<(usize, R)> = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(item) = items.get(i) else { break };
-                            produced.push((i, f(item)));
-                        }
-                        produced
-                    })
-                })
-                .collect();
-            for handle in handles {
-                for (i, r) in handle.join().expect("worker panicked") {
-                    out[i] = Some(r);
-                }
-            }
-        });
-        out.into_iter()
-            .map(|o| o.expect("every index was claimed"))
-            .collect()
     }
 }
 
@@ -182,13 +163,13 @@ fn mine_window_dataset(
     b_left: Time,
     b_right: Time,
     cc: &[ObjectSet],
+    scratch: &mut DatasetProbeScratch,
 ) -> Vec<Convoy> {
     use crate::benchpoints::{hop_window, hwmt_order};
     if cc.is_empty() {
         return Vec::new();
     }
     let mut survivors: Vec<ObjectSet> = cc.to_vec();
-    let mut scratch = DatasetProbeScratch::default();
     if let Some(window) = hop_window(b_left, b_right) {
         for t in hwmt_order(window) {
             let mut next = Vec::with_capacity(survivors.len());
@@ -225,11 +206,11 @@ fn extend_dataset(
     params: DbscanParams,
     seed: Convoy,
     dir: Direction,
+    scratch: &mut DatasetProbeScratch,
 ) -> Vec<Convoy> {
     let span = dataset.span();
     let mut result = ConvoySet::new();
     let mut prev = vec![seed];
-    let mut scratch = DatasetProbeScratch::default();
     loop {
         let frontier = match dir {
             Direction::Right => {

@@ -1,22 +1,37 @@
 //! The k/2-hop pipeline (Algorithm 1).
 
-use crate::benchpoints::benchmark_points;
-use crate::candidates::{candidate_clusters, cluster_benchmark};
+use crate::benchpoints::{benchmark_points, hwmt_order};
+use crate::candidates::candidate_clusters_pooled;
 use crate::config::K2Config;
 use crate::extend::{extend_left, extend_right};
-use crate::hwmt::mine_window;
+use crate::hwmt::mine_window_scratched;
 use crate::merge::merge_spanning;
+use crate::par::self_scheduled_map;
 use crate::stats::{PhaseTimings, PruningStats};
 use crate::validate::validate;
-use k2_model::{Convoy, ObjectSet};
+use crate::ProbeScratch;
+use k2_cluster::{dbscan_with, GridScratch};
+use k2_model::{Convoy, ObjPos, ObjectSet};
 use k2_storage::{StoreResult, TrajectoryStore};
 use std::time::Instant;
 
 /// The k/2-hop miner. Construct with a validated [`K2Config`], then call
 /// [`K2Hop::mine`] against any [`TrajectoryStore`].
+///
+/// Benchmark clustering — the only full-snapshot work in the algorithm and
+/// the largest phase of a sequential run (BENCH_2: ~33% of mine time) — is
+/// sharded across worker threads: snapshots are fetched from the store
+/// sequentially (I/O and statistics stay on the calling thread; stores use
+/// interior mutability and need not be `Sync`), then DBSCANed off an
+/// atomic work counter with one [`GridScratch`] per worker.
+/// [`K2Hop::new`] sizes the worker pool to the machine;
+/// [`K2Hop::with_threads`] pins it (1 = fully sequential). Clustering is
+/// deterministic, so the mined convoys are identical at every thread
+/// count.
 #[derive(Debug, Clone, Copy)]
 pub struct K2Hop {
     config: K2Config,
+    threads: usize,
 }
 
 /// Everything a mining run produces.
@@ -31,14 +46,31 @@ pub struct MiningResult {
 }
 
 impl K2Hop {
-    /// Creates a miner.
+    /// Creates a miner with one clustering worker per available core.
     pub fn new(config: K2Config) -> Self {
-        Self { config }
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_threads(config, threads)
+    }
+
+    /// Creates a miner with an explicit benchmark-clustering worker count
+    /// (≥ 1; 1 runs the whole pipeline on the calling thread).
+    pub fn with_threads(config: K2Config, threads: usize) -> Self {
+        Self {
+            config,
+            threads: threads.max(1),
+        }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> K2Config {
         self.config
+    }
+
+    /// The benchmark-clustering worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Runs Algorithm 1 end to end:
@@ -68,31 +100,85 @@ impl K2Hop {
         }
 
         // Step 1: benchmark clusters (the only full-snapshot scans).
+        // Snapshots are fetched sequentially — the I/O path and its
+        // statistics stay single-threaded — then clustered across the
+        // worker pool off an atomic counter, one GridScratch per worker.
         let t0 = Instant::now();
         let bench = benchmark_points(span, cfg.hop());
-        let mut benchmark_clusters: Vec<Vec<ObjectSet>> = Vec::with_capacity(bench.len());
-        for &b in &bench {
-            let (clusters, scanned) = cluster_benchmark(store, params, b)?;
-            pruning.benchmark_points += scanned;
-            benchmark_clusters.push(clusters);
-        }
+        let benchmark_clusters: Vec<Vec<ObjectSet>> = if self.threads <= 1 {
+            // Sequential: cluster each snapshot while it is still hot in
+            // cache, reusing one scratch across all of them.
+            let mut scratch = GridScratch::new();
+            let mut clusters = Vec::with_capacity(bench.len());
+            for &b in &bench {
+                let snapshot = store.scan_snapshot(b)?;
+                pruning.benchmark_points += snapshot.len() as u64;
+                clusters.push(dbscan_with(&snapshot, params, &mut scratch));
+            }
+            clusters
+        } else {
+            // Parallel: fetch a bounded batch of snapshots, fan the batch
+            // out to the workers, drop it, repeat. The batch bound keeps
+            // peak memory at O(batch × population) instead of holding
+            // every benchmark snapshot of a disk-backed dataset at once.
+            let batch = self.threads * 8;
+            let mut clusters = Vec::with_capacity(bench.len());
+            let mut snapshots: Vec<Vec<ObjPos>> = Vec::with_capacity(batch);
+            for chunk in bench.chunks(batch) {
+                snapshots.clear();
+                for &b in chunk {
+                    let snapshot = store.scan_snapshot(b)?;
+                    pruning.benchmark_points += snapshot.len() as u64;
+                    snapshots.push(snapshot);
+                }
+                clusters.extend(self_scheduled_map(
+                    self.threads,
+                    &snapshots,
+                    GridScratch::new,
+                    |scratch, snapshot| dbscan_with(snapshot, params, scratch),
+                ));
+            }
+            clusters
+        };
         pruning.benchmark_timestamps = bench.len() as u32;
         timings.benchmark = t0.elapsed();
+
+        // One probe scratch (buffers + set-interning pool) for steps 2–3:
+        // candidate sets intern against the clusters the HWMT probes emit,
+        // so a candidate that survives a probe intact costs no allocation
+        // and compares by pointer downstream.
+        let mut scratch = ProbeScratch::default();
 
         // Step 2: candidate clusters per hop-window.
         let t0 = Instant::now();
         let ccs: Vec<Vec<ObjectSet>> = benchmark_clusters
             .windows(2)
-            .map(|pair| candidate_clusters(&pair[0], &pair[1], cfg.m))
+            .map(|pair| {
+                candidate_clusters_pooled(&pair[0], &pair[1], cfg.m, scratch.cluster.pool_mut())
+            })
             .collect();
         pruning.candidate_clusters = ccs.iter().map(|cc| cc.len() as u32).sum();
         timings.intersect = t0.elapsed();
 
-        // Step 3: HWMT per window.
+        // Step 3: HWMT per window. The interning pool is rotated per
+        // window: the repeats that matter (a candidate surviving every
+        // probe of its window) are within-window, and clearing bounds the
+        // pool to one window's distinct sets instead of pinning every
+        // cluster ever emitted until the run ends (outstanding handles
+        // stay valid through their `Arc`s).
         let t0 = Instant::now();
         let mut windows: Vec<Vec<Convoy>> = Vec::with_capacity(ccs.len());
         for (i, cc) in ccs.iter().enumerate() {
-            let res = mine_window(store, params, bench[i], bench[i + 1], cc)?;
+            scratch.cluster.pool_mut().clear();
+            let res = mine_window_scratched(
+                store,
+                params,
+                bench[i],
+                bench[i + 1],
+                cc,
+                hwmt_order,
+                &mut scratch,
+            )?;
             pruning.hwmt_points += res.points_fetched;
             pruning.spanning_convoys += res.spanning.len() as u32;
             windows.push(res.spanning);

@@ -23,7 +23,7 @@
 use crate::benchpoints::hwmt_star_order;
 use crate::{recluster_at_with, ProbeScratch};
 use k2_cluster::DbscanParams;
-use k2_model::{Convoy, ConvoySet, ObjectSet, Time, TimeInterval};
+use k2_model::{Convoy, ConvoySet, ObjectSet, SetPool, Time, TimeInterval};
 use k2_storage::{StoreResult, TrajectoryStore};
 use std::collections::HashMap;
 
@@ -51,6 +51,9 @@ pub fn validate<S: TrajectoryStore + ?Sized>(
     let mut fc = ConvoySet::new();
     let mut scratch = ProbeScratch::default();
     while let Some(vin) = queue.pop() {
+        // Per-candidate pool rotation: HWMT*'s probe repeats are within
+        // one candidate's lifespan sweep; clearing bounds retention.
+        scratch.cluster.pool_mut().clear();
         let out = hwmt_star_scratched(store, params, min_len, &vin, &mut fetched, &mut scratch)?;
         if out.len() == 1 && out.contains(&vin) {
             fc.update(vin);
@@ -185,7 +188,11 @@ fn hwmt_star_with(
         clusters_at.insert(t, clusters);
     }
 
-    // Phase 2: sweep the cached clusters left to right.
+    // Phase 2: sweep the cached clusters left to right. Intersections go
+    // through an interning pool — a stable active convoy re-derives the
+    // same set at every timestamp, so the repeats share storage and the
+    // `update()` maximality checks compare by pointer.
+    let mut pool = SetPool::new();
     let mut active: Vec<Convoy> = Vec::new();
     let mut results = ConvoySet::new();
     for t in span.iter() {
@@ -194,7 +201,7 @@ fn hwmt_star_with(
         for av in &active {
             let mut extended_fully = false;
             for c in clusters {
-                let inter = av.objects.intersect(c);
+                let inter = pool.intersect_sets(&av.objects, c);
                 if inter.len() >= params.min_pts {
                     if inter.len() == av.objects.len() {
                         extended_fully = true;

@@ -1,6 +1,7 @@
 //! Convoys and maximality maintenance.
 
-use crate::{ObjectSet, Time, TimeInterval};
+use crate::{ObjectSet, Oid, Time, TimeInterval};
+use std::collections::HashMap;
 use std::fmt;
 
 /// A convoy candidate or result: a set of objects together over a closed
@@ -81,6 +82,22 @@ impl fmt::Debug for Convoy {
 /// member, and existing members that are sub-convoys of the newcomer are
 /// evicted. The set therefore always contains pairwise-incomparable convoys.
 ///
+/// Subsumption is **indexed**: convoys live in insertion-ordered slots and
+/// two posting-list maps keyed by member id narrow every `update()` to the
+/// plausible comparands instead of scanning all candidates —
+///
+/// * a superset of the candidate must contain the candidate's smallest
+///   member, so the dominated-check probes only the membership bucket of
+///   that one id;
+/// * a subset of the candidate has its own smallest member *inside* the
+///   candidate, so the eviction scan probes only the smallest-member
+///   buckets of the candidate's ids.
+///
+/// With low-overlap candidate streams (the common mining shape) `update()`
+/// is close to `O(|O(candidate)|)` where the old scan was `O(n)` per call
+/// — the quadratic hot spot BENCH_2 exposed in the DCM merge and final
+/// maximality phases.
+///
 /// ```
 /// use k2_model::{Convoy, ConvoySet};
 ///
@@ -90,9 +107,180 @@ impl fmt::Debug for Convoy {
 /// assert_eq!(set.len(), 1);
 /// assert!(!set.update(Convoy::from_parts([1u32, 2], 3, 4))); // dominated
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Clone, Default)]
 pub struct ConvoySet {
-    convoys: Vec<Convoy>,
+    repr: Repr,
+}
+
+/// Past this many live convoys the set switches from the plain
+/// insertion-ordered `Vec` (whose linear scans are unbeatable for the
+/// handful-of-active-convoys case that dominates extension frontiers) to
+/// the posting-list index.
+const INDEX_THRESHOLD: usize = 32;
+
+#[derive(Clone)]
+enum Repr {
+    /// Small sets: dense storage, linear subsumption scans.
+    Small(Vec<Convoy>),
+    /// Large sets: slotted storage + member posting lists.
+    Indexed(Indexed),
+}
+
+impl Default for Repr {
+    fn default() -> Self {
+        Repr::Small(Vec::new())
+    }
+}
+
+#[derive(Clone, Default)]
+struct Indexed {
+    /// Insertion-ordered storage; evicted convoys become `None` and the
+    /// posting lists below are purged lazily.
+    slots: Vec<Option<Convoy>>,
+    /// Live convoy count.
+    live: usize,
+    /// member id → slots of convoys *containing* that id.
+    by_member: HashMap<Oid, Vec<u32>>,
+    /// smallest member id → slots of convoys whose minimum it is.
+    by_min: HashMap<Oid, Vec<u32>>,
+    /// Slots of convoys with an empty object set (degenerate but legal).
+    empty_slots: Vec<u32>,
+}
+
+impl Indexed {
+    /// The indexed `update()` (same semantics as the small-mode scan).
+    fn update(&mut self, candidate: Convoy) -> bool {
+        if self.dominated(&candidate) {
+            return false;
+        }
+        self.evict_sub_convoys_of(&candidate);
+        self.insert(candidate);
+        true
+    }
+
+    /// Is `candidate` a sub-convoy of any live member? Only convoys
+    /// containing the candidate's smallest member can dominate it.
+    fn dominated(&mut self, candidate: &Convoy) -> bool {
+        let Some(&min) = candidate.objects.ids().first() else {
+            // Empty object set: any lifespan-covering convoy dominates.
+            return self
+                .slots
+                .iter()
+                .flatten()
+                .any(|e| candidate.is_sub_convoy_of(e));
+        };
+        let slots = &self.slots;
+        let mut dominated = false;
+        if let Some(bucket) = self.by_member.get_mut(&min) {
+            // Compact stale (evicted) slot ids while probing.
+            bucket.retain(|&s| {
+                let Some(existing) = slots[s as usize].as_ref() else {
+                    return false;
+                };
+                dominated = dominated || candidate.is_sub_convoy_of(existing);
+                true
+            });
+        }
+        dominated
+    }
+
+    /// Evicts every live member that is a sub-convoy of `candidate`. A
+    /// nonempty subset's smallest member is one of the candidate's ids, so
+    /// only those `by_min` buckets are probed.
+    fn evict_sub_convoys_of(&mut self, candidate: &Convoy) {
+        let slots = &mut self.slots;
+        let live = &mut self.live;
+        self.empty_slots.retain(|&s| {
+            let Some(existing) = slots[s as usize].as_ref() else {
+                return false;
+            };
+            if existing.is_sub_convoy_of(candidate) {
+                slots[s as usize] = None;
+                *live -= 1;
+                return false;
+            }
+            true
+        });
+        for m in candidate.objects.iter() {
+            let Some(bucket) = self.by_min.get_mut(&m) else {
+                continue;
+            };
+            bucket.retain(|&s| {
+                let Some(existing) = slots[s as usize].as_ref() else {
+                    return false;
+                };
+                if existing.is_sub_convoy_of(candidate) {
+                    slots[s as usize] = None;
+                    *live -= 1;
+                    return false;
+                }
+                true
+            });
+        }
+    }
+
+    /// Appends a convoy that is known not to be dominated.
+    fn insert(&mut self, convoy: Convoy) {
+        let slot = u32::try_from(self.slots.len()).expect("slot capacity");
+        match convoy.objects.ids().first() {
+            None => self.empty_slots.push(slot),
+            Some(&min) => {
+                self.by_min.entry(min).or_default().push(slot);
+                for m in convoy.objects.iter() {
+                    self.by_member.entry(m).or_default().push(slot);
+                }
+            }
+        }
+        self.slots.push(Some(convoy));
+        self.live += 1;
+        // Rebuild once tombstones dominate, bounding slot/posting growth
+        // to 2× the live set.
+        if self.slots.len() >= 2 * INDEX_THRESHOLD && self.live * 2 < self.slots.len() {
+            self.rebuild();
+        }
+    }
+
+    /// Re-packs live convoys into fresh slots and posting lists. The set is
+    /// maximal by invariant, so no subsumption checks are needed.
+    fn rebuild(&mut self) {
+        let convoys: Vec<Convoy> = std::mem::take(&mut self.slots)
+            .into_iter()
+            .flatten()
+            .collect();
+        self.by_member.clear();
+        self.by_min.clear();
+        self.empty_slots.clear();
+        self.live = 0;
+        for c in convoys {
+            let slot = self.slots.len() as u32;
+            match c.objects.ids().first() {
+                None => self.empty_slots.push(slot),
+                Some(&min) => {
+                    self.by_min.entry(min).or_default().push(slot);
+                    for m in c.objects.iter() {
+                        self.by_member.entry(m).or_default().push(slot);
+                    }
+                }
+            }
+            self.slots.push(Some(c));
+            self.live += 1;
+        }
+    }
+
+    /// Membership test; equal convoys share a smallest member, so one
+    /// `by_min` bucket decides.
+    fn contains(&self, convoy: &Convoy) -> bool {
+        let bucket = match convoy.objects.ids().first() {
+            None => &self.empty_slots,
+            Some(min) => match self.by_min.get(min) {
+                Some(b) => b,
+                None => return false,
+            },
+        };
+        bucket
+            .iter()
+            .any(|&s| self.slots[s as usize].as_ref() == Some(convoy))
+    }
 }
 
 impl ConvoySet {
@@ -113,72 +301,138 @@ impl ConvoySet {
     /// Number of convoys.
     #[inline]
     pub fn len(&self) -> usize {
-        self.convoys.len()
+        match &self.repr {
+            Repr::Small(v) => v.len(),
+            Repr::Indexed(ix) => ix.live,
+        }
     }
 
     /// Is the set empty?
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.convoys.is_empty()
+        self.len() == 0
     }
 
     /// The paper's `update()`: insert `candidate` unless it is a sub-convoy
     /// of an existing convoy; evict existing convoys that are sub-convoys of
     /// `candidate`. Returns `true` if the candidate was inserted.
     pub fn update(&mut self, candidate: Convoy) -> bool {
-        for existing in &self.convoys {
-            if candidate.is_sub_convoy_of(existing) {
-                return false;
+        match &mut self.repr {
+            Repr::Small(v) => {
+                for existing in v.iter() {
+                    if candidate.is_sub_convoy_of(existing) {
+                        return false;
+                    }
+                }
+                v.retain(|c| !c.is_sub_convoy_of(&candidate));
+                v.push(candidate);
+                if v.len() > INDEX_THRESHOLD {
+                    self.engage_index();
+                }
+                true
             }
+            Repr::Indexed(ix) => ix.update(candidate),
         }
-        self.convoys.retain(|c| !c.is_sub_convoy_of(&candidate));
-        self.convoys.push(candidate);
-        true
+    }
+
+    /// Switches a grown small set to the posting-list representation. The
+    /// members are pairwise incomparable already, so they are inserted
+    /// without subsumption checks.
+    fn engage_index(&mut self) {
+        let Repr::Small(v) = std::mem::take(&mut self.repr) else {
+            unreachable!("engage_index on an indexed set");
+        };
+        let mut ix = Indexed::default();
+        for c in v {
+            ix.insert(c);
+        }
+        self.repr = Repr::Indexed(ix);
     }
 
     /// Merges another set into this one, maintaining maximality.
     pub fn merge(&mut self, other: ConvoySet) {
-        for c in other.convoys {
+        for c in other {
             self.update(c);
         }
     }
 
     /// Membership test (exact equality).
     pub fn contains(&self, convoy: &Convoy) -> bool {
-        self.convoys.contains(convoy)
-    }
-
-    /// The convoys, in insertion order.
-    #[inline]
-    pub fn convoys(&self) -> &[Convoy] {
-        &self.convoys
+        match &self.repr {
+            Repr::Small(v) => v.contains(convoy),
+            Repr::Indexed(ix) => ix.contains(convoy),
+        }
     }
 
     /// Consumes the set, returning the convoys sorted canonically
     /// (by lifespan, then objects) for deterministic output.
     pub fn into_sorted_vec(self) -> Vec<Convoy> {
-        let mut v = self.convoys;
+        let mut v: Vec<Convoy> = self.into_iter().collect();
         v.sort_by(|a, b| (a.lifespan, a.objects.ids()).cmp(&(b.lifespan, b.objects.ids())));
         v
     }
 
-    /// Iterator over the convoys.
+    /// Iterator over the convoys, in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &Convoy> {
-        self.convoys.iter()
+        let (small, indexed) = match &self.repr {
+            Repr::Small(v) => (Some(v.iter()), None),
+            Repr::Indexed(ix) => (None, Some(ix.slots.iter().flatten())),
+        };
+        small
+            .into_iter()
+            .flatten()
+            .chain(indexed.into_iter().flatten())
     }
 
-    /// Removes and returns all convoys, leaving the set empty.
+    /// Removes and returns all convoys (insertion order), leaving the set
+    /// empty.
     pub fn drain(&mut self) -> Vec<Convoy> {
-        std::mem::take(&mut self.convoys)
+        match std::mem::take(&mut self.repr) {
+            Repr::Small(v) => v,
+            Repr::Indexed(ix) => ix.slots.into_iter().flatten().collect(),
+        }
+    }
+}
+
+impl fmt::Debug for ConvoySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq for ConvoySet {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+/// Iterator for [`ConvoySet::into_iter`], covering both representations.
+pub struct ConvoySetIntoIter {
+    small: std::vec::IntoIter<Convoy>,
+    indexed: std::iter::Flatten<std::vec::IntoIter<Option<Convoy>>>,
+}
+
+impl Iterator for ConvoySetIntoIter {
+    type Item = Convoy;
+
+    fn next(&mut self) -> Option<Convoy> {
+        self.small.next().or_else(|| self.indexed.next())
     }
 }
 
 impl IntoIterator for ConvoySet {
     type Item = Convoy;
-    type IntoIter = std::vec::IntoIter<Convoy>;
+    type IntoIter = ConvoySetIntoIter;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.convoys.into_iter()
+        let (small, indexed) = match self.repr {
+            Repr::Small(v) => (v, Vec::new()),
+            Repr::Indexed(ix) => (Vec::new(), ix.slots),
+        };
+        ConvoySetIntoIter {
+            small: small.into_iter(),
+            indexed: indexed.into_iter().flatten(),
+        }
     }
 }
 

@@ -7,6 +7,8 @@
 //!   `<oid, x, y, t>` schema, §3.2),
 //! * [`ObjectSet`] — a sorted, deduplicated set of object ids (the object
 //!   side of clusters and convoys),
+//! * [`SetPool`] / [`SetId`] — a hash-consing arena that interns object
+//!   sets so equal sets share storage and compare by id,
 //! * [`Snapshot`] — all object positions at one timestamp,
 //! * [`Dataset`] — a snapshot-organised in-memory trajectory database with
 //!   restriction operators `DB[T]` and `DB|O` (paper Table 1),
@@ -26,6 +28,7 @@ pub mod interpolate;
 mod interval;
 mod object_set;
 mod point;
+mod set_pool;
 mod snapshot;
 
 pub use convoy::{Convoy, ConvoySet};
@@ -33,6 +36,7 @@ pub use dataset::{Dataset, DatasetBuilder, DatasetStats};
 pub use interval::TimeInterval;
 pub use object_set::ObjectSet;
 pub use point::{ObjPos, Point};
+pub use set_pool::{SetId, SetPool};
 pub use snapshot::Snapshot;
 
 /// Object identifier. Movement datasets identify each moving object (car,

@@ -3,6 +3,7 @@
 use crate::Oid;
 use std::fmt;
 use std::ops::Deref;
+use std::sync::Arc;
 
 /// An immutable, sorted, deduplicated set of object ids.
 ///
@@ -10,6 +11,11 @@ use std::ops::Deref;
 /// representation makes the operations the k/2-hop algorithm leans on cheap:
 /// set intersection (candidate clusters, DCM merge) and subset tests
 /// (maximality / `update()`) are linear merges over the sorted slices.
+///
+/// The member storage is shared (`Arc<[Oid]>`): cloning a set — which the
+/// convoy maintenance loops do constantly — is a reference-count bump, and
+/// sets produced by a [`SetPool`](crate::SetPool) are hash-consed so equal
+/// sets share one allocation and equality starts with a pointer compare.
 ///
 /// ```
 /// use k2_model::ObjectSet;
@@ -20,15 +26,31 @@ use std::ops::Deref;
 /// assert!(ObjectSet::from([2, 3]).is_subset(&a));
 /// assert_eq!(a.ids(), &[1, 2, 3]); // always sorted
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ObjectSet(Box<[Oid]>);
+#[derive(Clone, Eq, PartialOrd, Ord)]
+pub struct ObjectSet(Arc<[Oid]>);
+
+impl PartialEq for ObjectSet {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        // Interned sets share storage: one pointer compare settles the
+        // common case before any member is touched.
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl std::hash::Hash for ObjectSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Content hash, consistent with the (content-based) `PartialEq`.
+        self.0.hash(state)
+    }
+}
 
 impl ObjectSet {
     /// Builds a set from an arbitrary list of ids (sorts and deduplicates).
     pub fn new(mut ids: Vec<Oid>) -> Self {
         ids.sort_unstable();
         ids.dedup();
-        Self(ids.into_boxed_slice())
+        Self(ids.into())
     }
 
     /// Builds a set from ids that are already sorted and unique.
@@ -40,12 +62,20 @@ impl ObjectSet {
             ids.windows(2).all(|w| w[0] < w[1]),
             "from_sorted: ids must be strictly increasing"
         );
-        Self(ids.into_boxed_slice())
+        Self(ids.into())
     }
 
     /// The empty set.
     pub fn empty() -> Self {
-        Self(Box::new([]))
+        Self(Arc::new([]))
+    }
+
+    /// Do `self` and `other` share the same member storage? Interned sets
+    /// (see [`SetPool`](crate::SetPool)) make this the cheap positive
+    /// answer to equality.
+    #[inline]
+    pub fn ptr_eq(&self, other: &ObjectSet) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
     }
 
     /// Number of member objects.
@@ -88,7 +118,7 @@ impl ObjectSet {
                 }
             }
         }
-        ObjectSet(out.into_boxed_slice())
+        ObjectSet(out.into())
     }
 
     /// Size of the intersection without materialising it.
@@ -110,8 +140,12 @@ impl ObjectSet {
         count
     }
 
-    /// Is `self ⊆ other`? Linear merge over the sorted slices.
+    /// Is `self ⊆ other`? Linear merge over the sorted slices, after the
+    /// shared-storage and length fast paths.
     pub fn is_subset(&self, other: &ObjectSet) -> bool {
+        if self.ptr_eq(other) {
+            return true;
+        }
         if self.len() > other.len() {
             return false;
         }
@@ -157,7 +191,7 @@ impl ObjectSet {
         }
         out.extend_from_slice(&a[i..]);
         out.extend_from_slice(&b[j..]);
-        ObjectSet(out.into_boxed_slice())
+        ObjectSet(out.into())
     }
 
     /// Iterator over member ids in ascending order.

@@ -1,0 +1,402 @@
+//! Hash-consed interning of [`ObjectSet`]s.
+//!
+//! The k/2-hop probe loops materialise the *same* object sets over and
+//! over: a candidate that survives a re-clustering probe intact comes back
+//! as an identical cluster at every window timestamp, extension chains
+//! carry one set across dozens of frontiers, and the merge/validation
+//! sweeps intersect the same pairs repeatedly. A [`SetPool`] turns each of
+//! those into a table lookup: equal sets are stored once, every handle
+//! shares the single allocation, and equality (the hottest comparison in
+//! `ConvoySet::update` and the extension survived-intact check) collapses
+//! to a pointer/id compare.
+
+use crate::{ObjectSet, Oid};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Index of an interned set inside its [`SetPool`].
+///
+/// Ids are only meaningful against the pool that issued them. Two ids from
+/// the same pool are equal **iff** the sets they denote are equal — that
+/// is the point of hash-consing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SetId(u32);
+
+impl SetId {
+    /// The raw pool index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An arena that interns [`ObjectSet`]s.
+///
+/// ```
+/// use k2_model::{ObjectSet, SetPool};
+///
+/// let mut pool = SetPool::new();
+/// let a = pool.intern_sorted(&[1, 2, 3]);
+/// let b = pool.intern(&ObjectSet::from([3, 2, 1]));
+/// assert_eq!(a, b);                       // equal contents, same id
+/// assert!(pool.handle(a).ptr_eq(&pool.handle(b))); // shared storage
+/// let ab = pool.intersect(a, b);
+/// assert_eq!(ab, a);                      // set ops stay interned
+/// ```
+#[derive(Debug, Default)]
+pub struct SetPool {
+    /// Canonical sets, index-addressed by [`SetId`].
+    sets: Vec<ObjectSet>,
+    /// Content hash of each set (chain-walk comparisons check this first).
+    hashes: Vec<u64>,
+    /// Flat collision chain: next set index with the same content hash, or
+    /// `NO_NEXT`. Keeping the chain inline means a pool miss allocates
+    /// nothing beyond the set itself — crucial for the benchmark-clustering
+    /// phase, where most interned sets are fresh.
+    next: Vec<u32>,
+    /// Content hash → first set index of its chain. The keys are already
+    /// well-mixed hashes, so the map hashes them with the identity.
+    table: HashMap<u64, u32, BuildHasherDefault<IdentityHasher>>,
+    /// Reusable buffer for the binary set operations.
+    scratch: Vec<Oid>,
+}
+
+const NO_NEXT: u32 = u32::MAX;
+
+/// FxHash-style mixing over the id slice — a fraction of SipHash's cost on
+/// the short integer sequences being interned, and the intern table is the
+/// only consumer of the value.
+fn content_hash(ids: &[Oid]) -> u64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let mut h: u64 = ids.len() as u64;
+    for &id in ids {
+        h = (h.rotate_left(5) ^ id as u64).wrapping_mul(K);
+    }
+    h
+}
+
+/// Pass-through hasher for keys that are already hashes.
+#[derive(Default)]
+struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("IdentityHasher only hashes u64 keys");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+impl std::fmt::Debug for IdentityHasher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("IdentityHasher")
+    }
+}
+
+impl SetPool {
+    /// Creates an empty pool (no allocation until first intern).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct sets interned.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Has anything been interned?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Interns a strictly-ascending id slice, returning the id of the
+    /// canonical set with those members.
+    pub fn intern_sorted(&mut self, ids: &[Oid]) -> SetId {
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "intern_sorted: ids must be strictly increasing"
+        );
+        let hash = content_hash(ids);
+        if let Some(id) = self.lookup(hash, ids) {
+            return id;
+        }
+        self.insert(hash, ObjectSet::from_sorted(ids.to_vec()))
+    }
+
+    /// Interns an existing set. On a miss the pool stores a shallow clone,
+    /// so the caller's storage *becomes* the canonical storage.
+    pub fn intern(&mut self, set: &ObjectSet) -> SetId {
+        let hash = content_hash(set.ids());
+        if let Some(id) = self.lookup(hash, set.ids()) {
+            return id;
+        }
+        self.insert(hash, set.clone())
+    }
+
+    /// [`intern`](Self::intern) returning the canonical shared handle.
+    pub fn canonical(&mut self, set: &ObjectSet) -> ObjectSet {
+        let id = self.intern(set);
+        self.handle(id)
+    }
+
+    /// The interned set for `id` (index-addressed, no hashing).
+    #[inline]
+    pub fn get(&self, id: SetId) -> &ObjectSet {
+        &self.sets[id.index()]
+    }
+
+    /// A shared handle to the interned set (an `Arc` clone).
+    #[inline]
+    pub fn handle(&self, id: SetId) -> ObjectSet {
+        self.sets[id.index()].clone()
+    }
+
+    /// Member ids of the interned set.
+    #[inline]
+    pub fn ids(&self, id: SetId) -> &[Oid] {
+        self.sets[id.index()].ids()
+    }
+
+    /// Is `a ⊆ b`? Id equality settles it before any member is touched.
+    pub fn is_subset(&self, a: SetId, b: SetId) -> bool {
+        a == b || self.get(a).is_subset(self.get(b))
+    }
+
+    /// `|a ∩ b|` without materialising the intersection.
+    pub fn intersection_len(&self, a: SetId, b: SetId) -> usize {
+        if a == b {
+            return self.get(a).len();
+        }
+        self.get(a).intersection_len(self.get(b))
+    }
+
+    /// Interned `a ∩ b`.
+    pub fn intersect(&mut self, a: SetId, b: SetId) -> SetId {
+        if a == b {
+            return a;
+        }
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
+        merge_intersect(self.ids(a), self.ids(b), &mut buf);
+        // Reuse the operand's storage when one side absorbed the other.
+        let id = if buf.len() == self.get(a).len() {
+            a
+        } else if buf.len() == self.get(b).len() {
+            b
+        } else {
+            self.intern_sorted(&buf)
+        };
+        self.scratch = buf;
+        id
+    }
+
+    /// Interned `a ∪ b`.
+    pub fn union(&mut self, a: SetId, b: SetId) -> SetId {
+        if a == b {
+            return a;
+        }
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
+        merge_union(self.ids(a), self.ids(b), &mut buf);
+        let id = if buf.len() == self.get(a).len() {
+            a
+        } else if buf.len() == self.get(b).len() {
+            b
+        } else {
+            self.intern_sorted(&buf)
+        };
+        self.scratch = buf;
+        id
+    }
+
+    /// Intersects two plain sets through the pool: the result is interned,
+    /// so repeated intersections of the same pair (the merge and
+    /// validation sweeps) cost one hash lookup and share storage.
+    pub fn intersect_sets(&mut self, a: &ObjectSet, b: &ObjectSet) -> ObjectSet {
+        if a.ptr_eq(b) {
+            return a.clone();
+        }
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
+        merge_intersect(a.ids(), b.ids(), &mut buf);
+        let out = if buf.len() == a.len() {
+            self.canonical(a)
+        } else if buf.len() == b.len() {
+            self.canonical(b)
+        } else {
+            let id = self.intern_sorted(&buf);
+            self.handle(id)
+        };
+        self.scratch = buf;
+        out
+    }
+
+    /// Drops every interned set (the storage of outstanding handles stays
+    /// alive through their `Arc`s).
+    pub fn clear(&mut self) {
+        self.sets.clear();
+        self.hashes.clear();
+        self.next.clear();
+        self.table.clear();
+    }
+
+    fn lookup(&self, hash: u64, ids: &[Oid]) -> Option<SetId> {
+        let mut i = *self.table.get(&hash)?;
+        loop {
+            if self.hashes[i as usize] == hash && self.sets[i as usize].ids() == ids {
+                return Some(SetId(i));
+            }
+            i = self.next[i as usize];
+            if i == NO_NEXT {
+                return None;
+            }
+        }
+    }
+
+    fn insert(&mut self, hash: u64, set: ObjectSet) -> SetId {
+        let id = u32::try_from(self.sets.len()).expect("pool capacity");
+        debug_assert!(id != NO_NEXT, "pool full");
+        // Prepend to the (almost always empty) chain for this hash.
+        let head = self.table.insert(hash, id);
+        self.next.push(head.unwrap_or(NO_NEXT));
+        self.hashes.push(hash);
+        self.sets.push(set);
+        SetId(id)
+    }
+}
+
+fn merge_intersect(a: &[Oid], b: &[Oid], out: &mut Vec<Oid>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+fn merge_union(a: &[Oid], b: &[Oid], out: &mut Vec<Oid>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_contents_share_id_and_storage() {
+        let mut pool = SetPool::new();
+        let a = pool.intern_sorted(&[1, 2, 3]);
+        let b = pool.intern_sorted(&[1, 2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(pool.len(), 1);
+        assert!(pool.handle(a).ptr_eq(&pool.handle(b)));
+        let c = pool.intern_sorted(&[1, 2]);
+        assert_ne!(a, c);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn intern_reuses_caller_storage_on_miss() {
+        let mut pool = SetPool::new();
+        let set = ObjectSet::from([5, 6, 7]);
+        let id = pool.intern(&set);
+        assert!(pool.handle(id).ptr_eq(&set));
+        // A second intern of equal contents maps to the same storage.
+        let again = pool.canonical(&ObjectSet::from([7, 6, 5]));
+        assert!(again.ptr_eq(&set));
+    }
+
+    #[test]
+    fn set_ops_match_object_set_ops() {
+        let mut pool = SetPool::new();
+        let a = pool.intern_sorted(&[1, 2, 3, 5]);
+        let b = pool.intern_sorted(&[2, 3, 4]);
+        let sa = pool.handle(a);
+        let sb = pool.handle(b);
+        let inter = pool.intersect(a, b);
+        assert_eq!(pool.get(inter), &sa.intersect(&sb));
+        let u = pool.union(a, b);
+        assert_eq!(pool.get(u), &sa.union(&sb));
+        assert_eq!(pool.intersection_len(a, b), sa.intersection_len(&sb));
+        assert_eq!(pool.is_subset(a, b), sa.is_subset(&sb));
+        assert_eq!(pool.is_subset(a, u), sa.is_subset(&sa.union(&sb)));
+    }
+
+    #[test]
+    fn binary_ops_absorb_into_operands() {
+        let mut pool = SetPool::new();
+        let small = pool.intern_sorted(&[2, 3]);
+        let big = pool.intern_sorted(&[1, 2, 3, 4]);
+        assert_eq!(pool.intersect(small, big), small);
+        assert_eq!(pool.union(small, big), big);
+        assert_eq!(pool.intersect(big, big), big);
+        assert_eq!(pool.len(), 2, "no new set was created");
+    }
+
+    #[test]
+    fn intersect_sets_interns_fresh_results() {
+        let mut pool = SetPool::new();
+        let a = ObjectSet::from([1, 2, 3]);
+        let b = ObjectSet::from([2, 3, 4]);
+        let first = pool.intersect_sets(&a, &b);
+        let second = pool.intersect_sets(&a, &b);
+        assert_eq!(first, ObjectSet::from([2, 3]));
+        assert!(first.ptr_eq(&second), "repeat intersection is interned");
+    }
+
+    #[test]
+    fn empty_sets_intern_fine() {
+        let mut pool = SetPool::new();
+        let e = pool.intern_sorted(&[]);
+        assert_eq!(pool.get(e), &ObjectSet::empty());
+        let a = pool.intern_sorted(&[9]);
+        assert_eq!(pool.intersect(a, e), e);
+        assert_eq!(pool.union(a, e), a);
+        assert!(pool.is_subset(e, a));
+        assert!(!pool.is_subset(a, e));
+    }
+
+    #[test]
+    fn clear_resets_the_pool() {
+        let mut pool = SetPool::new();
+        let kept = pool.canonical(&ObjectSet::from([1, 2]));
+        pool.clear();
+        assert!(pool.is_empty());
+        assert_eq!(kept.ids(), &[1, 2], "outstanding handles stay valid");
+        let fresh = pool.intern_sorted(&[1, 2]);
+        assert_eq!(fresh.index(), 0);
+    }
+}

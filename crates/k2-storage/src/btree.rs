@@ -375,6 +375,32 @@ impl RelationalStore {
         u32::from_le_bytes(page[3..7].try_into().expect("4"))
     }
 
+    /// Does this leaf's key range cover `key` (i.e. `key <=` the leaf's
+    /// last entry)? Used to keep probing the current leaf instead of
+    /// re-descending from the root.
+    fn leaf_covers(page: &[u8], key: &[u8; KEY_SIZE]) -> bool {
+        let n = Self::leaf_count(page);
+        if n == 0 {
+            return false;
+        }
+        let (last, _) = Self::leaf_entry(page, n - 1);
+        &key[..] <= last
+    }
+
+    /// Looks `key` up inside one leaf page, decoding the value on a hit.
+    /// The single leaf-probe behind both `point_get` and `multi_get_into`.
+    fn leaf_lookup(page: &[u8], key: &[u8; KEY_SIZE]) -> Option<(f64, f64)> {
+        let idx = Self::leaf_lower_bound(page, key);
+        if idx < Self::leaf_count(page) {
+            let (k, v) = Self::leaf_entry(page, idx);
+            if k == key {
+                let val: [u8; VAL_SIZE] = v.try_into().expect("val size");
+                return Some(decode_val(&val));
+            }
+        }
+        None
+    }
+
     /// Position of the first entry `>= key` in the leaf.
     fn leaf_lower_bound(page: &[u8], key: &[u8; KEY_SIZE]) -> usize {
         let n = Self::leaf_count(page);
@@ -444,32 +470,40 @@ impl TrajectoryStore for RelationalStore {
     }
 
     fn multi_get(&self, t: Time, oids: &[Oid]) -> StoreResult<Vec<ObjPos>> {
-        debug_assert!(oids.windows(2).all(|w| w[0] < w[1]));
-        // The paper's RDBMS formulation: one SELECT per (t, oid). The
-        // buffer pool keeps the upper tree levels hot between probes.
         let mut out = Vec::with_capacity(oids.len());
-        for &oid in oids {
-            if let Some(p) = self.point_get(t, oid)? {
-                out.push(p);
-            }
-        }
+        self.multi_get_into(t, oids, &mut out)?;
         Ok(out)
+    }
+
+    fn multi_get_into(&self, t: Time, oids: &[Oid], out: &mut Vec<ObjPos>) -> StoreResult<()> {
+        debug_assert!(oids.windows(2).all(|w| w[0] < w[1]));
+        // The paper's RDBMS formulation: one SELECT per (t, oid), filling
+        // the caller's buffer directly from the leaf pages. The probed
+        // keys are ascending (fixed `t`, sorted oids), so consecutive hits
+        // usually land in the same leaf — the descent from the root is
+        // repeated only when the current leaf's key range is exhausted.
+        out.clear();
+        let mut leaf: Option<Rc<[u8]>> = None;
+        for &oid in oids {
+            self.io.add_point_query();
+            let key = encode_key(t, oid);
+            let page = match leaf.take() {
+                Some(page) if Self::leaf_covers(&page, &key) => page,
+                _ => self.find_leaf(&key)?,
+            };
+            if let Some((x, y)) = Self::leaf_lookup(&page, &key) {
+                out.push(ObjPos::new(oid, x, y));
+            }
+            leaf = Some(page);
+        }
+        Ok(())
     }
 
     fn point_get(&self, t: Time, oid: Oid) -> StoreResult<Option<ObjPos>> {
         self.io.add_point_query();
         let key = encode_key(t, oid);
         let page = self.find_leaf(&key)?;
-        let idx = Self::leaf_lower_bound(&page, &key);
-        if idx < Self::leaf_count(&page) {
-            let (k, v) = Self::leaf_entry(&page, idx);
-            if k == key {
-                let val: [u8; VAL_SIZE] = v.try_into().expect("val size");
-                let (x, y) = decode_val(&val);
-                return Ok(Some(ObjPos::new(oid, x, y)));
-            }
-        }
-        Ok(None)
+        Ok(Self::leaf_lookup(&page, &key).map(|(x, y)| ObjPos::new(oid, x, y)))
     }
 
     fn io_stats(&self) -> IoStats {

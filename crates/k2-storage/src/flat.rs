@@ -172,11 +172,19 @@ impl TrajectoryStore for FlatFileStore {
     }
 
     fn multi_get(&self, t: Time, oids: &[Oid]) -> StoreResult<Vec<ObjPos>> {
+        let mut out = Vec::with_capacity(oids.len());
+        self.multi_get_into(t, oids, &mut out)?;
+        Ok(out)
+    }
+
+    fn multi_get_into(&self, t: Time, oids: &[Oid], out: &mut Vec<ObjPos>) -> StoreResult<()> {
         debug_assert!(oids.windows(2).all(|w| w[0] < w[1]));
         for _ in oids {
             self.io.add_point_query();
         }
-        let mut out = Vec::with_capacity(oids.len());
+        // The caller's buffer is filled straight from the record scan —
+        // no intermediate allocation per probe.
+        out.clear();
         self.scan_from_start(|p| {
             if p.t > t {
                 return false;
@@ -186,7 +194,7 @@ impl TrajectoryStore for FlatFileStore {
             }
             true
         })?;
-        Ok(out)
+        Ok(())
     }
 
     fn point_get(&self, t: Time, oid: Oid) -> StoreResult<Option<ObjPos>> {

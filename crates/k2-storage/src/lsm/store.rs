@@ -334,6 +334,21 @@ impl LsmStore {
         Ok(())
     }
 
+    /// Newest version of one key: memtable first, then the SSTables newest
+    /// to oldest. The single read path behind both `point_get` and
+    /// `multi_get_into` — keep any change to lookup semantics here.
+    fn get_raw(&self, key: u64) -> StoreResult<Option<[u8; VAL_SIZE]>> {
+        if let Some(v) = self.memtable.get(&key) {
+            return Ok(Some(*v));
+        }
+        for table in self.tables.iter().rev() {
+            if let Some(v) = table.get(key)? {
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
     /// Merged range scan over `[lo, hi]`, newest version winning.
     fn scan_merged(&self, lo: u64, hi: u64) -> StoreResult<Vec<(u64, [u8; VAL_SIZE])>> {
         let mut merge = MergeIter::over_tables_from(&self.tables, lo)?;
@@ -449,32 +464,36 @@ impl TrajectoryStore for LsmStore {
     }
 
     fn multi_get(&self, t: Time, oids: &[Oid]) -> StoreResult<Vec<ObjPos>> {
+        let mut out = Vec::with_capacity(oids.len());
+        self.multi_get_into(t, oids, &mut out)?;
+        Ok(out)
+    }
+
+    fn multi_get_into(&self, t: Time, oids: &[Oid], out: &mut Vec<ObjPos>) -> StoreResult<()> {
         debug_assert!(oids.windows(2).all(|w| w[0] < w[1]));
         // §5.2: "for fetching the data for HWMT, a point query is issued
-        // for each (timestamp, oid) pair."
-        let mut out = Vec::with_capacity(oids.len());
+        // for each (timestamp, oid) pair." Each probe goes straight from
+        // the memtable / SSTable blocks into the caller's buffer — the
+        // k/2-hop probe loops call this thousands of times on tiny
+        // candidate sets, and the default `multi_get` delegation was the
+        // last per-probe allocation on this engine.
+        out.clear();
         for &oid in oids {
-            if let Some(p) = self.point_get(t, oid)? {
-                out.push(p);
+            self.io.add_point_query();
+            if let Some(v) = self.get_raw(key_of(t, oid))? {
+                let (x, y) = val_parts(&v);
+                out.push(ObjPos::new(oid, x, y));
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     fn point_get(&self, t: Time, oid: Oid) -> StoreResult<Option<ObjPos>> {
         self.io.add_point_query();
-        let key = key_of(t, oid);
-        if let Some(v) = self.memtable.get(&key) {
-            let (x, y) = val_parts(v);
-            return Ok(Some(ObjPos::new(oid, x, y)));
-        }
-        for table in self.tables.iter().rev() {
-            if let Some(v) = table.get(key)? {
-                let (x, y) = val_parts(&v);
-                return Ok(Some(ObjPos::new(oid, x, y)));
-            }
-        }
-        Ok(None)
+        Ok(self.get_raw(key_of(t, oid))?.map(|v| {
+            let (x, y) = val_parts(&v);
+            ObjPos::new(oid, x, y)
+        }))
     }
 
     fn io_stats(&self) -> IoStats {

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Smoke-gate a fresh bench-report against the committed baseline.
+
+Usage: bench_gate.py BASELINE.json FRESH.json [--threshold 1.25] [--slack 15]
+
+The committed baseline and the CI run execute on different machines, so
+raw wall-clock is not comparable. Both reports carry the same
+machine-speed probe — ``dbscan_largest_snapshot.median_secs``, the
+single-snapshot clustering microbenchmark — so the gate compares the
+**normalized** quantity ``mine.median_total_secs / dbscan.median_secs``
+(how many snapshot-clusterings one end-to-end mine costs). A slower
+runner scales numerator and denominator together; a real pipeline
+regression moves only the numerator. Empirically the ratio is stable to
+~±15% where raw time swings ±60% on a contended host.
+
+Fails (exit 1) when the fresh ratio exceeds
+``baseline_ratio * threshold + slack``. The threshold is deliberately
+generous — this is a smoke gate catching order-of-magnitude regressions,
+not a microbenchmark.
+
+Also cross-checks the deterministic fields (convoy count, points
+processed) when the workloads match — a silent behaviour change fails
+harder than a slow one.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def ratio(report):
+    mine = report["mine"]["median_total_secs"]
+    probe = report["dbscan_largest_snapshot"]["median_secs"]
+    if probe <= 0:
+        # A zero denominator would make the limit infinite (baseline) or
+        # hard-fail every build (fresh); refuse the report instead.
+        sys.exit("FAIL: dbscan_largest_snapshot.median_secs is 0 — report too "
+                 "coarse to normalize (regenerate with the ns-precision "
+                 "bench-report)")
+    return mine / probe
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--threshold", type=float, default=1.25)
+    ap.add_argument("--slack", type=float, default=15.0)
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    base_ratio, fresh_ratio = ratio(base), ratio(fresh)
+    limit = base_ratio * args.threshold + args.slack
+    print(
+        f"mine / dbscan-probe ratio: baseline {base_ratio:.1f}, fresh {fresh_ratio:.1f}, "
+        f"limit {limit:.1f} ({args.threshold:.2f}x + {args.slack:.0f} slack)"
+    )
+    print(
+        f"raw wall-clock (informational): baseline "
+        f"{base['mine']['median_total_secs']:.6f}s, fresh "
+        f"{fresh['mine']['median_total_secs']:.6f}s"
+    )
+
+    failures = []
+    if fresh_ratio > limit:
+        failures.append(
+            f"mining regressed: normalized ratio {fresh_ratio:.1f} > {limit:.1f} "
+            f"({fresh_ratio / base_ratio:.2f}x the committed baseline)"
+        )
+
+    # Same seeded workload => mining must be bit-for-bit deterministic.
+    if base.get("workload") == fresh.get("workload"):
+        for field in ("convoys", "points_processed"):
+            if base["mine"].get(field) != fresh["mine"].get(field):
+                failures.append(
+                    f"determinism break: {field} was {base['mine'].get(field)}, "
+                    f"now {fresh['mine'].get(field)}"
+                )
+    else:
+        failures.append(
+            "workload mismatch: the fresh report was generated with different "
+            "--scale/--seed/parameters than the committed baseline; regenerate "
+            "BENCH_SMOKE.json with the same flags the CI job uses"
+        )
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("OK: within the smoke-gate envelope")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

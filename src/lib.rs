@@ -54,8 +54,8 @@ pub mod prelude {
     pub use k2_cluster::{dbscan, DbscanParams};
     pub use k2_core::{K2Config, K2Hop, MiningResult};
     pub use k2_model::{
-        Convoy, ConvoySet, Dataset, DatasetBuilder, ObjPos, ObjectSet, Oid, Point, Snapshot, Time,
-        TimeInterval,
+        Convoy, ConvoySet, Dataset, DatasetBuilder, ObjPos, ObjectSet, Oid, Point, SetId, SetPool,
+        Snapshot, Time, TimeInterval,
     };
     pub use k2_storage::{InMemoryStore, TrajectoryStore};
 }

@@ -1,0 +1,132 @@
+//! Property-based equivalence of the two data-structure rewrites in the
+//! candidate-set layer:
+//!
+//! * the **indexed** `ConvoySet` (posting lists by member / smallest
+//!   member) must behave exactly like the old quadratic
+//!   scan-all-candidates `update()`, on arbitrary candidate sequences;
+//! * the **interned** `SetPool` set operations must agree with the plain
+//!   `ObjectSet` operations (and with a `BTreeSet` model) on arbitrary id
+//!   sets, with hash-consing actually consing.
+
+use k2hop::model::{Convoy, ConvoySet, ObjectSet, SetPool};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// The pre-index `ConvoySet` semantics, kept as the executable spec.
+#[derive(Default, Debug)]
+struct QuadraticConvoySet {
+    convoys: Vec<Convoy>,
+}
+
+impl QuadraticConvoySet {
+    fn update(&mut self, candidate: Convoy) -> bool {
+        for existing in &self.convoys {
+            if candidate.is_sub_convoy_of(existing) {
+                return false;
+            }
+        }
+        self.convoys.retain(|c| !c.is_sub_convoy_of(&candidate));
+        self.convoys.push(candidate);
+        true
+    }
+
+    fn into_sorted_vec(self) -> Vec<Convoy> {
+        let mut v = self.convoys;
+        v.sort_by(|a, b| (a.lifespan, a.objects.ids()).cmp(&(b.lifespan, b.objects.ids())));
+        v
+    }
+}
+
+/// Candidate streams biased towards overlap: small id universe, short
+/// intervals, so subset/superset relations are common.
+fn convoy_strategy() -> impl Strategy<Value = Convoy> {
+    (proptest::collection::vec(0u32..12, 0..6), 0u32..20, 0u32..8)
+        .prop_map(|(ids, start, len)| Convoy::from_parts(&ids[..], start, start + len))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Indexed `update()` returns the same verdicts and leaves the same
+    /// maximal set (and insertion order) as the quadratic reference.
+    #[test]
+    fn indexed_convoyset_equals_quadratic_scan(
+        stream in proptest::collection::vec(convoy_strategy(), 0..40),
+    ) {
+        let mut indexed = ConvoySet::new();
+        let mut reference = QuadraticConvoySet::default();
+        for cv in stream {
+            let a = indexed.update(cv.clone());
+            let b = reference.update(cv);
+            prop_assert_eq!(a, b, "update verdict diverged");
+            prop_assert_eq!(indexed.len(), reference.convoys.len());
+        }
+        let in_order: Vec<Convoy> = indexed.iter().cloned().collect();
+        prop_assert_eq!(&in_order, &reference.convoys, "insertion order diverged");
+        for cv in &reference.convoys {
+            prop_assert!(indexed.contains(cv));
+        }
+        prop_assert_eq!(indexed.into_sorted_vec(), reference.into_sorted_vec());
+    }
+
+    /// `merge` (a sequence of updates) also agrees, including when the
+    /// tombstone-compaction rebuild kicks in (streams long enough to evict
+    /// more than half the slots).
+    #[test]
+    fn indexed_convoyset_merge_equals_reference(
+        left in proptest::collection::vec(convoy_strategy(), 0..60),
+        right in proptest::collection::vec(convoy_strategy(), 0..60),
+    ) {
+        let mut indexed = ConvoySet::from_convoys(left.iter().cloned());
+        let mut reference = QuadraticConvoySet::default();
+        for cv in left.iter().chain(right.iter()) {
+            reference.update(cv.clone());
+        }
+        indexed.merge(right.into_iter().collect());
+        prop_assert_eq!(indexed.into_sorted_vec(), reference.into_sorted_vec());
+    }
+
+    /// SetPool's interned ops equal the ObjectSet ops and the BTreeSet
+    /// model; equal contents intern to the same id and share storage.
+    #[test]
+    fn set_pool_ops_equal_object_set_ops(
+        a in proptest::collection::vec(0u32..50, 0..30),
+        b in proptest::collection::vec(0u32..50, 0..30),
+    ) {
+        let sa = ObjectSet::new(a.clone());
+        let sb = ObjectSet::new(b.clone());
+        let mut pool = SetPool::new();
+        let ia = pool.intern(&sa);
+        let ib = pool.intern(&sb);
+
+        // Hash-consing: same contents -> same id, shared storage.
+        prop_assert_eq!(pool.intern_sorted(sa.ids()), ia);
+        prop_assert!(pool.handle(ia).ptr_eq(&sa));
+        prop_assert_eq!(ia == ib, sa == sb);
+
+        let ma: BTreeSet<u32> = a.into_iter().collect();
+        let mb: BTreeSet<u32> = b.into_iter().collect();
+        let inter: Vec<u32> = ma.intersection(&mb).copied().collect();
+        let union: Vec<u32> = ma.union(&mb).copied().collect();
+
+        prop_assert_eq!(pool.is_subset(ia, ib), sa.is_subset(&sb));
+        prop_assert_eq!(pool.intersection_len(ia, ib), sa.intersection_len(&sb));
+        let ii = pool.intersect(ia, ib);
+        prop_assert_eq!(pool.ids(ii), &inter[..]);
+        prop_assert_eq!(pool.get(ii), &sa.intersect(&sb));
+        let iu = pool.union(ia, ib);
+        prop_assert_eq!(pool.ids(iu), &union[..]);
+        prop_assert_eq!(pool.get(iu), &sa.union(&sb));
+
+        // Interned results are stable: re-running the op returns the same id.
+        prop_assert_eq!(pool.intersect(ia, ib), ii);
+        prop_assert_eq!(pool.union(ia, ib), iu);
+
+        // `intersect_sets` (the merge/validation path) agrees too and
+        // interns its result.
+        let first = pool.intersect_sets(&sa, &sb);
+        prop_assert_eq!(first.ids(), &inter[..]);
+        let second = pool.intersect_sets(&sa, &sb);
+        prop_assert!(first.ptr_eq(&second));
+    }
+}
