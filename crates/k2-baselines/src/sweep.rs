@@ -53,8 +53,12 @@ pub fn snapshot_sweep<S: TrajectoryStore + ?Sized>(
             results.update(v.clone());
         }
     };
+    // Borrowed scans: zero-copy on in-memory stores, one reused buffer on
+    // disk engines — the sweep touches every timestamp, so this is the
+    // baseline that pays most for per-scan clones.
+    let mut scan_buf = Vec::new();
     for t in span.iter() {
-        let snapshot = store.scan_snapshot(t)?;
+        let snapshot = store.scan_snapshot_ref(t, &mut scan_buf)?;
         points += snapshot.len() as u64;
         let clusters = dbscan(&snapshot, params);
         let mut matched = vec![false; clusters.len()];

@@ -10,9 +10,16 @@
 //!   exactly three contiguous `slots` ranges (one per grid row), which the
 //!   prefetcher loves.
 //! * **Sparse** (the fallback): the original `HashMap<(i64, i64), Vec<u32>>`
-//!   keyed by absolute cell coordinates, used when the bounding box is
-//!   degenerate — non-finite coordinates, or an extent so large relative
-//!   to `eps` that the dense `offsets` array would dwarf the point set.
+//!   keyed by absolute cell coordinates, used when no dense geometry
+//!   exists at all — non-finite coordinates, or an aspect ratio so
+//!   extreme that even density-derived cells blow the cell budget.
+//!
+//! The CSR cell side self-tunes in two regimes: metric-scale extents use
+//! the extent-to-eps ratio directly (cell = eps, mildly coarsened), and
+//! geo-scale extents — lat/lon degrees mined with paper-range eps values
+//! around `1e-5`, where that ratio reaches the millions — derive the cell
+//! side from snapshot point *density* over a percentile-clipped bounding
+//! box, with outliers clamped into the border cells.
 //!
 //! All buffers live inside the [`GridIndex`] value and are reused by
 //! [`GridIndex::rebuild`], so the thousands of tiny `recluster` probes in
@@ -27,10 +34,21 @@ use std::collections::HashMap;
 /// scaled up — zero-filling a hundred empty cells per point costs more
 /// than filtering a couple of extra distance candidates.
 const CSR_TARGET_CELLS_PER_POINT: usize = 4;
-/// Never scale the cell side by more than this factor over `eps`: beyond
-/// it the extent is so outlier-stretched that coarse cells would degrade
-/// queries toward `O(n)`, and the sparse layout handles it better.
+/// Up to this scale factor over `eps` the cell side comes straight from
+/// the extent-to-eps ratio (the cheap path: no percentile pass). Beyond
+/// it the extent dwarfs eps — lat/lon data mined with degree-scale eps,
+/// or an outlier-stretched bounding box — and the cell side is instead
+/// derived from snapshot point *density* over a percentile-clipped
+/// bounding box (see [`density_extent`]), so geo-scale snapshots stay on
+/// the CSR layout instead of falling back to the `HashMap`.
 const CSR_MAX_CELL_SCALE: f64 = 8.0;
+/// Percentile clipped off each side of the coordinate distribution when
+/// the density path sizes its bounding box (2% per tail): a handful of
+/// GPS glitches must not inflate the box that every regular point is
+/// gridded into. Points outside the clipped box clamp to the border
+/// cells, which keeps the 3×3 guarantee (clamping is 1-Lipschitz, so two
+/// points within eps land within one cell index of each other).
+const CSR_CLIP_PER_MILLE: usize = 20;
 /// Densest CSR grid we allow after scaling, as a multiple of the point
 /// count. Beyond this the zero-fill of `offsets` would dominate the
 /// build, so the sparse fallback wins.
@@ -65,6 +83,9 @@ pub struct GridIndex {
     slots: Vec<u32>,
     /// Build scratch: cell id of each point (reused across rebuilds).
     cell_of: Vec<u32>,
+    /// Build scratch: coordinate buffer for the density path's
+    /// percentile selection (reused across rebuilds).
+    percentiles: Vec<f64>,
     // --- sparse fallback (valid when `repr == Repr::Sparse`) ---
     sparse: HashMap<(i64, i64), Vec<u32>>,
 }
@@ -105,10 +126,15 @@ impl GridIndex {
     /// buffer from previous builds (the `recluster` hot path).
     pub fn rebuild(&mut self, points: &[ObjPos], eps: f64) {
         debug_assert!(eps > 0.0 && eps.is_finite());
-        match csr_extent(points, eps) {
+        match csr_extent(points, eps, &mut self.percentiles) {
             Some(extent) => self.rebuild_csr(points, extent),
             None => self.rebuild_sparse(points, eps),
         }
+    }
+
+    /// The cell side of the last build (diagnostics / tests).
+    pub fn cell_side(&self) -> f64 {
+        self.cell
     }
 
     /// Is the dense CSR layout active (diagnostics / tests)?
@@ -132,8 +158,12 @@ impl GridIndex {
         self.cell_of.clear();
         self.cell_of.reserve(points.len());
         for p in points {
-            let col = ((p.x - extent.min_x) / extent.cell) as usize;
-            let row = ((p.y - extent.min_y) / extent.cell) as usize;
+            // Clamped into the grid: the density path's percentile-clipped
+            // box can exclude outlier points, which land in the border
+            // cells (and a full-extent box makes the clamp a no-op — the
+            // float-to-usize cast already saturates negatives to 0).
+            let col = (((p.x - extent.min_x) / extent.cell) as usize).min(extent.cols - 1);
+            let row = (((p.y - extent.min_y) / extent.cell) as usize).min(extent.rows - 1);
             let cell = (row * extent.cols + col) as u32;
             self.cell_of.push(cell);
             self.offsets[cell as usize + 1] += 1;
@@ -208,8 +238,11 @@ impl GridIndex {
                 if self.slots.is_empty() {
                     return;
                 }
-                let col = ((p.x - self.min_x) / self.cell) as usize;
-                let row = ((p.y - self.min_y) / self.cell) as usize;
+                // Same clamp as the build pass, so a probe point outside
+                // the (possibly clipped) box looks in the border cells its
+                // neighbours were clamped into.
+                let col = (((p.x - self.min_x) / self.cell) as usize).min(self.cols - 1);
+                let row = (((p.y - self.min_y) / self.cell) as usize).min(self.rows - 1);
                 let lo_c = col.saturating_sub(1);
                 let hi_c = (col + 1).min(self.cols - 1);
                 let lo_r = row.saturating_sub(1);
@@ -255,8 +288,9 @@ impl GridIndex {
 }
 
 /// Bounding-box geometry of a CSR build, or `None` when the sparse
-/// fallback must be used. `cell` is the chosen cell side — `eps`, or a
-/// bounded multiple of it when the eps-sized grid would be mostly empty.
+/// fallback must be used. `cell` is the chosen cell side — `eps`, a
+/// bounded multiple of it (extent path), or a density-derived side (geo
+/// path); always `>= eps`, which is all the 3×3 probe needs.
 struct CsrExtent {
     min_x: f64,
     min_y: f64,
@@ -265,7 +299,25 @@ struct CsrExtent {
     cell: f64,
 }
 
-fn csr_extent(points: &[ObjPos], eps: f64) -> Option<CsrExtent> {
+/// Grid geometry for a box of `span_x × span_y` at cell side `cell`, or
+/// `None` when the dense `offsets` array would overflow the absolute cap.
+fn grid_dims(span_x: f64, span_y: f64, cell: f64) -> Option<(usize, usize, usize)> {
+    let span_cols = span_x / cell;
+    let span_rows = span_y / cell;
+    // Bail out before the usize casts can overflow or saturate.
+    if !(span_cols.is_finite() && span_rows.is_finite())
+        || span_cols >= CSR_ABS_MAX_CELLS as f64
+        || span_rows >= CSR_ABS_MAX_CELLS as f64
+    {
+        return None;
+    }
+    let cols = span_cols as usize + 1;
+    let rows = span_rows as usize + 1;
+    let cells = cols.checked_mul(rows)?;
+    Some((cols, rows, cells))
+}
+
+fn csr_extent(points: &[ObjPos], eps: f64, percentiles: &mut Vec<f64>) -> Option<CsrExtent> {
     let first = points.first()?;
     let (mut min_x, mut max_x) = (first.x, first.x);
     let (mut min_y, mut max_y) = (first.y, first.y);
@@ -280,58 +332,112 @@ fn csr_extent(points: &[ObjPos], eps: f64) -> Option<CsrExtent> {
         min_y = min_y.min(p.y);
         max_y = max_y.max(p.y);
     }
-    let dims = |cell: f64| -> Option<(usize, usize, usize)> {
-        let span_cols = (max_x - min_x) / cell;
-        let span_rows = (max_y - min_y) / cell;
-        // Bail out before the usize casts can overflow or saturate.
-        if !(span_cols.is_finite() && span_rows.is_finite())
-            || span_cols >= CSR_ABS_MAX_CELLS as f64
-            || span_rows >= CSR_ABS_MAX_CELLS as f64
-        {
-            return None;
-        }
-        let cols = span_cols as usize + 1;
-        let rows = span_rows as usize + 1;
-        let cells = cols.checked_mul(rows)?;
-        Some((cols, rows, cells))
-    };
-
     let target = 1024.max(points.len().saturating_mul(CSR_TARGET_CELLS_PER_POINT));
-    let mut cell = eps;
-    let mut geometry = dims(cell);
-    match geometry {
-        Some((_, _, cells)) if cells > target => {
-            // Sparser than the target: coarsen the cell side (correctness
-            // is unaffected — any side >= eps keeps eps-neighbours within
-            // the 3×3 block) so `offsets` stays proportional to n.
-            let scale = ((cells as f64 / target as f64).sqrt()).min(CSR_MAX_CELL_SCALE);
-            if scale > 1.0 {
-                cell = eps * scale;
-                geometry = dims(cell);
-            }
-        }
-        Some(_) => {}
-        None => {
-            // The eps grid overflows outright; the max coarsening is the
-            // only CSR candidate left.
-            cell = eps * CSR_MAX_CELL_SCALE;
-            geometry = dims(cell);
-        }
-    }
-    let (cols, rows, cells) = geometry?;
     let budget = CSR_MIN_CELL_BUDGET
         .max(points.len().saturating_mul(CSR_MAX_CELLS_PER_POINT))
         .min(CSR_ABS_MAX_CELLS);
-    if cells > budget {
-        return None;
+
+    // Extent path: cell side straight from the extent-to-eps ratio, full
+    // bounding box, no percentile pass. Covers metric-scale snapshots.
+    // Every acceptance checks the budget too: for huge point sets the
+    // occupancy target (4n) exceeds the absolute cell cap, and an
+    // unchecked `cells <= target` grid could overflow the u32 cell ids.
+    let full = |cell: f64| grid_dims(max_x - min_x, max_y - min_y, cell);
+    if let Some((cols, rows, cells)) = full(eps) {
+        if cells <= target && cells <= budget {
+            return Some(CsrExtent {
+                min_x,
+                min_y,
+                cols,
+                rows,
+                cell: eps,
+            });
+        }
+        // Sparser than the target: coarsen the cell side (correctness is
+        // unaffected — any side >= eps keeps eps-neighbours within the
+        // 3×3 block) so `offsets` stays proportional to n. Clamped to
+        // >= 1: the budget-exceeded fall-through can arrive here with
+        // cells <= target, and a sub-eps cell would break the 3×3 probe.
+        let scale = (cells as f64 / target as f64).sqrt().max(1.0);
+        if scale <= CSR_MAX_CELL_SCALE {
+            if let Some((cols, rows, cells)) = full(eps * scale) {
+                if cells <= budget {
+                    return Some(CsrExtent {
+                        min_x,
+                        min_y,
+                        cols,
+                        rows,
+                        cell: eps * scale,
+                    });
+                }
+            }
+        }
     }
-    Some(CsrExtent {
-        min_x,
-        min_y,
-        cols,
-        rows,
-        cell,
-    })
+    // The extent dwarfs eps (lat/lon-scale coordinates, or a box
+    // stretched by outliers): size the grid from point density instead.
+    density_extent(points, eps, target, budget, percentiles)
+}
+
+/// The geo-scale sizing path: derive the cell side from snapshot point
+/// *density* — pick the side so the percentile-clipped bounding box holds
+/// about `target` cells regardless of how extreme the extent-to-eps ratio
+/// is. This is what keeps Trucks/T-Drive-shaped data (degree coordinates,
+/// eps of `1e-5`-ish degrees) on the CSR layout; before it, any snapshot
+/// whose extent exceeded `8 × eps × budget` silently fell back to the
+/// `HashMap`. Points outside the clipped box clamp into the border cells
+/// (see `rebuild_csr`), which preserves the 3×3 probe guarantee.
+fn density_extent(
+    points: &[ObjPos],
+    eps: f64,
+    target: usize,
+    budget: usize,
+    percentiles: &mut Vec<f64>,
+) -> Option<CsrExtent> {
+    let clipped_span = |coords: &mut Vec<f64>| -> (f64, f64) {
+        let n = coords.len();
+        let lo_i = n * CSR_CLIP_PER_MILLE / 1000;
+        let hi_i = n - 1 - lo_i;
+        coords.select_nth_unstable_by(lo_i, f64::total_cmp);
+        let lo = coords[lo_i];
+        coords.select_nth_unstable_by(hi_i, f64::total_cmp);
+        (lo, coords[hi_i])
+    };
+    percentiles.clear();
+    percentiles.extend(points.iter().map(|p| p.x));
+    let (x_lo, x_hi) = clipped_span(percentiles);
+    percentiles.clear();
+    percentiles.extend(points.iter().map(|p| p.y));
+    let (y_lo, y_hi) = clipped_span(percentiles);
+
+    let (span_x, span_y) = (x_hi - x_lo, y_hi - y_lo);
+    let mut cell = if span_x > 0.0 && span_y > 0.0 {
+        (span_x * span_y / target as f64).sqrt()
+    } else {
+        // Degenerate (collinear or near-coincident) distribution: one
+        // row/column of cells along the longer axis.
+        span_x.max(span_y) / target as f64
+    };
+    cell = cell.max(eps);
+    // Area-based sizing assumes a square-ish box; extreme aspect ratios
+    // (or a zero-area axis) can still overshoot, so coarsen until the
+    // geometry fits the budget — a couple of rounds or the sparse layout
+    // takes over.
+    for _ in 0..3 {
+        match grid_dims(span_x, span_y, cell) {
+            Some((cols, rows, cells)) if cells <= budget => {
+                return Some(CsrExtent {
+                    min_x: x_lo,
+                    min_y: y_lo,
+                    cols,
+                    rows,
+                    cell,
+                });
+            }
+            Some((_, _, cells)) => cell *= (cells as f64 / target as f64).sqrt().max(2.0),
+            None => cell *= CSR_ABS_MAX_CELLS as f64,
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -443,21 +549,126 @@ mod tests {
     }
 
     #[test]
-    fn huge_extent_falls_back_to_sparse() {
-        // Two points astronomically far apart: a dense grid would need
-        // ~1e18 cells, so the sparse layout must kick in — and still
-        // answer correctly.
+    fn huge_extent_uses_density_cells_and_stays_csr() {
+        // Two points astronomically far apart: an eps-sized grid would
+        // need ~1e24 cells. The density path sizes cells from the point
+        // distribution instead, so the CSR layout survives — and still
+        // answers correctly.
         let points = vec![
             ObjPos::new(0, 0.0, 0.0),
             ObjPos::new(1, 0.5, 0.0),
             ObjPos::new(2, 1.0e12, 1.0e12),
         ];
         let grid = GridIndex::build(&points, 1.0);
-        assert!(!grid.is_csr());
+        assert!(grid.is_csr());
+        assert!(grid.cell_side() >= 1.0);
         let mut out = Vec::new();
         grid.neighbours(&points, 0, 1.0, &mut out);
         out.sort_unstable();
         assert_eq!(out, vec![0, 1]);
+        assert_matches_brute(&points, 1.0);
+    }
+
+    /// Deterministic pseudo-random f64 in [0, 1) (no rand dependency).
+    fn unit(state: &mut u64) -> f64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        (*state >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    #[test]
+    fn trucks_extent_with_latlon_eps_selects_csr() {
+        // Athens-shaped Trucks extents (degrees: ~0.5° × 0.35°) mined at a
+        // paper-range eps of 2e-5 degrees: the extent-to-eps ratio is
+        // ~25 000 per axis, far past the old 8× coarsening cap, which
+        // silently fell back to the HashMap layout. The density path must
+        // keep this on CSR and stay exact.
+        let mut state = 0x5eed;
+        let points: Vec<ObjPos> = (0..300)
+            .map(|i| {
+                ObjPos::new(
+                    i,
+                    23.5 + unit(&mut state) * 0.5,
+                    37.85 + unit(&mut state) * 0.35,
+                )
+            })
+            .collect();
+        let eps = 2.0e-5;
+        let grid = GridIndex::build(&points, eps);
+        assert!(grid.is_csr(), "lat/lon-scale eps must stay on CSR");
+        assert!(grid.cell_side() >= eps);
+        assert_matches_brute(&points, eps);
+        // A genuinely co-located platoon must still resolve: pin three
+        // points within eps and check their mutual neighbourhood.
+        let mut platoon = points.clone();
+        platoon.extend([
+            ObjPos::new(900, 23.7, 38.0),
+            ObjPos::new(901, 23.7 + 1.0e-5, 38.0),
+            ObjPos::new(902, 23.7, 38.0 + 1.0e-5),
+        ]);
+        let grid = GridIndex::build(&platoon, eps);
+        assert!(grid.is_csr());
+        let mut out = Vec::new();
+        grid.neighbours(&platoon, 300, eps * eps, &mut out);
+        assert!(out.contains(&301) && out.contains(&302));
+    }
+
+    #[test]
+    fn outlier_stretched_tdrive_extent_clips_and_stays_csr() {
+        // Beijing-shaped taxi cloud plus a few GPS glitches hundreds of
+        // degrees away: the percentile clip must keep the grid sized to
+        // the city, the glitches clamp into border cells, and *all*
+        // neighbourhoods — including between two co-located glitches —
+        // stay exact.
+        let mut state = 0xbe111u64 ^ 0xffff;
+        let mut points: Vec<ObjPos> = (0..400)
+            .map(|i| {
+                ObjPos::new(
+                    i,
+                    116.20 + unit(&mut state) * 0.40,
+                    39.80 + unit(&mut state) * 0.30,
+                )
+            })
+            .collect();
+        points.push(ObjPos::new(900, 480.0, 220.0));
+        points.push(ObjPos::new(901, 480.0 + 5.0e-5, 220.0)); // within eps of 900
+        points.push(ObjPos::new(902, -310.0, -85.0));
+        let eps = 1.0e-4;
+        let grid = GridIndex::build(&points, eps);
+        assert!(grid.is_csr(), "outlier-stretched extent must stay on CSR");
+        assert_matches_brute(&points, eps);
+    }
+
+    #[test]
+    fn collinear_points_on_a_vast_line_stay_exact() {
+        // Degenerate extent: every point on one horizontal line spanning
+        // 1e6 units with eps = 0.5 (zero-area bounding box). The density
+        // path must produce a single-row grid (or an otherwise valid
+        // layout) without panicking, and answer exactly.
+        let points: Vec<ObjPos> = (0..200)
+            .map(|i| ObjPos::new(i, (i as f64) * 5050.0, 42.0))
+            .collect();
+        let grid = GridIndex::build(&points, 0.5);
+        assert!(grid.is_csr());
+        assert_matches_brute(&points, 0.5);
+        // And with a dense cluster on the same line, neighbours resolve.
+        let mut with_cluster = points.clone();
+        with_cluster.extend((0..5).map(|i| ObjPos::new(500 + i, 1000.25 + i as f64 * 0.1, 42.0)));
+        assert_matches_brute(&with_cluster, 0.5);
+    }
+
+    #[test]
+    fn all_points_coincident_degenerate_box() {
+        // Zero-span box in both axes exercises the density path's
+        // degenerate branch (cell = eps, 1×1 grid).
+        let points: Vec<ObjPos> = (0..40).map(|i| ObjPos::new(i, 7.25, -3.5)).collect();
+        let grid = GridIndex::build(&points, 1.0e-9);
+        assert!(grid.is_csr());
+        assert_eq!(grid.occupied_cells(), 1);
+        let mut out = Vec::new();
+        grid.neighbours(&points, 0, 0.0, &mut out);
+        assert_eq!(out.len(), 40);
     }
 
     #[test]

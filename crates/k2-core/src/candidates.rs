@@ -15,7 +15,10 @@ pub fn cluster_benchmark<S: TrajectoryStore + ?Sized>(
     params: DbscanParams,
     b: Time,
 ) -> StoreResult<(Vec<ObjectSet>, u64)> {
-    let snapshot = store.scan_snapshot(b)?;
+    // Borrowed scan: in-memory stores serve the snapshot zero-copy; disk
+    // engines decode into the local buffer.
+    let mut buf = Vec::new();
+    let snapshot = store.scan_snapshot_ref(b, &mut buf)?;
     let scanned = snapshot.len() as u64;
     Ok((dbscan(&snapshot, params), scanned))
 }

@@ -1,8 +1,13 @@
 //! Self-scheduled, order-preserving parallel map — the work engine shared
 //! by the sequential miner's benchmark-clustering phase and every phase of
-//! [`K2HopParallel`](crate::K2HopParallel).
+//! [`K2HopParallel`](crate::K2HopParallel) — plus the batched, zero-copy
+//! benchmark-snapshot fetcher both miners cluster through.
 
+use k2_cluster::{dbscan_with, DbscanParams, GridScratch};
+use k2_model::{ObjPos, ObjectSet, Time};
+use k2_storage::{SnapshotRef, StoreResult};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Maps `f` over `items` on up to `threads` workers, preserving order.
 ///
@@ -62,6 +67,125 @@ where
         .collect()
 }
 
+/// Benchmark clustering over a fetched snapshot stream — the step-1 engine
+/// shared by [`K2Hop`](crate::K2Hop) and
+/// [`K2HopParallel`](crate::K2HopParallel).
+///
+/// `fetch` resolves one benchmark timestamp to a [`SnapshotRef`], filling
+/// the passed buffer only when the engine cannot share its storage (see
+/// `TrajectoryStore::scan_snapshot_ref`). Fetching stays on the calling
+/// thread (store I/O and its statistics are single-threaded, so stores
+/// need not be `Sync`); clustering fans out over `threads` workers off an
+/// atomic counter, one [`GridScratch`] per worker.
+///
+/// Two regimes, switched on what the engine actually returns:
+///
+/// * **Resident engines** ([`SnapshotRef::Shared`]): each ref is an O(1)
+///   `Arc` clone with no memory-bounding reason to batch, so the Arcs are
+///   collected up front and the whole benchmark list fans out in a
+///   *single* map — no per-batch synchronization barrier, one scratch
+///   per worker for the entire phase, and *no benchmark snapshot is ever
+///   cloned*.
+/// * **Materialising engines** ([`SnapshotRef::Buffered`]): records are
+///   decoded into a bounded ring of reused buffers and fanned out batch
+///   by batch, keeping peak memory at O(batch × population) instead of
+///   holding every benchmark snapshot of a disk-backed dataset at once.
+///
+/// Returns the per-benchmark cluster sets (in `bench` order — clustering
+/// is deterministic, so the result is identical at every thread count)
+/// and the total number of points scanned.
+pub(crate) fn cluster_benchmark_snapshots<F>(
+    threads: usize,
+    bench: &[Time],
+    params: DbscanParams,
+    mut fetch: F,
+) -> StoreResult<(Vec<Vec<ObjectSet>>, u64)>
+where
+    F: for<'a> FnMut(Time, &'a mut Vec<ObjPos>) -> StoreResult<SnapshotRef<'a>>,
+{
+    let mut points = 0u64;
+    let mut clusters = Vec::with_capacity(bench.len());
+    if threads <= 1 {
+        // Sequential: cluster each snapshot while it is still hot in
+        // cache, reusing one scratch and one scan buffer across all.
+        let mut scratch = GridScratch::new();
+        let mut buf = Vec::new();
+        for &b in bench {
+            let snapshot = fetch(b, &mut buf)?;
+            points += snapshot.len() as u64;
+            clusters.push(dbscan_with(&snapshot, params, &mut scratch));
+        }
+        return Ok((clusters, points));
+    }
+
+    // Shared prefix: take ownership of the Arcs immediately, releasing
+    // the probe buffer between fetches. Engines are in practice all-
+    // Shared or all-Buffered, so for resident stores this loop covers
+    // the whole list; a mixed engine just switches paths mid-stream.
+    let mut shared: Vec<Arc<[ObjPos]>> = Vec::new();
+    let mut probe_buf: Vec<ObjPos> = Vec::new();
+    let mut rest: &[Time] = bench;
+    let mut carry = false;
+    while let Some((&b, tail)) = rest.split_first() {
+        match fetch(b, &mut probe_buf)? {
+            SnapshotRef::Shared(arc) => {
+                points += arc.len() as u64;
+                shared.push(arc);
+                rest = tail;
+            }
+            // An absent timestamp borrows nothing from the buffer and has
+            // nothing to cluster; it does not force the buffered path.
+            SnapshotRef::Buffered([]) => {
+                shared.push(Arc::from(&[][..]));
+                rest = tail;
+            }
+            SnapshotRef::Buffered(_) => {
+                // The records are in `probe_buf` (the contract of
+                // `Buffered`); hand them to the ring below unscanned
+                // rather than paying the engine for a refetch.
+                carry = true;
+                break;
+            }
+        }
+    }
+    clusters.extend(self_scheduled_map(
+        threads,
+        &shared,
+        GridScratch::new,
+        |scratch, snapshot| dbscan_with(snapshot, params, scratch),
+    ));
+    if rest.is_empty() {
+        return Ok((clusters, points));
+    }
+
+    // Buffered remainder: bounded ring of reused buffers.
+    let batch = threads * 8;
+    let mut bufs: Vec<Vec<ObjPos>> = Vec::new();
+    bufs.resize_with(batch.min(rest.len()), Vec::new);
+    if carry {
+        std::mem::swap(&mut bufs[0], &mut probe_buf);
+    }
+    for chunk in rest.chunks(batch) {
+        let mut snapshots: Vec<SnapshotRef> = Vec::with_capacity(chunk.len());
+        for (&b, buf) in chunk.iter().zip(bufs.iter_mut()) {
+            let snapshot = if std::mem::take(&mut carry) {
+                SnapshotRef::Buffered(&buf[..])
+            } else {
+                fetch(b, buf)?
+            };
+            points += snapshot.len() as u64;
+            snapshots.push(snapshot);
+        }
+        clusters.extend(self_scheduled_map(
+            threads,
+            &snapshots,
+            GridScratch::new,
+            |scratch, snapshot| dbscan_with(snapshot, params, scratch),
+        ));
+    }
+    Ok((clusters, points))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,6 +214,90 @@ mod tests {
             },
         );
         assert_eq!(sums, vec![1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn benchmark_clustering_is_thread_count_invariant_and_zero_copy() {
+        use k2_model::{Dataset, Point};
+        use k2_storage::{InMemoryStore, TrajectoryStore};
+
+        let mut pts = Vec::new();
+        for t in 0..30u32 {
+            for oid in 0..12u32 {
+                // Two tight groups plus wanderers.
+                let (x, y) = match oid {
+                    0..=3 => (t as f64, oid as f64 * 0.3),
+                    4..=7 => (300.0 + t as f64, oid as f64 * 0.3),
+                    _ => (oid as f64 * 50.0 + t as f64 * (oid - 6) as f64, 900.0),
+                };
+                pts.push(Point::new(oid, x, y, t));
+            }
+        }
+        let store = InMemoryStore::new(Dataset::from_points(&pts).unwrap());
+        let params = DbscanParams::new(2, 1.0);
+        let bench: Vec<Time> = (0..30).step_by(3).collect();
+
+        let (seq, seq_points) = cluster_benchmark_snapshots(1, &bench, params, |t, buf| {
+            store.scan_snapshot_ref(t, buf)
+        })
+        .unwrap();
+        assert_eq!(seq.len(), bench.len());
+        assert!(seq.iter().any(|c| !c.is_empty()));
+        for threads in [2usize, 4, 64] {
+            let (par, par_points) =
+                cluster_benchmark_snapshots(threads, &bench, params, |t, buf| {
+                    store.scan_snapshot_ref(t, buf)
+                })
+                .unwrap();
+            assert_eq!(par, seq, "{threads} threads");
+            assert_eq!(par_points, seq_points, "{threads} threads");
+        }
+        // Every fetch above was served from shared storage: the in-memory
+        // benchmark path performs zero snapshot copies.
+        let io = store.io_stats();
+        assert_eq!(io.snapshots_copied, 0);
+        assert_eq!(io.snapshots_shared as usize, 4 * bench.len());
+
+        // The buffered regime (disk-engine shape: records decoded into
+        // the caller's buffer) and a mixed engine (shared prefix, then
+        // buffered) must produce identical clusters — including when the
+        // benchmark list spans several ring batches (97 > threads * 8).
+        let dataset = store.dataset();
+        let long_bench: Vec<Time> = (0..30).cycle().take(97).collect();
+        let (shared_clusters, shared_points) =
+            cluster_benchmark_snapshots(2, &long_bench, params, |t, buf| {
+                store.scan_snapshot_ref(t, buf)
+            })
+            .unwrap();
+        let (buffered, buffered_points) =
+            cluster_benchmark_snapshots(2, &long_bench, params, |t, buf| {
+                buf.clear();
+                buf.extend_from_slice(dataset.snapshot(t).map(|s| s.positions()).unwrap_or(&[]));
+                Ok(k2_storage::SnapshotRef::Buffered(buf))
+            })
+            .unwrap();
+        assert_eq!(buffered, shared_clusters);
+        assert_eq!(buffered_points, shared_points);
+        for switch_at in [0usize, 1, 40, 96] {
+            let mut fetches = 0usize;
+            let (mixed, mixed_points) =
+                cluster_benchmark_snapshots(2, &long_bench, params, |t, buf| {
+                    fetches += 1;
+                    if fetches <= switch_at {
+                        store.scan_snapshot_ref(t, buf)
+                    } else {
+                        buf.clear();
+                        buf.extend_from_slice(
+                            dataset.snapshot(t).map(|s| s.positions()).unwrap_or(&[]),
+                        );
+                        Ok(k2_storage::SnapshotRef::Buffered(buf))
+                    }
+                })
+                .unwrap();
+            assert_eq!(mixed, shared_clusters, "switch at {switch_at}");
+            assert_eq!(mixed_points, shared_points, "switch at {switch_at}");
+            assert_eq!(fetches, long_bench.len(), "no refetch at {switch_at}");
+        }
     }
 
     #[test]

@@ -20,10 +20,11 @@ use crate::benchpoints::benchmark_points;
 use crate::candidates::candidate_clusters_pooled;
 use crate::config::K2Config;
 use crate::merge::merge_spanning;
-use crate::par::self_scheduled_map;
+use crate::par::{cluster_benchmark_snapshots, self_scheduled_map};
 use crate::validate::{hwmt_star_dataset_scratched, DatasetProbeScratch};
-use k2_cluster::{dbscan_with, recluster_with, DbscanParams, GridScratch};
+use k2_cluster::{recluster_with, DbscanParams};
 use k2_model::{Convoy, ConvoySet, Dataset, ObjectSet, Time};
+use k2_storage::SnapshotRef;
 
 /// Parallel k/2-hop miner over an in-memory dataset.
 ///
@@ -67,16 +68,17 @@ impl K2HopParallel {
         }
         let bench = benchmark_points(span, cfg.hop());
 
-        // Step 1 (parallel): benchmark clustering, one grid scratch per
-        // worker.
-        let benchmark_clusters: Vec<Vec<ObjectSet>> =
-            self_scheduled_map(self.threads, &bench, GridScratch::new, |scratch, &b| {
-                dbscan_with(
-                    dataset.snapshot(b).map(|s| s.positions()).unwrap_or(&[]),
-                    params,
-                    scratch,
-                )
-            });
+        // Step 1 (parallel): benchmark clustering through the same
+        // zero-copy fetcher as the sequential miner — snapshots are handed
+        // to the workers as shared Arc views of the dataset's own storage.
+        let (benchmark_clusters, _points) =
+            cluster_benchmark_snapshots(self.threads, &bench, params, |t, _buf| {
+                Ok(match dataset.snapshot(t) {
+                    Some(s) => SnapshotRef::Shared(s.positions_shared()),
+                    None => SnapshotRef::Buffered(&[]),
+                })
+            })
+            .expect("dataset-direct fetch cannot fail");
 
         // Steps 2–3 (parallel): candidate clusters + HWMT per window, one
         // probe scratch (buffers + interning pool) per worker.

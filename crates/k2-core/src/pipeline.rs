@@ -6,12 +6,11 @@ use crate::config::K2Config;
 use crate::extend::{extend_left, extend_right};
 use crate::hwmt::mine_window_scratched;
 use crate::merge::merge_spanning;
-use crate::par::self_scheduled_map;
+use crate::par::cluster_benchmark_snapshots;
 use crate::stats::{PhaseTimings, PruningStats};
 use crate::validate::validate;
 use crate::ProbeScratch;
-use k2_cluster::{dbscan_with, GridScratch};
-use k2_model::{Convoy, ObjPos, ObjectSet};
+use k2_model::{Convoy, ObjectSet};
 use k2_storage::{StoreResult, TrajectoryStore};
 use std::time::Instant;
 
@@ -99,47 +98,17 @@ impl K2Hop {
             });
         }
 
-        // Step 1: benchmark clusters (the only full-snapshot scans).
-        // Snapshots are fetched sequentially — the I/O path and its
-        // statistics stay single-threaded — then clustered across the
-        // worker pool off an atomic counter, one GridScratch per worker.
+        // Step 1: benchmark clusters (the only full-snapshot scans),
+        // through the shared zero-copy fetcher: the in-memory store hands
+        // out Arc-backed snapshot views (no clone per benchmark point),
+        // disk engines decode into a bounded ring of reused buffers.
         let t0 = Instant::now();
         let bench = benchmark_points(span, cfg.hop());
-        let benchmark_clusters: Vec<Vec<ObjectSet>> = if self.threads <= 1 {
-            // Sequential: cluster each snapshot while it is still hot in
-            // cache, reusing one scratch across all of them.
-            let mut scratch = GridScratch::new();
-            let mut clusters = Vec::with_capacity(bench.len());
-            for &b in &bench {
-                let snapshot = store.scan_snapshot(b)?;
-                pruning.benchmark_points += snapshot.len() as u64;
-                clusters.push(dbscan_with(&snapshot, params, &mut scratch));
-            }
-            clusters
-        } else {
-            // Parallel: fetch a bounded batch of snapshots, fan the batch
-            // out to the workers, drop it, repeat. The batch bound keeps
-            // peak memory at O(batch × population) instead of holding
-            // every benchmark snapshot of a disk-backed dataset at once.
-            let batch = self.threads * 8;
-            let mut clusters = Vec::with_capacity(bench.len());
-            let mut snapshots: Vec<Vec<ObjPos>> = Vec::with_capacity(batch);
-            for chunk in bench.chunks(batch) {
-                snapshots.clear();
-                for &b in chunk {
-                    let snapshot = store.scan_snapshot(b)?;
-                    pruning.benchmark_points += snapshot.len() as u64;
-                    snapshots.push(snapshot);
-                }
-                clusters.extend(self_scheduled_map(
-                    self.threads,
-                    &snapshots,
-                    GridScratch::new,
-                    |scratch, snapshot| dbscan_with(snapshot, params, scratch),
-                ));
-            }
-            clusters
-        };
+        let (benchmark_clusters, bench_points) =
+            cluster_benchmark_snapshots(self.threads, &bench, params, |t, buf| {
+                store.scan_snapshot_ref(t, buf)
+            })?;
+        pruning.benchmark_points += bench_points;
         pruning.benchmark_timestamps = bench.len() as u32;
         timings.benchmark = t0.elapsed();
 

@@ -1,15 +1,22 @@
 //! Per-timestamp views of a movement dataset.
 
 use crate::{ObjPos, ObjectSet, Oid};
+use std::sync::Arc;
 
 /// All object positions observed at a single timestamp, sorted by object id.
 ///
 /// The sorted order gives `O(log n)` membership lookups and linear-merge
 /// restriction to an [`ObjectSet`] — the access pattern of the HWMT
 /// re-clustering step (`DB[t]|O(v)`).
+///
+/// Positions are stored behind an `Arc`, so cloning a snapshot — and
+/// handing the position slice to another thread via
+/// [`positions_shared`](Self::positions_shared) — is `O(1)` and copies no
+/// records. This is what lets the in-memory storage engine serve
+/// benchmark-point scans zero-copy.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Snapshot {
-    positions: Vec<ObjPos>,
+    positions: Arc<[ObjPos]>,
 }
 
 impl Snapshot {
@@ -33,7 +40,9 @@ impl Snapshot {
                 false
             }
         });
-        Self { positions }
+        Self {
+            positions: positions.into(),
+        }
     }
 
     /// Builds a snapshot from positions already sorted by unique oid.
@@ -42,7 +51,9 @@ impl Snapshot {
             positions.windows(2).all(|w| w[0].oid < w[1].oid),
             "from_sorted: oids must be strictly increasing"
         );
-        Self { positions }
+        Self {
+            positions: positions.into(),
+        }
     }
 
     /// Number of objects present.
@@ -69,6 +80,15 @@ impl Snapshot {
     #[inline]
     pub fn positions(&self) -> &[ObjPos] {
         &self.positions
+    }
+
+    /// The positions as a shared, reference-counted slice — `O(1)`, no
+    /// record is copied. This is the zero-copy benchmark-scan path of the
+    /// in-memory storage engine: the returned `Arc` stays valid (and
+    /// `Send`-able to clustering workers) independent of the snapshot.
+    #[inline]
+    pub fn positions_shared(&self) -> Arc<[ObjPos]> {
+        Arc::clone(&self.positions)
     }
 
     /// The positions restricted to objects in `set` — the paper's
@@ -120,11 +140,17 @@ impl Snapshot {
     }
 
     /// Inserts or replaces the position of one object.
+    ///
+    /// `O(n)`: the shared backing slice is rebuilt (snapshots are
+    /// read-mostly; mutation is an edge path for tests and streaming
+    /// ingest, never the mining loops).
     pub fn upsert(&mut self, pos: ObjPos) {
-        match self.positions.binary_search_by_key(&pos.oid, |p| p.oid) {
-            Ok(i) => self.positions[i] = pos,
-            Err(i) => self.positions.insert(i, pos),
+        let mut positions = self.positions.to_vec();
+        match positions.binary_search_by_key(&pos.oid, |p| p.oid) {
+            Ok(i) => positions[i] = pos,
+            Err(i) => positions.insert(i, pos),
         }
+        self.positions = positions.into();
     }
 }
 
@@ -232,6 +258,20 @@ mod tests {
                 assert_eq!(got, want, "target {target} lo {lo}");
             }
         }
+    }
+
+    #[test]
+    fn positions_shared_aliases_the_snapshot_storage() {
+        let s = snap();
+        let a = s.positions_shared();
+        let b = s.positions_shared();
+        assert!(Arc::ptr_eq(&a, &b), "shared handles must alias");
+        assert_eq!(&a[..], s.positions());
+        let clone = s.clone();
+        assert!(
+            Arc::ptr_eq(&a, &clone.positions_shared()),
+            "cloning a snapshot must not copy records"
+        );
     }
 
     #[test]

@@ -461,12 +461,21 @@ impl TrajectoryStore for RelationalStore {
     }
 
     fn scan_snapshot(&self, t: Time) -> StoreResult<Vec<ObjPos>> {
-        self.io.add_range_query();
         let mut out = Vec::new();
+        self.scan_snapshot_into(t, &mut out)?;
+        Ok(out)
+    }
+
+    fn scan_snapshot_into(&self, t: Time, out: &mut Vec<ObjPos>) -> StoreResult<()> {
+        self.io.add_range_query();
+        self.io.add_snapshot_copied();
+        // Leaf entries decode straight into the caller's buffer; one
+        // buffer serves every benchmark snapshot a worker scans.
+        out.clear();
         self.scan_key_range(encode_key(t, 0), encode_key(t, Oid::MAX), |_, p| {
             out.push(p)
         })?;
-        Ok(out)
+        Ok(())
     }
 
     fn multi_get(&self, t: Time, oids: &[Oid]) -> StoreResult<Vec<ObjPos>> {

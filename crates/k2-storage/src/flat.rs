@@ -157,8 +157,18 @@ impl TrajectoryStore for FlatFileStore {
     }
 
     fn scan_snapshot(&self, t: Time) -> StoreResult<Vec<ObjPos>> {
-        self.io.add_range_query();
         let mut out = Vec::new();
+        self.scan_snapshot_into(t, &mut out)?;
+        Ok(out)
+    }
+
+    fn scan_snapshot_into(&self, t: Time, out: &mut Vec<ObjPos>) -> StoreResult<()> {
+        self.io.add_range_query();
+        self.io.add_snapshot_copied();
+        // The record scan decodes straight into the caller's buffer — a
+        // benchmark-clustering worker reuses one buffer for every
+        // snapshot this engine serves it.
+        out.clear();
         self.scan_from_start(|p| {
             if p.t > t {
                 return false; // sorted: past the target block
@@ -168,7 +178,7 @@ impl TrajectoryStore for FlatFileStore {
             }
             true
         })?;
-        Ok(out)
+        Ok(())
     }
 
     fn multi_get(&self, t: Time, oids: &[Oid]) -> StoreResult<Vec<ObjPos>> {

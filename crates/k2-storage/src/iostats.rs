@@ -24,6 +24,12 @@ pub struct IoStats {
     pub range_queries: u64,
     /// Point queries skipped by a bloom filter (LSM only).
     pub bloom_negatives: u64,
+    /// Snapshot scans served zero-copy, as shared views of resident
+    /// storage (`scan_snapshot_ref` on an in-memory engine).
+    pub snapshots_shared: u64,
+    /// Snapshot scans that materialised records into a fresh or caller
+    /// buffer (owned `scan_snapshot`, or any disk-engine scan).
+    pub snapshots_copied: u64,
 }
 
 impl IoStats {
@@ -37,6 +43,8 @@ impl IoStats {
             point_queries: self.point_queries - earlier.point_queries,
             range_queries: self.range_queries - earlier.range_queries,
             bloom_negatives: self.bloom_negatives - earlier.bloom_negatives,
+            snapshots_shared: self.snapshots_shared - earlier.snapshots_shared,
+            snapshots_copied: self.snapshots_copied - earlier.snapshots_copied,
         }
     }
 }
@@ -51,6 +59,8 @@ pub struct IoCounters {
     point_queries: Cell<u64>,
     range_queries: Cell<u64>,
     bloom_negatives: Cell<u64>,
+    snapshots_shared: Cell<u64>,
+    snapshots_copied: Cell<u64>,
 }
 
 impl IoCounters {
@@ -84,6 +94,14 @@ impl IoCounters {
         self.bloom_negatives.set(self.bloom_negatives.get() + 1);
     }
 
+    pub(crate) fn add_snapshot_shared(&self) {
+        self.snapshots_shared.set(self.snapshots_shared.get() + 1);
+    }
+
+    pub(crate) fn add_snapshot_copied(&self) {
+        self.snapshots_copied.set(self.snapshots_copied.get() + 1);
+    }
+
     /// Snapshot of the counters.
     pub fn snapshot(&self) -> IoStats {
         IoStats {
@@ -94,6 +112,8 @@ impl IoCounters {
             point_queries: self.point_queries.get(),
             range_queries: self.range_queries.get(),
             bloom_negatives: self.bloom_negatives.get(),
+            snapshots_shared: self.snapshots_shared.get(),
+            snapshots_copied: self.snapshots_copied.get(),
         }
     }
 
@@ -106,6 +126,8 @@ impl IoCounters {
         self.point_queries.set(0);
         self.range_queries.set(0);
         self.bloom_negatives.set(0);
+        self.snapshots_shared.set(0);
+        self.snapshots_copied.set(0);
     }
 }
 
@@ -172,6 +194,8 @@ mod tests {
         c.add_point_query();
         c.add_range_query();
         c.add_bloom_negative();
+        c.add_snapshot_shared();
+        c.add_snapshot_copied();
         let s = c.snapshot();
         assert_eq!(s.seeks, 1);
         assert_eq!(s.blocks_read, 2);
@@ -180,6 +204,8 @@ mod tests {
         assert_eq!(s.point_queries, 1);
         assert_eq!(s.range_queries, 1);
         assert_eq!(s.bloom_negatives, 1);
+        assert_eq!(s.snapshots_shared, 1);
+        assert_eq!(s.snapshots_copied, 1);
         c.reset();
         assert_eq!(c.snapshot(), IoStats::default());
     }

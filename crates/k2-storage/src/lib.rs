@@ -43,6 +43,51 @@ pub use lsm::{BloomFilter, LsmConfig, LsmStore, SsTableReader, SsTableWriter};
 pub use memory::InMemoryStore;
 
 use k2_model::{ObjPos, Oid, Time, TimeInterval};
+use std::sync::Arc;
+
+/// A borrowed view of one timestamp's snapshot — the zero-copy form of
+/// [`TrajectoryStore::scan_snapshot`].
+///
+/// Cow-like: engines whose snapshots already live in memory hand out a
+/// shared `Arc` slice (no record is copied, the view is `Send` and out-
+/// lives the call); disk engines fill the caller's buffer instead, so a
+/// worker that scans many snapshots reuses one allocation for all of
+/// them. Either way the view derefs to the sorted `&[ObjPos]` the
+/// clustering layer consumes.
+#[derive(Debug, Clone)]
+pub enum SnapshotRef<'a> {
+    /// Shared ownership of the engine's resident snapshot storage
+    /// (zero-copy; [`InMemoryStore`] and anything else fully resident).
+    Shared(Arc<[ObjPos]>),
+    /// The records were materialised into the caller's scan buffer
+    /// (flat file, B+tree, LSM — one copy, no fresh allocation).
+    Buffered(&'a [ObjPos]),
+}
+
+impl SnapshotRef<'_> {
+    /// Did the engine serve this snapshot without copying records?
+    pub fn is_shared(&self) -> bool {
+        matches!(self, SnapshotRef::Shared(_))
+    }
+
+    /// The positions, sorted by object id.
+    #[inline]
+    pub fn positions(&self) -> &[ObjPos] {
+        match self {
+            SnapshotRef::Shared(arc) => arc,
+            SnapshotRef::Buffered(slice) => slice,
+        }
+    }
+}
+
+impl std::ops::Deref for SnapshotRef<'_> {
+    type Target = [ObjPos];
+
+    #[inline]
+    fn deref(&self) -> &[ObjPos] {
+        self.positions()
+    }
+}
 
 /// Read-side interface shared by every storage engine.
 ///
@@ -61,6 +106,36 @@ pub trait TrajectoryStore {
     /// This is the benchmark-point access path (access requirement 1 of
     /// §5). Returns an empty vector for timestamps outside the span.
     fn scan_snapshot(&self, t: Time) -> StoreResult<Vec<ObjPos>>;
+
+    /// [`scan_snapshot`](Self::scan_snapshot) into a caller-provided
+    /// buffer (cleared first).
+    ///
+    /// The benchmark-clustering phase scans one snapshot per benchmark
+    /// point; engines that materialise records (flat/B+tree/LSM) should
+    /// override the default so a worker reuses one buffer across every
+    /// snapshot it scans instead of allocating per scan.
+    fn scan_snapshot_into(&self, t: Time, out: &mut Vec<ObjPos>) -> StoreResult<()> {
+        out.clear();
+        out.extend(self.scan_snapshot(t)?);
+        Ok(())
+    }
+
+    /// Borrowed snapshot scan — the zero-copy benchmark access path.
+    ///
+    /// Returns [`SnapshotRef::Shared`] when the engine can hand out its
+    /// resident storage without copying (see [`InMemoryStore`]), otherwise
+    /// fills `buf` and returns [`SnapshotRef::Buffered`]. Equivalent to
+    /// [`scan_snapshot`](Self::scan_snapshot) in content and order; the
+    /// integration suite (`tests/snapshot_parity.rs`) pins that parity
+    /// across all engines.
+    fn scan_snapshot_ref<'a>(
+        &self,
+        t: Time,
+        buf: &'a mut Vec<ObjPos>,
+    ) -> StoreResult<SnapshotRef<'a>> {
+        self.scan_snapshot_into(t, buf)?;
+        Ok(SnapshotRef::Buffered(buf))
+    }
 
     /// Positions of the given objects at timestamp `t` (`DB[t]|O`).
     ///
@@ -129,6 +204,28 @@ mod trait_tests {
         }
         // Outside the span: empty.
         assert!(store.scan_snapshot(1000).unwrap().is_empty());
+
+        // The borrowed and buffered scan forms agree with the owned scan,
+        // including clearing stale buffer content and absent timestamps.
+        let mut scan_buf = vec![ObjPos::new(123, 1.0, 1.0)];
+        for t in [0u32, 25, 49, 1000] {
+            let want = store.scan_snapshot(t).unwrap();
+            let snap = store.scan_snapshot_ref(t, &mut scan_buf).unwrap();
+            assert_eq!(
+                snap.positions(),
+                &want[..],
+                "scan_snapshot_ref({t}) mismatch for {}",
+                store.name()
+            );
+            drop(snap);
+            store.scan_snapshot_into(t, &mut scan_buf).unwrap();
+            assert_eq!(
+                scan_buf,
+                want,
+                "scan_snapshot_into({t}) mismatch for {}",
+                store.name()
+            );
+        }
 
         // Point gets.
         let want = *reference.snapshot(25).unwrap().get(3).unwrap();

@@ -349,18 +349,24 @@ impl LsmStore {
         Ok(None)
     }
 
-    /// Merged range scan over `[lo, hi]`, newest version winning.
-    fn scan_merged(&self, lo: u64, hi: u64) -> StoreResult<Vec<(u64, [u8; VAL_SIZE])>> {
+    /// Merged range scan over `[lo, hi]`, newest version winning; each
+    /// entry is fed to `visit` straight off the merge (no intermediate
+    /// entry buffer, so callers can decode into their own storage).
+    fn scan_merged_with(
+        &self,
+        lo: u64,
+        hi: u64,
+        mut visit: impl FnMut(u64, [u8; VAL_SIZE]),
+    ) -> StoreResult<()> {
         let mut merge = MergeIter::over_tables_from(&self.tables, lo)?;
         merge.add_memtable(self.memtable.range(lo..=hi));
-        let mut out = Vec::new();
         while let Some((k, v)) = merge.next()? {
             if k > hi {
                 break;
             }
-            out.push((k, v));
+            visit(k, v);
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -451,16 +457,23 @@ impl TrajectoryStore for LsmStore {
     }
 
     fn scan_snapshot(&self, t: Time) -> StoreResult<Vec<ObjPos>> {
+        let mut out = Vec::new();
+        self.scan_snapshot_into(t, &mut out)?;
+        Ok(out)
+    }
+
+    fn scan_snapshot_into(&self, t: Time, out: &mut Vec<ObjPos>) -> StoreResult<()> {
         self.io.add_range_query();
-        let entries = self.scan_merged(key_of(t, 0), key_of(t, Oid::MAX))?;
-        Ok(entries
-            .into_iter()
-            .map(|(k, v)| {
-                let (_, oid) = key_parts(k);
-                let (x, y) = val_parts(&v);
-                ObjPos::new(oid, x, y)
-            })
-            .collect())
+        self.io.add_snapshot_copied();
+        // Merged entries decode straight into the caller's buffer — no
+        // intermediate entry vector, no per-scan allocation.
+        out.clear();
+        self.scan_merged_with(key_of(t, 0), key_of(t, Oid::MAX), |k, v| {
+            let (_, oid) = key_parts(k);
+            let (x, y) = val_parts(&v);
+            out.push(ObjPos::new(oid, x, y));
+        })?;
+        Ok(())
     }
 
     fn multi_get(&self, t: Time, oids: &[Oid]) -> StoreResult<Vec<ObjPos>> {

@@ -1,7 +1,7 @@
 //! In-memory store: a [`Dataset`] behind the [`TrajectoryStore`] trait.
 
 use crate::iostats::IoCounters;
-use crate::{IoStats, StoreResult, TrajectoryStore};
+use crate::{IoStats, SnapshotRef, StoreResult, TrajectoryStore};
 use k2_model::{Dataset, ObjPos, Oid, Time, TimeInterval};
 
 /// A fully in-memory store.
@@ -51,12 +51,38 @@ impl TrajectoryStore for InMemoryStore {
     }
 
     fn scan_snapshot(&self, t: Time) -> StoreResult<Vec<ObjPos>> {
+        let mut out = Vec::new();
+        self.scan_snapshot_into(t, &mut out)?;
+        Ok(out)
+    }
+
+    fn scan_snapshot_into(&self, t: Time, out: &mut Vec<ObjPos>) -> StoreResult<()> {
         self.io.add_range_query();
-        Ok(self
-            .dataset
-            .snapshot(t)
-            .map(|s| s.positions().to_vec())
-            .unwrap_or_default())
+        self.io.add_snapshot_copied();
+        out.clear();
+        if let Some(s) = self.dataset.snapshot(t) {
+            out.extend_from_slice(s.positions());
+        }
+        Ok(())
+    }
+
+    fn scan_snapshot_ref<'a>(
+        &self,
+        t: Time,
+        _buf: &'a mut Vec<ObjPos>,
+    ) -> StoreResult<SnapshotRef<'a>> {
+        self.io.add_range_query();
+        Ok(match self.dataset.snapshot(t) {
+            // Zero-copy: the dataset's own Arc-backed storage is handed
+            // out; no record moves and the caller's buffer stays untouched.
+            // Only these handouts count as "shared" — an absent timestamp
+            // returns an empty borrow and moves neither counter.
+            Some(s) => {
+                self.io.add_snapshot_shared();
+                SnapshotRef::Shared(s.positions_shared())
+            }
+            None => SnapshotRef::Buffered(&[]),
+        })
     }
 
     fn multi_get(&self, t: Time, oids: &[Oid]) -> StoreResult<Vec<ObjPos>> {
@@ -122,6 +148,29 @@ mod tests {
         let d = toy_dataset();
         let store = InMemoryStore::new(d.clone());
         assert_eq!(store.resident_bytes(), d.num_points() * 24);
+    }
+
+    #[test]
+    fn scan_snapshot_ref_is_zero_copy_and_counted_shared() {
+        let d = toy_dataset();
+        let store = InMemoryStore::new(d.clone());
+        let mut buf = vec![ObjPos::new(9, 9.0, 9.0)];
+        let snap = store.scan_snapshot_ref(25, &mut buf).unwrap();
+        assert!(snap.is_shared(), "in-memory scans must not copy");
+        let SnapshotRef::Shared(arc) = snap else {
+            unreachable!()
+        };
+        assert!(
+            std::sync::Arc::ptr_eq(&arc, &d.snapshot(25).unwrap().positions_shared()),
+            "the handed-out Arc must alias the dataset's own storage"
+        );
+        // Buffer untouched on the shared path; counters attribute the scan
+        // to the zero-copy column.
+        assert_eq!(buf.len(), 1);
+        let s = store.io_stats();
+        assert_eq!((s.snapshots_shared, s.snapshots_copied), (1, 0));
+        let _ = store.scan_snapshot(25).unwrap();
+        assert_eq!(store.io_stats().snapshots_copied, 1);
     }
 
     #[test]

@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
-"""Smoke-gate a fresh bench-report against the committed baseline.
+"""Gate a bench-report against one committed baseline — or a chain of them.
 
-Usage: bench_gate.py BASELINE.json FRESH.json [--threshold 1.25] [--slack 15]
+Usage: bench_gate.py BASELINE.json [BASELINE2.json ...] FRESH.json
+                     [--threshold 1.25] [--slack 15]
 
-The committed baseline and the CI run execute on different machines, so
-raw wall-clock is not comparable. Both reports carry the same
+The last report is the one under test; every earlier report is a
+baseline. With a single baseline this is the CI smoke gate; with several
+it walks the repo's committed perf trajectory (``BENCH_2.json``
+``BENCH_3.json`` ``BENCH_4.json``), so a new perf point must hold the
+line against the *best* report in the chain, not just the most recent
+one — two consecutive "small" regressions cannot compound unnoticed.
+
+Baselines and the run under test usually execute on different machines,
+so raw wall-clock is not comparable. Every report carries the same
 machine-speed probe — ``dbscan_largest_snapshot.median_secs``, the
-single-snapshot clustering microbenchmark — so the gate compares the
+single-snapshot clustering microbenchmark — and the gate compares the
 **normalized** quantity ``mine.median_total_secs / dbscan.median_secs``
 (how many snapshot-clusterings one end-to-end mine costs). A slower
 runner scales numerator and denominator together; a real pipeline
@@ -14,13 +22,14 @@ regression moves only the numerator. Empirically the ratio is stable to
 ~±15% where raw time swings ±60% on a contended host.
 
 Fails (exit 1) when the fresh ratio exceeds
-``baseline_ratio * threshold + slack``. The threshold is deliberately
-generous — this is a smoke gate catching order-of-magnitude regressions,
-not a microbenchmark.
+``min(baseline ratios) * threshold + slack``. The threshold is
+deliberately generous — this is a smoke gate catching order-of-magnitude
+regressions, not a microbenchmark.
 
 Also cross-checks the deterministic fields (convoy count, points
-processed) when the workloads match — a silent behaviour change fails
-harder than a slow one.
+processed) against every baseline whose workload matches — a silent
+behaviour change fails harder than a slow one. At least one baseline
+must match the fresh workload.
 """
 
 import argparse
@@ -33,38 +42,48 @@ def load(path):
         return json.load(fh)
 
 
-def ratio(report):
+def ratio(report, path):
     mine = report["mine"]["median_total_secs"]
     probe = report["dbscan_largest_snapshot"]["median_secs"]
     if probe <= 0:
         # A zero denominator would make the limit infinite (baseline) or
         # hard-fail every build (fresh); refuse the report instead.
-        sys.exit("FAIL: dbscan_largest_snapshot.median_secs is 0 — report too "
-                 "coarse to normalize (regenerate with the ns-precision "
-                 "bench-report)")
+        sys.exit(f"FAIL: {path}: dbscan_largest_snapshot.median_secs is 0 — "
+                 "report too coarse to normalize (regenerate with the "
+                 "ns-precision bench-report)")
     return mine / probe
 
 
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("baseline")
-    ap.add_argument("fresh")
+    ap.add_argument("reports", nargs="+", metavar="REPORT.json",
+                    help="one or more baselines followed by the report "
+                         "under test")
     ap.add_argument("--threshold", type=float, default=1.25)
     ap.add_argument("--slack", type=float, default=15.0)
     args = ap.parse_args()
+    if len(args.reports) < 2:
+        ap.error("need at least one baseline and one fresh report")
 
-    base = load(args.baseline)
-    fresh = load(args.fresh)
+    baseline_paths, fresh_path = args.reports[:-1], args.reports[-1]
+    baselines = [(p, load(p)) for p in baseline_paths]
+    fresh = load(fresh_path)
 
-    base_ratio, fresh_ratio = ratio(base), ratio(fresh)
-    limit = base_ratio * args.threshold + args.slack
+    fresh_ratio = ratio(fresh, fresh_path)
+    best_path, best_ratio = min(
+        ((p, ratio(r, p)) for p, r in baselines), key=lambda pr: pr[1]
+    )
+    limit = best_ratio * args.threshold + args.slack
+    for p, r in baselines:
+        print(f"baseline {p}: ratio {ratio(r, p):.1f}, "
+              f"raw {r['mine']['median_total_secs']:.6f}s")
     print(
-        f"mine / dbscan-probe ratio: baseline {base_ratio:.1f}, fresh {fresh_ratio:.1f}, "
-        f"limit {limit:.1f} ({args.threshold:.2f}x + {args.slack:.0f} slack)"
+        f"mine / dbscan-probe ratio: best baseline {best_ratio:.1f} "
+        f"({best_path}), fresh {fresh_ratio:.1f}, limit {limit:.1f} "
+        f"({args.threshold:.2f}x + {args.slack:.0f} slack)"
     )
     print(
-        f"raw wall-clock (informational): baseline "
-        f"{base['mine']['median_total_secs']:.6f}s, fresh "
+        f"raw wall-clock (informational): fresh "
         f"{fresh['mine']['median_total_secs']:.6f}s"
     )
 
@@ -72,22 +91,27 @@ def main():
     if fresh_ratio > limit:
         failures.append(
             f"mining regressed: normalized ratio {fresh_ratio:.1f} > {limit:.1f} "
-            f"({fresh_ratio / base_ratio:.2f}x the committed baseline)"
+            f"({fresh_ratio / best_ratio:.2f}x the best committed baseline "
+            f"{best_path})"
         )
 
     # Same seeded workload => mining must be bit-for-bit deterministic.
-    if base.get("workload") == fresh.get("workload"):
+    matching = [
+        (p, r) for p, r in baselines
+        if r.get("workload") == fresh.get("workload")
+    ]
+    for p, r in matching:
         for field in ("convoys", "points_processed"):
-            if base["mine"].get(field) != fresh["mine"].get(field):
+            if r["mine"].get(field) != fresh["mine"].get(field):
                 failures.append(
-                    f"determinism break: {field} was {base['mine'].get(field)}, "
-                    f"now {fresh['mine'].get(field)}"
+                    f"determinism break vs {p}: {field} was "
+                    f"{r['mine'].get(field)}, now {fresh['mine'].get(field)}"
                 )
-    else:
+    if not matching:
         failures.append(
-            "workload mismatch: the fresh report was generated with different "
-            "--scale/--seed/parameters than the committed baseline; regenerate "
-            "BENCH_SMOKE.json with the same flags the CI job uses"
+            "workload mismatch: no baseline was generated with the same "
+            "--scale/--seed/parameters as the report under test; regenerate "
+            "the baseline with the same flags the CI job uses"
         )
 
     if failures:

@@ -130,3 +130,63 @@ proptest! {
         prop_assert!(first.ptr_eq(&second));
     }
 }
+
+/// Stress past `INDEX_THRESHOLD` (= 32 live convoys) with a *real*
+/// mining-shaped stream: small-eps clusters of a platoon-heavy T-Drive
+/// workload, each emitted at several nested lifespans so subsumption
+/// both ways is common. The random proptest streams above rarely hold
+/// more than a handful of incomparable convoys at once, so the indexed
+/// path's steady state — hundreds of live candidates, posting-list
+/// probes, lazy tombstone rebuilds — went unexercised; this pins it
+/// against the quadratic reference end to end.
+#[test]
+fn indexed_convoyset_matches_quadratic_past_index_threshold() {
+    use k2hop::cluster::{dbscan, DbscanParams};
+    use k2hop::datagen::tdrive::TDriveConfig;
+
+    let dataset = TDriveConfig {
+        num_taxis: 90,
+        num_timestamps: 80,
+        platoon_fraction: 0.5,
+        seed: 0,
+    }
+    .seed(11)
+    .generate();
+    // Small eps: only genuinely co-located taxis (platoon neighbours)
+    // cluster, yielding many small overlapping candidate sets.
+    let params = DbscanParams::new(2, 1.2e-4);
+
+    let mut stream: Vec<Convoy> = Vec::new();
+    for (t, snap) in dataset.iter() {
+        for cluster in dbscan(snap.positions(), params) {
+            // Nested lifespans ending at t: [t-4, t] ⊃ [t-2, t] ⊃ [t, t],
+            // so the stream carries both directions of subsumption.
+            for back in [4u32, 2, 0] {
+                stream.push(Convoy::from_parts(cluster.ids(), t.saturating_sub(back), t));
+            }
+        }
+    }
+    assert!(
+        stream.len() >= 256,
+        "stress stream too small ({} candidates); regenerate with a \
+         denser workload",
+        stream.len()
+    );
+
+    let mut indexed = ConvoySet::new();
+    let mut reference = QuadraticConvoySet::default();
+    let mut max_live = 0usize;
+    for cv in &stream {
+        let a = indexed.update(cv.clone());
+        let b = reference.update(cv.clone());
+        assert_eq!(a, b, "verdict diverged at live size {}", indexed.len());
+        assert_eq!(indexed.len(), reference.convoys.len());
+        max_live = max_live.max(indexed.len());
+    }
+    assert!(
+        max_live > 32,
+        "stream never crossed INDEX_THRESHOLD (peak {max_live} live \
+         convoys) — the indexed path was not exercised"
+    );
+    assert_eq!(indexed.into_sorted_vec(), reference.into_sorted_vec());
+}

@@ -1,0 +1,143 @@
+//! End-to-end golden-output regression tests.
+//!
+//! Three fixed-seed workloads — Brinkhoff network traffic (metric
+//! coordinates), Trucks depot runs and T-Drive taxi platoons (both
+//! lat/lon degree coordinates, which also pin the geo-scale CSR grid
+//! path) — are mined end to end and the *full* sorted convoy output is
+//! asserted against committed expectations under `tests/golden/`. Both
+//! the sequential miner (at several worker counts) and the parallel miner
+//! must reproduce the files bit for bit, so a future refactor cannot
+//! silently change mining results and still pass CI.
+//!
+//! To regenerate after an *intentional* semantic change:
+//!
+//! ```sh
+//! K2_UPDATE_GOLDEN=1 cargo test --test golden_convoys
+//! ```
+//!
+//! and commit the diff under `tests/golden/` together with the change
+//! that explains it.
+
+use k2hop::core::{K2Config, K2Hop, K2HopParallel};
+use k2hop::datagen::brinkhoff::BrinkhoffConfig;
+use k2hop::datagen::tdrive::TDriveConfig;
+use k2hop::datagen::trucks::TrucksConfig;
+use k2hop::model::{Convoy, Dataset};
+use k2hop::storage::InMemoryStore;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.golden"))
+}
+
+/// Canonical text form: one convoy per line, `start-end: oid,oid,...`,
+/// in the miners' canonical sorted order.
+fn render(convoys: &[Convoy]) -> String {
+    let mut s = String::new();
+    for c in convoys {
+        let _ = write!(s, "{}-{}:", c.start(), c.end());
+        for (i, oid) in c.objects.iter().enumerate() {
+            let _ = write!(s, "{}{oid}", if i == 0 { " " } else { "," });
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Mines `dataset` with the sequential miner at several worker counts and
+/// the parallel miner at several worker counts, asserts they all agree,
+/// and diffs the canonical output against `tests/golden/<name>.golden`.
+fn golden_check(name: &str, dataset: Dataset, cfg: K2Config) {
+    let store = InMemoryStore::new(dataset.clone());
+    let sequential = K2Hop::with_threads(cfg, 1)
+        .mine(&store)
+        .expect("in-memory mining cannot fail")
+        .convoys;
+    assert!(
+        !sequential.is_empty(),
+        "{name}: golden workload must contain convoys"
+    );
+    for threads in [2usize, 5] {
+        let got = K2Hop::with_threads(cfg, threads)
+            .mine(&store)
+            .expect("in-memory mining cannot fail")
+            .convoys;
+        assert_eq!(got, sequential, "{name}: K2Hop with {threads} threads");
+    }
+    for threads in [1usize, 4] {
+        let got = K2HopParallel::new(cfg, threads).mine(&dataset);
+        assert_eq!(
+            got, sequential,
+            "{name}: K2HopParallel with {threads} threads"
+        );
+    }
+
+    let rendered = render(&sequential);
+    let path = golden_path(name);
+    if std::env::var_os("K2_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{name}: cannot read {} ({e}); run with K2_UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        expected,
+        "{name}: mining output diverged from the committed golden file \
+         {} — if the change is intentional, regenerate with K2_UPDATE_GOLDEN=1",
+        path.display()
+    );
+}
+
+#[test]
+fn brinkhoff_golden() {
+    // Metric coordinates, organic convoys from shared motorway queues.
+    let dataset = BrinkhoffConfig {
+        max_time: 120,
+        obj_begin: 60,
+        obj_time: 2,
+        ..BrinkhoffConfig::default()
+    }
+    .seed(42)
+    .generate();
+    golden_check("brinkhoff", dataset, K2Config::new(2, 20, 600.0).unwrap());
+}
+
+#[test]
+fn trucks_golden() {
+    // Degree coordinates around Athens; eps in the paper's lat/lon range,
+    // which exercises the density-tuned CSR grid on every benchmark
+    // snapshot.
+    let dataset = TrucksConfig {
+        days: 2,
+        trucks_per_day: 12,
+        samples_per_day: 400,
+        ..TrucksConfig::default()
+    }
+    .seed(5)
+    .generate();
+    golden_check("trucks", dataset, K2Config::new(2, 30, 6.0e-4).unwrap());
+}
+
+#[test]
+fn tdrive_golden() {
+    // Degree coordinates around Beijing with taxi platoons.
+    let dataset = TDriveConfig {
+        num_taxis: 60,
+        num_timestamps: 90,
+        platoon_fraction: 0.25,
+        seed: 0,
+    }
+    .seed(3)
+    .generate();
+    golden_check("tdrive", dataset, K2Config::new(2, 30, 2.0e-4).unwrap());
+}
