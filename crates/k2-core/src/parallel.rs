@@ -11,22 +11,32 @@
 //! * extension and validation are sharded per candidate convoy,
 //! * only the cheap DCM merge (and final maximality) runs sequentially.
 //!
-//! The parallel miner reads an immutable [`Dataset`] directly (shared
-//! snapshots, no interior-mutable I/O counters), so its output is
-//! *identical* to [`K2Hop`](crate::K2Hop) over an in-memory store — the
-//! unit tests and the workspace integration tests enforce this.
+//! The parallel miner reads either an immutable [`Dataset`] directly
+//! (shared snapshots, no interior-mutable I/O counters) or any storage
+//! engine through [`K2HopParallel::mine_store`]: store I/O stays on the
+//! calling thread (engines use interior mutability and need not be
+//! `Sync`), and the hop-window probe loops run against an in-memory
+//! *restriction* of the dataset to the candidate objects — exactly the
+//! points k/2-hop's pruning would fetch anyway. Either way the output is
+//! *identical* to [`K2Hop`](crate::K2Hop) — the unit tests and the
+//! workspace integration tests enforce this.
 
 use crate::benchpoints::benchmark_points;
 use crate::candidates::candidate_clusters_pooled;
 use crate::config::K2Config;
 use crate::merge::merge_spanning;
 use crate::par::{cluster_benchmark_snapshots, self_scheduled_map};
+use crate::pipeline::MiningResult;
+use crate::stats::{PhaseTimings, PruningStats};
 use crate::validate::{hwmt_star_dataset_scratched, DatasetProbeScratch};
 use k2_cluster::{recluster_with, DbscanParams};
-use k2_model::{Convoy, ConvoySet, Dataset, ObjectSet, Time};
-use k2_storage::SnapshotRef;
+use k2_model::{Convoy, ConvoySet, Dataset, ObjectSet, Oid, Snapshot, Time};
+use k2_storage::{SnapshotRef, StoreResult, TrajectoryStore};
+use std::collections::BTreeSet;
+use std::time::Instant;
 
-/// Parallel k/2-hop miner over an in-memory dataset.
+/// Parallel k/2-hop miner over an in-memory dataset or any storage
+/// engine.
 ///
 /// ```
 /// use k2_core::{K2Config, K2HopParallel};
@@ -58,36 +68,170 @@ impl K2HopParallel {
         }
     }
 
+    /// The configuration in use.
+    pub fn config(&self) -> K2Config {
+        self.config
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Mines all maximal fully-connected convoys of `dataset`.
     pub fn mine(&self, dataset: &Dataset) -> Vec<Convoy> {
+        self.mine_dataset(dataset).convoys
+    }
+
+    /// Dataset-direct mining with the full [`MiningResult`] (phase
+    /// timings and the pruning counters the parallel phases track).
+    fn mine_dataset(&self, dataset: &Dataset) -> MiningResult {
         let cfg = self.config;
-        let params = cfg.dbscan();
         let span = dataset.span();
+        let mut timings = PhaseTimings::default();
+        let mut pruning = PruningStats {
+            total_points: dataset.num_points(),
+            ..PruningStats::default()
+        };
         if span.len() < cfg.k {
-            return Vec::new();
+            return MiningResult {
+                convoys: Vec::new(),
+                timings,
+                pruning,
+            };
         }
         let bench = benchmark_points(span, cfg.hop());
 
         // Step 1 (parallel): benchmark clustering through the same
         // zero-copy fetcher as the sequential miner — snapshots are handed
         // to the workers as shared Arc views of the dataset's own storage.
-        let (benchmark_clusters, _points) =
-            cluster_benchmark_snapshots(self.threads, &bench, params, |t, _buf| {
+        let t0 = Instant::now();
+        let (benchmark_clusters, bench_points) =
+            cluster_benchmark_snapshots(self.threads, &bench, cfg.dbscan(), |t, _buf| {
                 Ok(match dataset.snapshot(t) {
                     Some(s) => SnapshotRef::Shared(s.positions_shared()),
                     None => SnapshotRef::Buffered(&[]),
                 })
             })
             .expect("dataset-direct fetch cannot fail");
+        pruning.benchmark_points = bench_points;
+        pruning.benchmark_timestamps = bench.len() as u32;
+        timings.benchmark = t0.elapsed();
+
+        let convoys = self.finish_from_benchmarks(
+            dataset,
+            &bench,
+            &benchmark_clusters,
+            &mut timings,
+            &mut pruning,
+        );
+        MiningResult {
+            convoys,
+            timings,
+            pruning,
+        }
+    }
+
+    /// Mines from any storage engine, in parallel, with identical
+    /// output to the sequential [`K2Hop`](crate::K2Hop) — the
+    /// store-generic form of [`mine`](Self::mine) that closes the
+    /// paper's §7 parallelism over the §5 storage structures.
+    ///
+    /// Store I/O never leaves the calling thread (engines use interior
+    /// mutability for buffer pools and counters, so they need not be
+    /// `Sync`). Two fetch passes feed the parallel compute:
+    ///
+    /// 1. benchmark snapshots stream through the shared batched zero-copy
+    ///    fetcher (`SnapshotRef`s fan out to clustering workers),
+    /// 2. the hop-window phases run against an in-memory *restriction* of
+    ///    the dataset to the union of candidate objects — one
+    ///    `multi_get` sweep over the span, which is exactly the data
+    ///    k/2-hop's pruning would touch probe by probe. The restricted
+    ///    points are charged to `PruningStats::hwmt_points` once, at
+    ///    prefetch.
+    ///
+    pub fn mine_store<S: TrajectoryStore + ?Sized>(&self, store: &S) -> StoreResult<MiningResult> {
+        let cfg = self.config;
+        let span = store.span();
+        let mut timings = PhaseTimings::default();
+        let mut pruning = PruningStats {
+            total_points: store.num_points(),
+            ..PruningStats::default()
+        };
+        if span.len() < cfg.k {
+            return Ok(MiningResult {
+                convoys: Vec::new(),
+                timings,
+                pruning,
+            });
+        }
+        let params = cfg.dbscan();
+        let bench = benchmark_points(span, cfg.hop());
+
+        // Step 1: batched zero-copy benchmark fetch on the calling thread,
+        // clustering fanned out to the workers.
+        let t0 = Instant::now();
+        let (benchmark_clusters, bench_points) =
+            cluster_benchmark_snapshots(self.threads, &bench, params, |t, buf| {
+                store.scan_snapshot_ref(t, buf)
+            })?;
+        pruning.benchmark_points = bench_points;
+        pruning.benchmark_timestamps = bench.len() as u32;
+        timings.benchmark = t0.elapsed();
+
+        // Candidate union: every object the hop-window phases can ever
+        // probe is a member of some candidate cluster (HWMT re-clusters
+        // candidates; extension and validation only shrink object sets).
+        let union = candidate_union(&benchmark_clusters, cfg.m, self.threads);
+
+        // Prefetch `DB|union` in one sorted-probe sweep over the span —
+        // the store-side cost of everything after step 1 — and run the
+        // remaining phases dataset-direct on the restriction.
+        let (restricted, fetched) = materialize_restricted(store, span, &union)?;
+        pruning.hwmt_points = fetched;
+
+        let convoys = self.finish_from_benchmarks(
+            &restricted,
+            &bench,
+            &benchmark_clusters,
+            &mut timings,
+            &mut pruning,
+        );
+        Ok(MiningResult {
+            convoys,
+            timings,
+            pruning,
+        })
+    }
+
+    /// Steps 2–6, shared by the dataset-direct and store-generic paths:
+    /// candidate intersection + HWMT per hop-window (parallel), DCM merge
+    /// (sequential), extension and validation per convoy (parallel).
+    ///
+    /// Correctness of the store path rests on every probe here being a
+    /// restriction `DB[t]|O` with `O` a subset of the candidate union, so
+    /// probing the materialized restriction is bit-identical to probing
+    /// the store.
+    fn finish_from_benchmarks(
+        &self,
+        dataset: &Dataset,
+        bench: &[Time],
+        benchmark_clusters: &[Vec<ObjectSet>],
+        timings: &mut PhaseTimings,
+        pruning: &mut PruningStats,
+    ) -> Vec<Convoy> {
+        let cfg = self.config;
+        let params = cfg.dbscan();
 
         // Steps 2–3 (parallel): candidate clusters + HWMT per window, one
         // probe scratch (buffers + interning pool) per worker.
+        let t0 = Instant::now();
         let window_inputs: Vec<(Time, Time, &Vec<ObjectSet>, &Vec<ObjectSet>)> = bench
             .windows(2)
             .zip(benchmark_clusters.windows(2))
             .map(|(bw, cw)| (bw[0], bw[1], &cw[0], &cw[1]))
             .collect();
-        let windows: Vec<Vec<Convoy>> = self_scheduled_map(
+        let windows: Vec<(u32, Vec<Convoy>)> = self_scheduled_map(
             self.threads,
             &window_inputs,
             DatasetProbeScratch::default,
@@ -96,14 +240,26 @@ impl K2HopParallel {
                 // sequential pipeline).
                 scratch.cluster.pool_mut().clear();
                 let cc = candidate_clusters_pooled(cl, cr, cfg.m, scratch.cluster.pool_mut());
-                mine_window_dataset(dataset, params, left, right, &cc, scratch)
+                let spanning = mine_window_dataset(dataset, params, left, right, &cc, scratch);
+                (cc.len() as u32, spanning)
             },
         );
+        let mut spanning_windows: Vec<Vec<Convoy>> = Vec::with_capacity(windows.len());
+        for (candidates, spanning) in windows {
+            pruning.candidate_clusters += candidates;
+            pruning.spanning_convoys += spanning.len() as u32;
+            spanning_windows.push(spanning);
+        }
+        timings.hwmt = t0.elapsed();
 
         // Step 4 (sequential): merge.
-        let merged = merge_spanning(&windows, cfg.m);
+        let t0 = Instant::now();
+        let merged = merge_spanning(&spanning_windows, cfg.m);
+        pruning.merged_convoys = merged.len() as u32;
+        timings.merge = t0.elapsed();
 
         // Step 5 (parallel): extension per convoy, then re-maximalise.
+        let t0 = Instant::now();
         let merged_vec: Vec<Convoy> = merged.into_sorted_vec();
         let extended: Vec<ConvoySet> = self_scheduled_map(
             self.threads,
@@ -127,9 +283,12 @@ impl K2HopParallel {
         for set in extended {
             candidates.merge(set);
         }
+        pruning.pre_validation_convoys = candidates.len() as u32;
+        timings.extend_right = t0.elapsed();
 
         // Step 6 (parallel): validation per candidate, then final
         // maximality.
+        let t0 = Instant::now();
         let candidate_vec: Vec<Convoy> = candidates.into_sorted_vec();
         let validated: Vec<ConvoySet> = self_scheduled_map(
             self.threads,
@@ -154,8 +313,66 @@ impl K2HopParallel {
         for set in validated {
             fc.merge(set);
         }
+        timings.validation = t0.elapsed();
         fc.into_sorted_vec()
     }
+}
+
+/// Union of all candidate-cluster object sets over every hop-window —
+/// the objects the post-benchmark phases can ever fetch.
+///
+/// Candidate computation is repeated inside the fused HWMT map (where it
+/// shares the probe workers' interning pools); this standalone pass only
+/// exists so the store path knows what to prefetch, and is itself
+/// sharded.
+fn candidate_union(benchmark_clusters: &[Vec<ObjectSet>], m: usize, threads: usize) -> Vec<Oid> {
+    let windows: Vec<(&Vec<ObjectSet>, &Vec<ObjectSet>)> = benchmark_clusters
+        .windows(2)
+        .map(|w| (&w[0], &w[1]))
+        .collect();
+    let per_window: Vec<BTreeSet<Oid>> = self_scheduled_map(
+        threads,
+        &windows,
+        k2_model::SetPool::new,
+        |pool, &(cl, cr)| {
+            pool.clear();
+            candidate_clusters_pooled(cl, cr, m, pool)
+                .iter()
+                .flat_map(|set| set.iter())
+                .collect()
+        },
+    );
+    let mut union = BTreeSet::new();
+    for w in per_window {
+        union.extend(w);
+    }
+    union.into_iter().collect()
+}
+
+/// Materializes `DB|oids` over `span` from one sorted-probe `multi_get`
+/// sweep (store I/O on the calling thread), returning the restricted
+/// dataset and the number of points fetched.
+fn materialize_restricted<S: TrajectoryStore + ?Sized>(
+    store: &S,
+    span: k2_model::TimeInterval,
+    oids: &[Oid],
+    // The restriction preserves the full span (empty snapshots where the
+    // candidates are absent) so extension frontiers see the same dataset
+    // bounds as the store path.
+) -> StoreResult<(Dataset, u64)> {
+    let mut snapshots = Vec::with_capacity(span.len() as usize);
+    let mut fetched = 0u64;
+    let mut buf = Vec::new();
+    for t in span.iter() {
+        if oids.is_empty() {
+            snapshots.push(Snapshot::new());
+            continue;
+        }
+        store.multi_get_into(t, oids, &mut buf)?;
+        fetched += buf.len() as u64;
+        snapshots.push(Snapshot::from_sorted(std::mem::take(&mut buf)));
+    }
+    Ok((Dataset::from_snapshots(span.start, snapshots), fetched))
 }
 
 /// Dataset-direct HWMT (same semantics as [`crate::hwmt::mine_window`]).
@@ -314,6 +531,28 @@ mod tests {
             for threads in [1usize, 2, 4, 8] {
                 let parallel = K2HopParallel::new(cfg, threads).mine(&d);
                 assert_eq!(parallel, sequential, "seed {seed} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn store_generic_mine_equals_dataset_mine() {
+        for seed in 0..3u64 {
+            let d = random_dataset(seed);
+            let cfg = K2Config::new(3, 8, 1.5).unwrap();
+            let from_dataset = K2HopParallel::new(cfg, 4).mine(&d);
+            let store = InMemoryStore::new(d);
+            for threads in [1usize, 4] {
+                let res = K2HopParallel::new(cfg, threads).mine_store(&store).unwrap();
+                assert_eq!(res.convoys, from_dataset, "seed {seed} threads {threads}");
+                assert!(
+                    res.pruning.hwmt_points > 0,
+                    "restriction prefetch must be accounted"
+                );
+                assert!(
+                    res.pruning.points_processed() < res.pruning.total_points,
+                    "the restricted prefetch must not defeat pruning"
+                );
             }
         }
     }

@@ -48,6 +48,52 @@ fn parallel_equals_sequential_on_tdrive() {
 }
 
 #[test]
+fn parallel_mines_from_all_four_storage_engines() {
+    use k2hop::storage::{FlatFileStore, LsmStore, RelationalStore};
+
+    let d = ConvoyInjector::new(60, 60)
+        .convoys(3, 4, 30)
+        .seed(11)
+        .generate();
+    let expect = sequential(&d, 3, 16, 1.0);
+    assert!(!expect.is_empty());
+    let cfg = K2Config::new(3, 16, 1.0).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("k2par-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let mem = InMemoryStore::new(d.clone());
+    let flat = FlatFileStore::create(dir.join("data.bin"), &d).unwrap();
+    let btree = RelationalStore::create(dir.join("data.k2bt"), &d).unwrap();
+    let lsm = LsmStore::bulk_load(dir.join("lsm"), &d).unwrap();
+
+    for threads in [1usize, 4] {
+        let miner = K2HopParallel::new(cfg, threads);
+        assert_eq!(
+            miner.mine_store(&mem).unwrap().convoys,
+            expect,
+            "in-memory, {threads} threads"
+        );
+        assert_eq!(
+            miner.mine_store(&flat).unwrap().convoys,
+            expect,
+            "flat file, {threads} threads"
+        );
+        assert_eq!(
+            miner.mine_store(&btree).unwrap().convoys,
+            expect,
+            "b+tree, {threads} threads"
+        );
+        assert_eq!(
+            miner.mine_store(&lsm).unwrap().convoys,
+            expect,
+            "lsm, {threads} threads"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn oversubscribed_thread_count_is_harmless() {
     let d = ConvoyInjector::new(20, 30)
         .convoys(1, 3, 15)
