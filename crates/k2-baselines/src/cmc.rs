@@ -9,11 +9,11 @@
 use crate::sweep::{snapshot_sweep, SeedRule};
 use crate::BaselineResult;
 use k2_cluster::DbscanParams;
-use k2_storage::{StoreResult, TrajectoryStore};
+use k2_storage::{SnapshotSource, StoreResult};
 
 /// Runs CMC: partially-connected convoys of ≥ `m` objects over ≥ `k`
 /// timestamps (modulo the original algorithm's recall bug).
-pub fn mine<S: TrajectoryStore + ?Sized>(
+pub fn mine<S: SnapshotSource + ?Sized>(
     store: &S,
     m: usize,
     k: u32,

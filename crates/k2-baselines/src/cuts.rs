@@ -23,7 +23,7 @@ use crate::sweep::{snapshot_sweep, SeedRule};
 use crate::BaselineResult;
 use k2_cluster::{DbscanParams, GridIndex};
 use k2_model::{Dataset, ObjPos, Oid, Snapshot};
-use k2_storage::{InMemoryStore, StoreResult, TrajectoryStore};
+use k2_storage::{InMemoryStore, SnapshotSource, StoreResult};
 use std::collections::{HashMap, HashSet};
 
 /// CuTS tuning parameters.
@@ -45,7 +45,7 @@ impl Default for CutsParams {
 }
 
 /// Runs CuTS end to end.
-pub fn mine<S: TrajectoryStore + ?Sized>(
+pub fn mine<S: SnapshotSource + ?Sized>(
     store: &S,
     m: usize,
     k: u32,
@@ -58,13 +58,14 @@ pub fn mine<S: TrajectoryStore + ?Sized>(
 
     // Filter phase, one λ-partition at a time.
     let mut retained: Vec<Snapshot> = Vec::with_capacity(span.len() as usize);
+    let mut scan_buf = Vec::new();
     let mut window_start = span.start;
     loop {
         let window_end = window_start.saturating_add(lambda - 1).min(span.end);
         let mut snapshots: Vec<Vec<ObjPos>> = Vec::new();
         let mut trajectories: HashMap<Oid, Vec<(f64, f64)>> = HashMap::new();
         for t in window_start..=window_end {
-            let snap = store.scan_snapshot(t)?;
+            let snap = store.scan_snapshot_ref(t, &mut scan_buf)?.to_vec();
             points_processed += snap.len() as u64;
             for p in &snap {
                 trajectories.entry(p.oid).or_default().push((p.x, p.y));
@@ -301,6 +302,7 @@ mod tests {
     use super::*;
     use crate::pccd;
     use k2_model::{Dataset, Point};
+    use k2_storage::SnapshotSource;
 
     #[test]
     fn dp_keeps_endpoints_and_straight_lines_collapse() {

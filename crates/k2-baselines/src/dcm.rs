@@ -17,10 +17,10 @@
 use crate::BaselineResult;
 use k2_cluster::{dbscan, DbscanParams};
 use k2_model::{Convoy, ConvoySet, ObjPos, Time, TimeInterval};
-use k2_storage::{StoreResult, TrajectoryStore};
+use k2_storage::{SnapshotSource, StoreResult};
 
 /// Runs DCM with `nodes` parallel workers.
-pub fn mine<S: TrajectoryStore + ?Sized>(
+pub fn mine<S: SnapshotSource + ?Sized>(
     store: &S,
     m: usize,
     k: u32,
@@ -39,10 +39,11 @@ pub fn mine<S: TrajectoryStore + ?Sized>(
     type PartitionInput = (TimeInterval, Vec<(Time, Vec<ObjPos>)>);
     let mut inputs: Vec<PartitionInput> = Vec::new();
     let mut points_processed = 0u64;
+    let mut scan_buf = Vec::new();
     for part in &partitions {
         let mut snaps = Vec::with_capacity(part.len() as usize);
         for t in part.iter() {
-            let snap = store.scan_snapshot(t)?;
+            let snap = store.scan_snapshot_ref(t, &mut scan_buf)?.to_vec();
             points_processed += snap.len() as u64;
             snaps.push((t, snap));
         }

@@ -12,12 +12,12 @@
 
 use k2_cluster::{recluster, DbscanParams};
 use k2_model::{Convoy, ConvoySet};
-use k2_storage::{StoreResult, TrajectoryStore};
+use k2_storage::{SnapshotSource, StoreResult};
 
 /// Runs original DCVal over `candidates`; returns the purported FC convoys
 /// of length ≥ `k` (which may include false positives — see module docs)
 /// along with the number of points read.
-pub fn dcval_original<S: TrajectoryStore + ?Sized>(
+pub fn dcval_original<S: SnapshotSource + ?Sized>(
     store: &S,
     params: DbscanParams,
     k: u32,
@@ -25,6 +25,7 @@ pub fn dcval_original<S: TrajectoryStore + ?Sized>(
 ) -> StoreResult<(ConvoySet, u64)> {
     let mut out = ConvoySet::new();
     let mut points = 0u64;
+    let mut posbuf = Vec::new();
     for cand in candidates {
         // Active sub-candidates: (objects, inherited start).
         let mut active: Vec<Convoy> = vec![Convoy::new(
@@ -34,9 +35,9 @@ pub fn dcval_original<S: TrajectoryStore + ?Sized>(
         for t in cand.lifespan.iter() {
             let mut next: ConvoySet = ConvoySet::new();
             for v in &active {
-                let positions = store.multi_get(t, v.objects.ids())?;
-                points += positions.len() as u64;
-                let clusters = recluster(&positions, params);
+                store.multi_get_into(t, v.objects.ids(), &mut posbuf)?;
+                points += posbuf.len() as u64;
+                let clusters = recluster(&posbuf, params);
                 let mut intact = false;
                 for c in &clusters {
                     if *c == v.objects {

@@ -7,11 +7,11 @@
 use crate::sweep::{snapshot_sweep, SeedRule};
 use crate::BaselineResult;
 use k2_cluster::DbscanParams;
-use k2_storage::{StoreResult, TrajectoryStore};
+use k2_storage::{SnapshotSource, StoreResult};
 
 /// Runs PCCD: all maximal partially-connected convoys (≥ `m` objects,
 /// ≥ `k` timestamps).
-pub fn mine<S: TrajectoryStore + ?Sized>(
+pub fn mine<S: SnapshotSource + ?Sized>(
     store: &S,
     m: usize,
     k: u32,

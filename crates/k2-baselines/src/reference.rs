@@ -20,10 +20,10 @@ use crate::sweep::{snapshot_sweep, SeedRule};
 use crate::BaselineResult;
 use k2_cluster::{recluster, DbscanParams};
 use k2_model::{Convoy, ConvoySet, ObjectSet, TimeInterval};
-use k2_storage::{StoreResult, TrajectoryStore};
+use k2_storage::{SnapshotSource, StoreResult};
 
 /// Mines all maximal fully-connected convoys by brute force.
-pub fn mine<S: TrajectoryStore + ?Sized>(
+pub fn mine<S: SnapshotSource + ?Sized>(
     store: &S,
     m: usize,
     k: u32,
@@ -47,7 +47,7 @@ pub fn mine<S: TrajectoryStore + ?Sized>(
 
 /// Exhaustively finds all maximal FC convoys with objects ⊆ `objects`,
 /// lifespan ⊆ `span`, length ≥ `k` (see module docs).
-pub fn validate_fc<S: TrajectoryStore + ?Sized>(
+pub fn validate_fc<S: SnapshotSource + ?Sized>(
     store: &S,
     params: DbscanParams,
     k: u32,
@@ -61,10 +61,11 @@ pub fn validate_fc<S: TrajectoryStore + ?Sized>(
     }
     // Find the first broken timestamp, caching clusters along the way.
     let mut broken: Option<(u32, Vec<ObjectSet>)> = None;
+    let mut posbuf = Vec::new();
     for t in span.iter() {
-        let positions = store.multi_get(t, objects.ids())?;
-        *points += positions.len() as u64;
-        let clusters = recluster(&positions, params);
+        store.multi_get_into(t, objects.ids(), &mut posbuf)?;
+        *points += posbuf.len() as u64;
+        let clusters = recluster(&posbuf, params);
         let intact = clusters.len() == 1 && clusters[0] == *objects;
         if !intact {
             broken = Some((t, clusters));

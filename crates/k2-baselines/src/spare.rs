@@ -25,11 +25,11 @@
 use crate::BaselineResult;
 use k2_cluster::{dbscan, DbscanParams};
 use k2_model::{Convoy, ConvoySet, ObjPos, ObjectSet, Oid, Time, TimeInterval};
-use k2_storage::{StoreResult, TrajectoryStore};
+use k2_storage::{SnapshotSource, StoreResult};
 use std::collections::HashMap;
 
 /// Runs SPARE with `threads` worker threads (≥ 1).
-pub fn mine<S: TrajectoryStore + ?Sized>(
+pub fn mine<S: SnapshotSource + ?Sized>(
     store: &S,
     m: usize,
     k: u32,
@@ -43,8 +43,9 @@ pub fn mine<S: TrajectoryStore + ?Sized>(
     // Load snapshots (the framework's data ingestion; sequential I/O).
     let mut snapshots: Vec<(Time, Vec<ObjPos>)> = Vec::with_capacity(span.len() as usize);
     let mut points_processed = 0u64;
+    let mut scan_buf = Vec::new();
     for t in span.iter() {
-        let snap = store.scan_snapshot(t)?;
+        let snap = store.scan_snapshot_ref(t, &mut scan_buf)?.to_vec();
         points_processed += snap.len() as u64;
         snapshots.push((t, snap));
     }

@@ -17,11 +17,11 @@ use crate::sweep::{snapshot_sweep, SeedRule};
 use crate::{reference, BaselineResult};
 use k2_cluster::DbscanParams;
 use k2_model::ConvoySet;
-use k2_storage::{StoreResult, TrajectoryStore};
+use k2_storage::{SnapshotSource, StoreResult};
 
 /// VCoDA: PCCD + original DCVal. May return non-FC convoys (the
 /// documented flaw) — provided for the paper's VCoDA-vs-VCoDA\* rows.
-pub fn vcoda<S: TrajectoryStore + ?Sized>(
+pub fn vcoda<S: SnapshotSource + ?Sized>(
     store: &S,
     m: usize,
     k: u32,
@@ -40,7 +40,7 @@ pub fn vcoda<S: TrajectoryStore + ?Sized>(
 
 /// VCoDA\*: PCCD + corrected recursive validation. Exact maximal FC
 /// convoy mining by full scan — the strongest sequential baseline.
-pub fn vcoda_star<S: TrajectoryStore + ?Sized>(
+pub fn vcoda_star<S: SnapshotSource + ?Sized>(
     store: &S,
     m: usize,
     k: u32,
@@ -130,9 +130,8 @@ mod tests {
     fn k2hop_agrees_with_vcoda_star_on_adversarial_data() {
         let store = adversarial_store();
         let exact = vcoda_star(&store, 2, 6, 1.0).unwrap();
-        let k2 = k2_core::K2Hop::new(k2_core::K2Config::new(2, 6, 1.0).unwrap())
-            .mine(&store)
-            .unwrap();
+        let miner = k2_core::K2Hop::new(k2_core::K2Config::new(2, 6, 1.0).unwrap());
+        let k2 = k2_core::ConvoyMiner::mine(&miner, &store).unwrap();
         assert_eq!(exact.convoys, k2.convoys);
     }
 

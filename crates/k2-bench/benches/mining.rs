@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use k2_baselines::{cmc, cuts, dcm, pccd, spare, vcoda};
-use k2_core::{K2Config, K2Hop};
+use k2_core::{ConvoyMiner, K2Config, K2Hop};
 use k2_datagen::ConvoyInjector;
 use k2_storage::InMemoryStore;
 use std::hint::black_box;
@@ -28,7 +28,7 @@ fn bench_miners(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("k2hop", |b| {
         let miner = K2Hop::new(K2Config::new(M, K, EPS).unwrap());
-        b.iter(|| black_box(miner.mine(&store).unwrap().convoys.len()))
+        b.iter(|| black_box(ConvoyMiner::mine(&miner, &store).unwrap().convoys.len()))
     });
     group.bench_function("vcoda_star", |b| {
         b.iter(|| black_box(vcoda::vcoda_star(&store, M, K, EPS).unwrap().convoys.len()))
@@ -88,7 +88,7 @@ fn bench_k2_vs_k(c: &mut Criterion) {
     for k in [10u32, 40, 160] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             let miner = K2Hop::new(K2Config::new(M, k, EPS).unwrap());
-            b.iter(|| black_box(miner.mine(&store).unwrap().convoys.len()))
+            b.iter(|| black_box(ConvoyMiner::mine(&miner, &store).unwrap().convoys.len()))
         });
     }
     group.finish();

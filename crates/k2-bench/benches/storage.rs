@@ -6,7 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use k2_datagen::ConvoyInjector;
 use k2_model::Dataset;
 use k2_storage::{
-    FlatFileStore, InMemoryStore, LsmStore, MemoryBudget, RelationalStore, TrajectoryStore,
+    FlatFileStore, InMemoryStore, LsmStore, MemoryBudget, RelationalStore, SnapshotSource,
+    TrajectoryStore,
 };
 use std::hint::black_box;
 use std::path::PathBuf;

@@ -3,13 +3,15 @@
 //!
 //! Runs k/2-hop end to end on a seeded Brinkhoff-style workload (the
 //! same shape `figures` uses for the paper's Brinkhoff experiments),
-//! plus two microbenchmarks of the clustering substrate, and writes the
-//! numbers as JSON. Each perf-focused PR commits its report as
-//! `BENCH_<n>.json` at the repo root so speedups (and regressions) are
-//! visible in history, not just claimed in PR descriptions.
+//! plus two microbenchmarks of the clustering substrate, plus a
+//! Trucks-shaped lat/lon workload (degree coordinates around Athens)
+//! that keeps the geo-scale CSR grid path on the perf trajectory, and
+//! writes the numbers as JSON. Each perf-focused PR commits its report
+//! as `BENCH_<n>.json` at the repo root so speedups (and regressions)
+//! are visible in history, not just claimed in PR descriptions.
 //!
 //! ```sh
-//! cargo run --release -p k2-bench --bin bench-report -- --out BENCH_4.json
+//! cargo run --release -p k2-bench --bin bench-report -- --out BENCH_5.json
 //! cargo run --release -p k2-bench --bin bench-report -- --scale 0.1 --runs 1
 //! ```
 //!
@@ -20,8 +22,9 @@
 //! fails on a workload mismatch).
 
 use k2_cluster::{dbscan_with, DbscanParams, GridScratch};
-use k2_core::{K2Config, K2Hop, MiningResult};
+use k2_core::{ConvoyMiner, K2Config, K2Hop, MineOutcome};
 use k2_datagen::brinkhoff::BrinkhoffConfig;
+use k2_datagen::trucks::TrucksConfig;
 use k2_storage::{InMemoryStore, IoStats, TrajectoryStore};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -35,6 +38,13 @@ const M: usize = 2;
 const K: u32 = 40;
 const EPS: f64 = 600.0;
 
+/// Trucks-shaped geo workload parameters: degree coordinates, an eps in
+/// the paper's lat/lon range — every benchmark snapshot exercises the
+/// density-tuned CSR grid path that PR 4 pinned with unit tests.
+const GEO_M: usize = 3;
+const GEO_K: u32 = 60;
+const GEO_EPS: f64 = 6.0e-4;
+
 struct Args {
     out: String,
     scale: f64,
@@ -44,7 +54,7 @@ struct Args {
 
 fn parse_args() -> Args {
     let mut args = Args {
-        out: "BENCH_4.json".into(),
+        out: "BENCH_5.json".into(),
         scale: 1.0,
         seed: 42,
         runs: 3,
@@ -72,10 +82,36 @@ fn parse_args() -> Args {
     args
 }
 
-fn median_by_total(mut runs: Vec<(f64, MiningResult)>) -> (f64, MiningResult) {
+fn median_by_total(mut runs: Vec<(f64, MineOutcome)>) -> (f64, MineOutcome) {
     runs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
     let mid = runs.len() / 2;
     runs.swap_remove(mid)
+}
+
+/// Mines `store` `runs` times through the unified API, returning the
+/// median run by total wall-clock plus the (deterministic) I/O profile.
+fn mine_runs(store: &InMemoryStore, config: K2Config, runs: usize) -> (f64, MineOutcome, IoStats) {
+    let miner = K2Hop::new(config);
+    let mut samples = Vec::with_capacity(runs);
+    let mut snapshot_io = IoStats::default();
+    for i in 0..runs {
+        store.reset_io_stats();
+        let start = Instant::now();
+        let outcome = ConvoyMiner::mine(&miner, store).expect("in-memory mining cannot fail");
+        let secs = start.elapsed().as_secs_f64();
+        // Identical every run (mining is deterministic); recorded so the
+        // report proves the zero-copy benchmark-scan path held.
+        snapshot_io = outcome.io;
+        eprintln!(
+            "run {}/{}: {secs:.3}s, {} convoys",
+            i + 1,
+            runs,
+            outcome.convoys.len()
+        );
+        samples.push((secs, outcome));
+    }
+    let (secs, outcome) = median_by_total(samples);
+    (secs, outcome, snapshot_io)
 }
 
 fn main() {
@@ -96,26 +132,11 @@ fn main() {
     let store = InMemoryStore::new(dataset);
 
     // End-to-end k/2-hop, median of `--runs` by total time.
-    let miner = K2Hop::new(K2Config::new(M, K, EPS).expect("valid config"));
-    let mut runs = Vec::with_capacity(args.runs);
-    let mut snapshot_io = IoStats::default();
-    for i in 0..args.runs {
-        store.reset_io_stats();
-        let start = Instant::now();
-        let result = miner.mine(&store).expect("in-memory mining cannot fail");
-        let secs = start.elapsed().as_secs_f64();
-        // Identical every run (mining is deterministic); recorded so the
-        // report proves the zero-copy benchmark-scan path held.
-        snapshot_io = store.io_stats();
-        eprintln!(
-            "run {}/{}: {secs:.3}s, {} convoys",
-            i + 1,
-            args.runs,
-            result.convoys.len()
-        );
-        runs.push((secs, result));
-    }
-    let (mine_secs, result) = median_by_total(runs);
+    let (mine_secs, result, snapshot_io) = mine_runs(
+        &store,
+        K2Config::new(M, K, EPS).expect("valid config"),
+        args.runs,
+    );
 
     // Microbenchmark 1: full-snapshot DBSCAN on the largest snapshot
     // (the benchmark-clustering unit of work).
@@ -144,16 +165,42 @@ fn main() {
         dbscan_with(&positions, params, &mut scratch).len()
     });
 
-    let json = render_json(
-        &args,
-        &stats,
+    // Geo workload: Trucks-shaped depot runs in degree coordinates. The
+    // lat/lon extents put every benchmark snapshot on the density-tuned
+    // CSR path, so this point tracks the PR 4 geo-scale grid work.
+    let geo_cfg = TrucksConfig {
+        days: 2,
+        trucks_per_day: ((60.0 * args.scale).round() as u32).max(8),
+        samples_per_day: ((800.0 * args.scale).round() as u32).max(120),
+        ..TrucksConfig::default()
+    }
+    .seed(args.seed);
+    eprintln!("generating trucks geo workload (scale {})...", args.scale);
+    let geo_dataset = geo_cfg.generate();
+    let geo_stats = geo_dataset.stats();
+    let geo_store = InMemoryStore::new(geo_dataset);
+    let (geo_secs, geo_result, _) = mine_runs(
+        &geo_store,
+        K2Config::new(GEO_M, GEO_K, GEO_EPS).expect("valid config"),
+        args.runs,
+    );
+
+    let json = render_json(&RenderInput {
+        args: &args,
+        stats: &stats,
         mine_secs,
-        &result,
-        &snapshot_io,
-        snapshot.len(),
+        result: &result,
+        snapshot_io: &snapshot_io,
+        snapshot_n: snapshot.len(),
         dbscan_secs,
         probe_secs,
-    );
+        geo: GeoSection {
+            cfg: &geo_cfg,
+            stats: &geo_stats,
+            mine_secs: geo_secs,
+            result: &geo_result,
+        },
+    });
     std::fs::write(&args.out, &json).expect("write report");
     eprintln!("wrote {}", args.out);
     println!("{json}");
@@ -172,18 +219,39 @@ fn median_secs(iters: usize, mut f: impl FnMut() -> usize) -> f64 {
     samples[samples.len() / 2]
 }
 
-#[allow(clippy::too_many_arguments)]
-fn render_json(
-    args: &Args,
-    stats: &k2_model::DatasetStats,
+struct GeoSection<'a> {
+    cfg: &'a TrucksConfig,
+    stats: &'a k2_model::DatasetStats,
     mine_secs: f64,
-    result: &MiningResult,
-    snapshot_io: &IoStats,
+    result: &'a MineOutcome,
+}
+
+struct RenderInput<'a> {
+    args: &'a Args,
+    stats: &'a k2_model::DatasetStats,
+    mine_secs: f64,
+    result: &'a MineOutcome,
+    snapshot_io: &'a IoStats,
     snapshot_n: usize,
     dbscan_secs: f64,
     probe_secs: f64,
-) -> String {
-    let t = &result.timings;
+    geo: GeoSection<'a>,
+}
+
+fn render_json(input: &RenderInput) -> String {
+    let RenderInput {
+        args,
+        stats,
+        mine_secs,
+        result,
+        snapshot_io,
+        snapshot_n,
+        dbscan_secs,
+        probe_secs,
+        geo,
+    } = input;
+    let mine_secs = *mine_secs;
+    let t = &result.stats.timings;
     let phases: [(&str, f64); 7] = [
         ("benchmark", t.benchmark.as_secs_f64()),
         ("intersect", t.intersect.as_secs_f64()),
@@ -195,7 +263,7 @@ fn render_json(
     ];
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"k2hop-bench-report/1\",");
+    let _ = writeln!(s, "  \"schema\": \"k2hop-bench-report/2\",");
     let _ = writeln!(
         s,
         "  \"workload\": {{\"generator\": \"brinkhoff\", \"scale\": {}, \"seed\": {}, \"m\": {M}, \"k\": {K}, \"eps\": {EPS:.1}}},",
@@ -218,12 +286,12 @@ fn render_json(
     let _ = writeln!(
         s,
         "    \"points_processed\": {},",
-        result.pruning.points_processed()
+        result.stats.pruning.points_processed()
     );
     let _ = writeln!(
         s,
         "    \"pruning_ratio\": {:.4},",
-        result.pruning.pruning_ratio()
+        result.stats.pruning.pruning_ratio()
     );
     // Zero-copy proof: on the in-memory store every benchmark-point scan
     // must be a shared view ("copied" stays 0).
@@ -245,13 +313,48 @@ fn render_json(
     let _ = writeln!(
         s,
         "  \"dbscan_largest_snapshot\": {{\"points\": {snapshot_n}, \"median_secs\": {dbscan_secs:.9}, \"points_per_sec\": {:.0}}},",
-        snapshot_n as f64 / dbscan_secs
+        *snapshot_n as f64 / *dbscan_secs
     );
     let _ = writeln!(
         s,
-        "  \"recluster_probe_8pt\": {{\"median_nanos\": {:.0}}}",
+        "  \"recluster_probe_8pt\": {{\"median_nanos\": {:.0}}},",
         probe_secs * 1e9
     );
+    // Geo point: lat/lon degree coordinates, density-tuned CSR grids.
+    let _ = writeln!(s, "  \"trucks_geo\": {{");
+    let _ = writeln!(
+        s,
+        "    \"workload\": {{\"generator\": \"trucks\", \"days\": {}, \"trucks_per_day\": {}, \"samples_per_day\": {}, \"seed\": {}, \"m\": {GEO_M}, \"k\": {GEO_K}, \"eps\": {GEO_EPS:e}}},",
+        geo.cfg.days, geo.cfg.trucks_per_day, geo.cfg.samples_per_day, geo.cfg.seed
+    );
+    let _ = writeln!(
+        s,
+        "    \"dataset\": {{\"points\": {}, \"timestamps\": {}, \"objects\": {}, \"max_snapshot\": {}}},",
+        geo.stats.num_points,
+        geo.stats.num_timestamps,
+        geo.stats.num_objects,
+        geo.stats.max_snapshot_size
+    );
+    let _ = writeln!(s, "    \"mine\": {{");
+    let _ = writeln!(s, "      \"runs\": {},", args.runs);
+    let _ = writeln!(s, "      \"median_total_secs\": {:.6},", geo.mine_secs);
+    let _ = writeln!(
+        s,
+        "      \"points_per_sec\": {:.0},",
+        geo.stats.num_points as f64 / geo.mine_secs
+    );
+    let _ = writeln!(s, "      \"convoys\": {},", geo.result.convoys.len());
+    let _ = writeln!(
+        s,
+        "      \"points_processed\": {},",
+        geo.result.stats.pruning.points_processed()
+    );
+    let _ = writeln!(
+        s,
+        "      \"pruning_ratio\": {:.4}",
+        geo.result.stats.pruning.pruning_ratio()
+    );
+    s.push_str("    }\n  }\n");
     s.push_str("}\n");
     s
 }

@@ -538,7 +538,7 @@ fn ablation() {
     let d = k2_model::Dataset::from_points(&pts).expect("non-empty");
     let store = InMemoryStore::new(d);
     let params = k2_cluster::DbscanParams::new(3, 1.0);
-    let bench = benchmark_points(k2_storage::TrajectoryStore::span(&store), k / 2);
+    let bench = benchmark_points(k2_storage::SnapshotSource::span(&store), k / 2);
     let clusters: Vec<_> = bench
         .iter()
         .map(|&b| cluster_benchmark(&store, params, b).expect("in-memory").0)

@@ -1,7 +1,7 @@
 //! Timed, storage-aware algorithm runs.
 
 use k2_baselines::{cmc, cuts, dcm, pccd, spare, vcoda, BaselineResult};
-use k2_core::{K2Config, K2Hop, PhaseTimings, PruningStats};
+use k2_core::{ConvoyMiner, K2Config, K2Hop, PhaseTimings, PruningStats};
 use k2_model::{Convoy, Dataset};
 use k2_storage::{
     FlatFileStore, InMemoryStore, LsmStore, MemoryBudget, RelationalStore, StoreError,
@@ -183,20 +183,20 @@ impl Workbench {
                     StoreError::MemoryBudgetExceeded { .. } => format!("crashed: {e}"),
                     other => other.to_string(),
                 })?;
-                miner.mine(&mem)
+                ConvoyMiner::mine(&miner, &mem)
             }
-            Engine::Rdbms => miner.mine(&self.btree),
-            Engine::Lsmt => miner.mine(&self.lsm),
+            Engine::Rdbms => ConvoyMiner::mine(&miner, &self.btree),
+            Engine::Lsmt => ConvoyMiner::mine(&miner, &self.lsm),
         }
         .map_err(|e| e.to_string())?;
         let secs = start.elapsed().as_secs_f64();
         Ok(Run {
             secs,
-            points_processed: result.pruning.points_processed(),
-            pre_validation: result.pruning.pre_validation_convoys,
+            points_processed: result.stats.pruning.points_processed(),
+            pre_validation: result.stats.pruning.pre_validation_convoys,
             convoys: result.convoys,
-            timings: Some(result.timings),
-            pruning: Some(result.pruning),
+            timings: Some(result.stats.timings),
+            pruning: Some(result.stats.pruning),
         })
     }
 

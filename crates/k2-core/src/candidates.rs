@@ -2,7 +2,7 @@
 
 use k2_cluster::{dbscan, DbscanParams};
 use k2_model::{ObjectSet, Oid, SetPool, Time};
-use k2_storage::{StoreResult, TrajectoryStore};
+use k2_storage::{SnapshotSource, StoreResult};
 use std::collections::HashMap;
 
 /// Clusters the full snapshot at one benchmark point.
@@ -10,7 +10,7 @@ use std::collections::HashMap;
 /// Returns the benchmark cluster set `Cᵢ` and the number of points
 /// scanned (every point of the snapshot — benchmark points are the only
 /// timestamps where k/2-hop touches the whole population).
-pub fn cluster_benchmark<S: TrajectoryStore + ?Sized>(
+pub fn cluster_benchmark<S: SnapshotSource + ?Sized>(
     store: &S,
     params: DbscanParams,
     b: Time,

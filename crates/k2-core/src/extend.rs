@@ -3,8 +3,8 @@
 
 use crate::{recluster_at_with, ProbeScratch};
 use k2_cluster::DbscanParams;
-use k2_model::{Convoy, ConvoySet, Time};
-use k2_storage::{StoreResult, TrajectoryStore};
+use k2_model::{Convoy, ConvoySet, ConvoySetTuning, Time};
+use k2_storage::{SnapshotSource, StoreResult};
 
 /// Outcome of an extension pass.
 #[derive(Debug)]
@@ -23,13 +23,39 @@ pub struct ExtendResult {
 /// (it is right-maximal in its current shape) *and* the shrunken clusters
 /// continue extending. No `k` check happens here — a short convoy may
 /// still grow leftwards (§4.5).
-pub fn extend_right<S: TrajectoryStore + ?Sized>(
+pub fn extend_right<S: SnapshotSource + ?Sized>(
     store: &S,
     params: DbscanParams,
     convoys: impl IntoIterator<Item = Convoy>,
     dataset_end: Time,
 ) -> StoreResult<ExtendResult> {
-    extend_directed(store, params, convoys, dataset_end, Direction::Right, None)
+    extend_right_tuned(
+        store,
+        params,
+        convoys,
+        dataset_end,
+        ConvoySetTuning::default(),
+    )
+}
+
+/// [`extend_right`] with explicit [`ConvoySetTuning`] for its maximality
+/// sets (what the pipeline passes from `K2Config::convoyset`).
+pub fn extend_right_tuned<S: SnapshotSource + ?Sized>(
+    store: &S,
+    params: DbscanParams,
+    convoys: impl IntoIterator<Item = Convoy>,
+    dataset_end: Time,
+    tuning: ConvoySetTuning,
+) -> StoreResult<ExtendResult> {
+    extend_directed(
+        store,
+        params,
+        convoys,
+        dataset_end,
+        Direction::Right,
+        None,
+        tuning,
+    )
 }
 
 /// The left mirror of Algorithm 3: extends towards `dataset_start`.
@@ -37,12 +63,32 @@ pub fn extend_right<S: TrajectoryStore + ?Sized>(
 /// After leftward extension no further growth is possible, so convoys
 /// shorter than `min_len` are discarded (§4.5: "all the convoys which do
 /// not satisfy the k constraint are discarded").
-pub fn extend_left<S: TrajectoryStore + ?Sized>(
+pub fn extend_left<S: SnapshotSource + ?Sized>(
     store: &S,
     params: DbscanParams,
     convoys: impl IntoIterator<Item = Convoy>,
     dataset_start: Time,
     min_len: u32,
+) -> StoreResult<ExtendResult> {
+    extend_left_tuned(
+        store,
+        params,
+        convoys,
+        dataset_start,
+        min_len,
+        ConvoySetTuning::default(),
+    )
+}
+
+/// [`extend_left`] with explicit [`ConvoySetTuning`] for its maximality
+/// sets (what the pipeline passes from `K2Config::convoyset`).
+pub fn extend_left_tuned<S: SnapshotSource + ?Sized>(
+    store: &S,
+    params: DbscanParams,
+    convoys: impl IntoIterator<Item = Convoy>,
+    dataset_start: Time,
+    min_len: u32,
+    tuning: ConvoySetTuning,
 ) -> StoreResult<ExtendResult> {
     extend_directed(
         store,
@@ -51,6 +97,7 @@ pub fn extend_left<S: TrajectoryStore + ?Sized>(
         dataset_start,
         Direction::Left,
         Some(min_len),
+        tuning,
     )
 }
 
@@ -60,15 +107,16 @@ enum Direction {
     Left,
 }
 
-fn extend_directed<S: TrajectoryStore + ?Sized>(
+fn extend_directed<S: SnapshotSource + ?Sized>(
     store: &S,
     params: DbscanParams,
     convoys: impl IntoIterator<Item = Convoy>,
     limit: Time,
     dir: Direction,
     min_len: Option<u32>,
+    tuning: ConvoySetTuning,
 ) -> StoreResult<ExtendResult> {
-    let mut result = ConvoySet::new();
+    let mut result = ConvoySet::with_tuning(tuning);
     let mut points_fetched = 0u64;
     // One scratch for the whole pass: probe buffers plus the set-interning
     // pool, so a convoy that extends intact re-derives the *same* (shared)
@@ -107,7 +155,7 @@ fn extend_directed<S: TrajectoryStore + ?Sized>(
                     ts - 1
                 }
             };
-            let mut next = ConvoySet::new();
+            let mut next = ConvoySet::with_tuning(tuning);
             for v in &prev {
                 let (clusters, fetched) =
                     recluster_at_with(store, params, frontier, &v.objects, &mut scratch)?;

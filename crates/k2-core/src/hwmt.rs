@@ -4,7 +4,7 @@ use crate::benchpoints::{hop_window, hwmt_order};
 use crate::{recluster_at_with, ProbeScratch};
 use k2_cluster::DbscanParams;
 use k2_model::{Convoy, ObjectSet, Time, TimeInterval};
-use k2_storage::{StoreResult, TrajectoryStore};
+use k2_storage::{SnapshotSource, StoreResult};
 
 /// Outcome of mining one hop-window.
 #[derive(Debug)]
@@ -26,7 +26,7 @@ pub struct WindowResult {
 /// soon as no candidate survives. Each surviving cluster becomes a
 /// spanning convoy with lifespan `[b_left, b_right]` (the window's
 /// bordering benchmark points, line 11 of Algorithm 2).
-pub fn mine_window<S: TrajectoryStore + ?Sized>(
+pub fn mine_window<S: SnapshotSource + ?Sized>(
     store: &S,
     params: DbscanParams,
     b_left: Time,
@@ -40,7 +40,7 @@ pub fn mine_window<S: TrajectoryStore + ?Sized>(
 /// comparing the paper's binary-tree order against
 /// [`linear_order`](crate::benchpoints::linear_order) (§4.3's
 /// coincidental-togetherness heuristic).
-pub fn mine_window_ordered<S: TrajectoryStore + ?Sized>(
+pub fn mine_window_ordered<S: SnapshotSource + ?Sized>(
     store: &S,
     params: DbscanParams,
     b_left: Time,
@@ -62,7 +62,7 @@ pub fn mine_window_ordered<S: TrajectoryStore + ?Sized>(
 /// [`mine_window_ordered`] reusing a caller-provided probe scratch — the
 /// pipeline passes one scratch (buffers + set-interning pool) across all
 /// its hop-windows so the steady state of the probe loop never allocates.
-pub(crate) fn mine_window_scratched<S: TrajectoryStore + ?Sized>(
+pub(crate) fn mine_window_scratched<S: SnapshotSource + ?Sized>(
     store: &S,
     params: DbscanParams,
     b_left: Time,

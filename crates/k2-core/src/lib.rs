@@ -17,13 +17,18 @@
 //! 6. **Validation** ([`validate`]) — the corrected HWMT\*-based recursive
 //!    validation producing maximal *fully connected* convoys.
 //!
-//! The entry point is [`K2Hop::mine`], which runs the pipeline against any
-//! [`TrajectoryStore`] (in-memory, flat file, B+tree, or LSM-tree) and
-//! returns the convoys together with [`PhaseTimings`] (Figure 8i) and
-//! [`PruningStats`] (Table 5).
+//! The entry point is the [`ConvoyMiner`] trait — implemented by
+//! [`K2Hop`] (sequential pipeline, sharded benchmark clustering) and
+//! [`K2HopParallel`] (every phase parallel) — which mines any
+//! [`SnapshotSource`] (in-memory dataset,
+//! flat file, B+tree, or LSM-tree) and returns a [`MineOutcome`]: the
+//! convoys together with [`PhaseTimings`] (Figure 8i), [`PruningStats`]
+//! (Table 5), and the source's I/O profile.
+//!
+//! [`SnapshotSource`]: k2_storage::SnapshotSource
 //!
 //! ```
-//! use k2_core::{K2Config, K2Hop};
+//! use k2_core::{ConvoyMiner, K2Config, K2Hop};
 //! use k2_model::{Dataset, Point};
 //! use k2_storage::InMemoryStore;
 //!
@@ -35,12 +40,11 @@
 //!     }
 //! }
 //! let store = InMemoryStore::new(Dataset::from_points(&pts).unwrap());
-//! let result = K2Hop::new(K2Config::new(3, 5, 1.0).unwrap())
-//!     .mine(&store)
-//!     .unwrap();
-//! assert_eq!(result.convoys.len(), 1);
-//! assert_eq!(result.convoys[0].objects.len(), 3);
-//! assert_eq!(result.convoys[0].len(), 10);
+//! let miner = K2Hop::new(K2Config::new(3, 5, 1.0).unwrap());
+//! let outcome = ConvoyMiner::mine(&miner, &store).unwrap();
+//! assert_eq!(outcome.convoys.len(), 1);
+//! assert_eq!(outcome.convoys[0].objects.len(), 3);
+//! assert_eq!(outcome.convoys[0].len(), 10);
 //! ```
 
 pub mod benchpoints;
@@ -52,18 +56,20 @@ pub mod stats;
 pub mod validate;
 
 mod config;
+mod miner;
 mod par;
 mod parallel;
 mod pipeline;
 
 pub use config::{ConfigError, K2Config};
+pub use miner::{ConvoyMiner, MineError, MineOutcome, MineStats};
 pub use parallel::K2HopParallel;
 pub use pipeline::{K2Hop, MiningResult};
 pub use stats::{PhaseTimings, PruningStats};
 
 use k2_cluster::{recluster_with, DbscanParams, GridScratch};
 use k2_model::{ObjPos, ObjectSet, Time};
-use k2_storage::{StoreResult, TrajectoryStore};
+use k2_storage::{SnapshotSource, StoreResult};
 
 /// Reusable working memory for one `reCluster` probe loop: the fetched
 /// `DB[t]|O` positions plus the clustering scratch ([`GridScratch`]).
@@ -83,7 +89,7 @@ pub(crate) struct ProbeScratch {
 ///
 /// Returns the clusters and the number of points fetched (for pruning
 /// statistics).
-pub(crate) fn recluster_at_with<S: TrajectoryStore + ?Sized>(
+pub(crate) fn recluster_at_with<S: SnapshotSource + ?Sized>(
     store: &S,
     params: DbscanParams,
     t: Time,

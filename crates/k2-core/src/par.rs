@@ -219,7 +219,7 @@ mod tests {
     #[test]
     fn benchmark_clustering_is_thread_count_invariant_and_zero_copy() {
         use k2_model::{Dataset, Point};
-        use k2_storage::{InMemoryStore, TrajectoryStore};
+        use k2_storage::{InMemoryStore, SnapshotSource};
 
         let mut pts = Vec::new();
         for t in 0..30u32 {

@@ -24,14 +24,14 @@
 use crate::benchpoints::benchmark_points;
 use crate::candidates::candidate_clusters_pooled;
 use crate::config::K2Config;
-use crate::merge::merge_spanning;
+use crate::merge::merge_spanning_tuned;
 use crate::par::{cluster_benchmark_snapshots, self_scheduled_map};
 use crate::pipeline::MiningResult;
 use crate::stats::{PhaseTimings, PruningStats};
 use crate::validate::{hwmt_star_dataset_scratched, DatasetProbeScratch};
 use k2_cluster::{recluster_with, DbscanParams};
 use k2_model::{Convoy, ConvoySet, Dataset, ObjectSet, Oid, Snapshot, Time};
-use k2_storage::{SnapshotRef, StoreResult, TrajectoryStore};
+use k2_storage::{SnapshotRef, SnapshotSource, StoreResult};
 use std::collections::BTreeSet;
 use std::time::Instant;
 
@@ -39,7 +39,7 @@ use std::time::Instant;
 /// engine.
 ///
 /// ```
-/// use k2_core::{K2Config, K2HopParallel};
+/// use k2_core::{ConvoyMiner, K2Config, K2HopParallel};
 /// use k2_model::{Dataset, Point};
 ///
 /// let mut pts = Vec::new();
@@ -49,9 +49,10 @@ use std::time::Instant;
 ///     }
 /// }
 /// let d = Dataset::from_points(&pts).unwrap();
-/// let convoys = K2HopParallel::new(K2Config::new(3, 6, 1.0).unwrap(), 4).mine(&d);
-/// assert_eq!(convoys.len(), 1);
-/// assert_eq!(convoys[0].len(), 12);
+/// let miner = K2HopParallel::new(K2Config::new(3, 6, 1.0).unwrap(), 4);
+/// let outcome = ConvoyMiner::mine(&miner, &d).unwrap();
+/// assert_eq!(outcome.convoys.len(), 1);
+/// assert_eq!(outcome.convoys[0].len(), 12);
 /// ```
 #[derive(Debug, Clone, Copy)]
 pub struct K2HopParallel {
@@ -78,7 +79,21 @@ impl K2HopParallel {
         self.threads
     }
 
-    /// Mines all maximal fully-connected convoys of `dataset`.
+    /// Mines all maximal fully-connected convoys of `dataset` — the
+    /// legacy dataset-only entry point.
+    ///
+    /// Deprecated in favour of the unified API:
+    /// [`ConvoyMiner::mine`](crate::ConvoyMiner) (or a `MiningSession`
+    /// from the `k2hop` facade) accepts the dataset directly *and* every
+    /// storage engine, and returns a
+    /// [`MineOutcome`](crate::MineOutcome) with run statistics. This
+    /// shim runs the identical phases — the workspace parity suites pin
+    /// old-vs-new equivalence.
+    #[deprecated(
+        since = "0.1.0",
+        note = "mine through `ConvoyMiner::mine` (or the `k2hop` facade's \
+                `MiningSession`), which also accepts storage engines"
+    )]
     pub fn mine(&self, dataset: &Dataset) -> Vec<Convoy> {
         self.mine_dataset(dataset).convoys
     }
@@ -132,7 +147,7 @@ impl K2HopParallel {
         }
     }
 
-    /// Mines from any storage engine, in parallel, with identical
+    /// Mines from any [`SnapshotSource`], in parallel, with identical
     /// output to the sequential [`K2Hop`](crate::K2Hop) — the
     /// store-generic form of [`mine`](Self::mine) that closes the
     /// paper's §7 parallelism over the §5 storage structures.
@@ -150,7 +165,19 @@ impl K2HopParallel {
     ///    points are charged to `PruningStats::hwmt_points` once, at
     ///    prefetch.
     ///
-    pub fn mine_store<S: TrajectoryStore + ?Sized>(&self, store: &S) -> StoreResult<MiningResult> {
+    /// Fully-resident sources (a bare dataset, [`InMemoryStore`]) skip
+    /// the prefetch entirely via
+    /// [`SnapshotSource::as_dataset`]: every phase reads the dataset's
+    /// own Arc-backed storage, so nothing is copied and no point query
+    /// is issued.
+    ///
+    /// [`InMemoryStore`]: k2_storage::InMemoryStore
+    pub fn mine_store<S: SnapshotSource + ?Sized>(&self, store: &S) -> StoreResult<MiningResult> {
+        // Fully-resident sources skip the restriction prefetch: the
+        // hop-window phases read the dataset's own Arc-backed snapshots.
+        if let Some(dataset) = store.as_dataset() {
+            return Ok(self.mine_dataset(dataset));
+        }
         let cfg = self.config;
         let span = store.span();
         let mut timings = PhaseTimings::default();
@@ -254,7 +281,7 @@ impl K2HopParallel {
 
         // Step 4 (sequential): merge.
         let t0 = Instant::now();
-        let merged = merge_spanning(&spanning_windows, cfg.m);
+        let merged = merge_spanning_tuned(&spanning_windows, cfg.m, cfg.convoyset);
         pruning.merged_convoys = merged.len() as u32;
         timings.merge = t0.elapsed();
 
@@ -268,7 +295,7 @@ impl K2HopParallel {
             |scratch, v| {
                 scratch.cluster.pool_mut().clear();
                 let right = extend_dataset(dataset, params, v.clone(), Direction::Right, scratch);
-                let mut out = ConvoySet::new();
+                let mut out = ConvoySet::with_tuning(cfg.convoyset);
                 for r in right {
                     for l in extend_dataset(dataset, params, r, Direction::Left, scratch) {
                         if l.len() >= cfg.k {
@@ -279,7 +306,7 @@ impl K2HopParallel {
                 out
             },
         );
-        let mut candidates = ConvoySet::new();
+        let mut candidates = ConvoySet::with_tuning(cfg.convoyset);
         for set in extended {
             candidates.merge(set);
         }
@@ -297,7 +324,7 @@ impl K2HopParallel {
             |scratch, v| {
                 scratch.cluster.pool_mut().clear();
                 let mut queue = vec![v.clone()];
-                let mut fc = ConvoySet::new();
+                let mut fc = ConvoySet::with_tuning(cfg.convoyset);
                 while let Some(vin) = queue.pop() {
                     let out = hwmt_star_dataset_scratched(dataset, params, cfg.k, &vin, scratch);
                     if out.len() == 1 && out.contains(&vin) {
@@ -309,12 +336,32 @@ impl K2HopParallel {
                 fc
             },
         );
-        let mut fc = ConvoySet::new();
+        let mut fc = ConvoySet::with_tuning(cfg.convoyset);
         for set in validated {
             fc.merge(set);
         }
         timings.validation = t0.elapsed();
         fc.into_sorted_vec()
+    }
+}
+
+impl crate::ConvoyMiner for K2HopParallel {
+    fn engine_name(&self) -> &'static str {
+        "k2hop-parallel"
+    }
+
+    fn mine(&self, source: &dyn SnapshotSource) -> Result<crate::MineOutcome, crate::MineError> {
+        let result = self.mine_store(source)?;
+        Ok(crate::MineOutcome {
+            convoys: result.convoys,
+            stats: crate::MineStats {
+                engine: self.engine_name(),
+                threads: self.threads,
+                timings: result.timings,
+                pruning: result.pruning,
+            },
+            io: source.io_stats(),
+        })
     }
 }
 
@@ -352,7 +399,7 @@ fn candidate_union(benchmark_clusters: &[Vec<ObjectSet>], m: usize, threads: usi
 /// Materializes `DB|oids` over `span` from one sorted-probe `multi_get`
 /// sweep (store I/O on the calling thread), returning the restricted
 /// dataset and the number of points fetched.
-fn materialize_restricted<S: TrajectoryStore + ?Sized>(
+fn materialize_restricted<S: SnapshotSource + ?Sized>(
     store: &S,
     span: k2_model::TimeInterval,
     oids: &[Oid],
@@ -484,6 +531,10 @@ fn extend_dataset(
 
 #[cfg(test)]
 mod tests {
+    // The legacy `mine` shims are exercised deliberately: these tests pin
+    // old-vs-new equivalence.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::K2Hop;
     use k2_model::Point;
@@ -535,15 +586,59 @@ mod tests {
         }
     }
 
+    /// A source that hides its resident dataset — forces the restriction
+    /// prefetch path the disk engines take.
+    struct OpaqueSource(InMemoryStore);
+
+    impl SnapshotSource for OpaqueSource {
+        fn span(&self) -> k2_model::TimeInterval {
+            self.0.span()
+        }
+        fn num_points(&self) -> u64 {
+            self.0.num_points()
+        }
+        fn scan_snapshot_ref<'a>(
+            &self,
+            t: Time,
+            buf: &'a mut Vec<k2_model::ObjPos>,
+        ) -> StoreResult<SnapshotRef<'a>> {
+            self.0.scan_snapshot_ref(t, buf)
+        }
+        fn multi_get_into(
+            &self,
+            t: Time,
+            oids: &[Oid],
+            out: &mut Vec<k2_model::ObjPos>,
+        ) -> StoreResult<()> {
+            self.0.multi_get_into(t, oids, out)
+        }
+        fn io_stats(&self) -> k2_storage::IoStats {
+            self.0.io_stats()
+        }
+        fn name(&self) -> &'static str {
+            "opaque"
+        }
+    }
+
     #[test]
     fn store_generic_mine_equals_dataset_mine() {
         for seed in 0..3u64 {
             let d = random_dataset(seed);
             let cfg = K2Config::new(3, 8, 1.5).unwrap();
-            let from_dataset = K2HopParallel::new(cfg, 4).mine(&d);
-            let store = InMemoryStore::new(d);
+            let from_dataset = K2HopParallel::new(cfg, 4).mine_store(&d).unwrap().convoys;
+            let resident = InMemoryStore::new(d.clone());
+            let opaque = OpaqueSource(InMemoryStore::new(d));
             for threads in [1usize, 4] {
-                let res = K2HopParallel::new(cfg, threads).mine_store(&store).unwrap();
+                let miner = K2HopParallel::new(cfg, threads);
+                // Resident source: as_dataset fast path, zero prefetch.
+                let res = miner.mine_store(&resident).unwrap();
+                assert_eq!(res.convoys, from_dataset, "seed {seed} threads {threads}");
+                assert_eq!(
+                    res.pruning.hwmt_points, 0,
+                    "resident path must not prefetch"
+                );
+                // Opaque source: restriction prefetch, identical output.
+                let res = miner.mine_store(&opaque).unwrap();
                 assert_eq!(res.convoys, from_dataset, "seed {seed} threads {threads}");
                 assert!(
                     res.pruning.hwmt_points > 0,

@@ -3,26 +3,27 @@
 use crate::benchpoints::{benchmark_points, hwmt_order};
 use crate::candidates::candidate_clusters_pooled;
 use crate::config::K2Config;
-use crate::extend::{extend_left, extend_right};
+use crate::extend::{extend_left_tuned, extend_right_tuned};
 use crate::hwmt::mine_window_scratched;
-use crate::merge::merge_spanning;
+use crate::merge::merge_spanning_tuned;
 use crate::par::cluster_benchmark_snapshots;
 use crate::stats::{PhaseTimings, PruningStats};
-use crate::validate::validate;
+use crate::validate::validate_tuned;
 use crate::ProbeScratch;
 use k2_model::{Convoy, ObjectSet};
-use k2_storage::{StoreResult, TrajectoryStore};
+use k2_storage::{SnapshotSource, StoreResult};
 use std::time::Instant;
 
-/// The k/2-hop miner. Construct with a validated [`K2Config`], then call
-/// [`K2Hop::mine`] against any [`TrajectoryStore`].
+/// The k/2-hop miner. Construct with a validated [`K2Config`], then mine
+/// any [`SnapshotSource`] (a storage engine or a bare dataset) through
+/// [`ConvoyMiner::mine`](crate::ConvoyMiner).
 ///
 /// Benchmark clustering — the only full-snapshot work in the algorithm and
 /// the largest phase of a sequential run (BENCH_2: ~33% of mine time) — is
 /// sharded across worker threads: snapshots are fetched from the store
 /// sequentially (I/O and statistics stay on the calling thread; stores use
 /// interior mutability and need not be `Sync`), then DBSCANed off an
-/// atomic work counter with one [`GridScratch`] per worker.
+/// atomic work counter with one `GridScratch` per worker.
 /// [`K2Hop::new`] sizes the worker pool to the machine;
 /// [`K2Hop::with_threads`] pins it (1 = fully sequential). Clustering is
 /// deterministic, so the mined convoys are identical at every thread
@@ -72,7 +73,24 @@ impl K2Hop {
         self.threads
     }
 
-    /// Runs Algorithm 1 end to end:
+    /// Runs Algorithm 1 end to end — the legacy entry point.
+    ///
+    /// Deprecated in favour of the unified API: mine through
+    /// [`ConvoyMiner::mine`](crate::ConvoyMiner::mine) (or a
+    /// `MiningSession` from the `k2hop` facade), which returns a
+    /// [`MineOutcome`](crate::MineOutcome) with typed errors and the
+    /// source's I/O profile. This shim runs the identical pipeline — the
+    /// workspace parity suites pin old-vs-new equivalence.
+    #[deprecated(
+        since = "0.1.0",
+        note = "mine through `ConvoyMiner::mine` (or the `k2hop` facade's \
+                `MiningSession`), which returns a `MineOutcome`"
+    )]
+    pub fn mine<S: SnapshotSource + ?Sized>(&self, store: &S) -> StoreResult<MiningResult> {
+        self.mine_impl(store)
+    }
+
+    /// Algorithm 1 end to end:
     ///
     /// 1. cluster benchmark snapshots,
     /// 2. intersect adjacent benchmark cluster sets into candidates,
@@ -80,7 +98,10 @@ impl K2Hop {
     /// 4. DCM-merge into maximal spanning convoys,
     /// 5. extend right then left (discarding convoys shorter than `k`),
     /// 6. validate into maximal fully-connected convoys.
-    pub fn mine<S: TrajectoryStore + ?Sized>(&self, store: &S) -> StoreResult<MiningResult> {
+    pub(crate) fn mine_impl<S: SnapshotSource + ?Sized>(
+        &self,
+        store: &S,
+    ) -> StoreResult<MiningResult> {
         let cfg = self.config;
         let params = cfg.dbscan();
         let mut timings = PhaseTimings::default();
@@ -156,25 +177,32 @@ impl K2Hop {
 
         // Step 4: merge into maximal spanning convoys.
         let t0 = Instant::now();
-        let merged = merge_spanning(&windows, cfg.m);
+        let merged = merge_spanning_tuned(&windows, cfg.m, cfg.convoyset);
         pruning.merged_convoys = merged.len() as u32;
         timings.merge = t0.elapsed();
 
         // Step 5: extension (right, then left with the k filter).
         let t0 = Instant::now();
-        let right = extend_right(store, params, merged, span.end)?;
+        let right = extend_right_tuned(store, params, merged, span.end, cfg.convoyset)?;
         pruning.extend_points += right.points_fetched;
         timings.extend_right = t0.elapsed();
 
         let t0 = Instant::now();
-        let left = extend_left(store, params, right.convoys, span.start, cfg.k)?;
+        let left = extend_left_tuned(
+            store,
+            params,
+            right.convoys,
+            span.start,
+            cfg.k,
+            cfg.convoyset,
+        )?;
         pruning.extend_points += left.points_fetched;
         timings.extend_left = t0.elapsed();
         pruning.pre_validation_convoys = left.convoys.len() as u32;
 
         // Step 6: validation to fully-connected convoys.
         let t0 = Instant::now();
-        let validated = validate(store, params, cfg.k, left.convoys)?;
+        let validated = validate_tuned(store, params, cfg.k, left.convoys, cfg.convoyset)?;
         pruning.validation_points += validated.points_fetched;
         timings.validation = t0.elapsed();
 
@@ -182,6 +210,26 @@ impl K2Hop {
             convoys: validated.convoys.into_sorted_vec(),
             timings,
             pruning,
+        })
+    }
+}
+
+impl crate::ConvoyMiner for K2Hop {
+    fn engine_name(&self) -> &'static str {
+        "k2hop"
+    }
+
+    fn mine(&self, source: &dyn SnapshotSource) -> Result<crate::MineOutcome, crate::MineError> {
+        let result = self.mine_impl(source)?;
+        Ok(crate::MineOutcome {
+            convoys: result.convoys,
+            stats: crate::MineStats {
+                engine: self.engine_name(),
+                threads: self.threads,
+                timings: result.timings,
+                pruning: result.pruning,
+            },
+            io: source.io_stats(),
         })
     }
 }
@@ -218,7 +266,7 @@ mod tests {
 
     fn mine(store: &InMemoryStore, m: usize, k: u32, eps: f64) -> MiningResult {
         K2Hop::new(K2Config::new(m, k, eps).unwrap())
-            .mine(store)
+            .mine_impl(store)
             .unwrap()
     }
 

@@ -23,8 +23,8 @@
 use crate::benchpoints::hwmt_star_order;
 use crate::{recluster_at_with, ProbeScratch};
 use k2_cluster::DbscanParams;
-use k2_model::{Convoy, ConvoySet, ObjectSet, SetPool, Time, TimeInterval};
-use k2_storage::{StoreResult, TrajectoryStore};
+use k2_model::{Convoy, ConvoySet, ConvoySetTuning, ObjectSet, SetPool, Time, TimeInterval};
+use k2_storage::{SnapshotSource, StoreResult};
 use std::collections::HashMap;
 
 /// Outcome of the validation phase.
@@ -37,18 +37,36 @@ pub struct ValidateResult {
 }
 
 /// Algorithm 4: reduces extended candidates to maximal FC convoys.
-pub fn validate<S: TrajectoryStore + ?Sized>(
+pub fn validate<S: SnapshotSource + ?Sized>(
     store: &S,
     params: DbscanParams,
     min_len: u32,
     candidates: impl IntoIterator<Item = Convoy>,
+) -> StoreResult<ValidateResult> {
+    validate_tuned(
+        store,
+        params,
+        min_len,
+        candidates,
+        ConvoySetTuning::default(),
+    )
+}
+
+/// [`validate`] with explicit [`ConvoySetTuning`] for the maximal-FC
+/// result set (what the pipeline passes from `K2Config::convoyset`).
+pub fn validate_tuned<S: SnapshotSource + ?Sized>(
+    store: &S,
+    params: DbscanParams,
+    min_len: u32,
+    candidates: impl IntoIterator<Item = Convoy>,
+    tuning: ConvoySetTuning,
 ) -> StoreResult<ValidateResult> {
     let mut fetched = 0u64;
     let mut queue: Vec<Convoy> = candidates
         .into_iter()
         .filter(|v| v.len() >= min_len)
         .collect();
-    let mut fc = ConvoySet::new();
+    let mut fc = ConvoySet::with_tuning(tuning);
     let mut scratch = ProbeScratch::default();
     while let Some(vin) = queue.pop() {
         // Per-candidate pool rotation: HWMT*'s probe repeats are within
@@ -83,7 +101,7 @@ pub fn validate<S: TrajectoryStore + ?Sized>(
 /// 2. **Restricted sweep**: using the clusters cached by phase 1, a
 ///    CMC-style sweep assembles the maximal convoys inside the
 ///    restriction. (Lemma 2 applies within `DB|O`, so the sweep is exact.)
-pub fn hwmt_star<S: TrajectoryStore + ?Sized>(
+pub fn hwmt_star<S: SnapshotSource + ?Sized>(
     store: &S,
     params: DbscanParams,
     min_len: u32,
@@ -102,7 +120,7 @@ pub fn hwmt_star<S: TrajectoryStore + ?Sized>(
 
 /// [`hwmt_star`] reusing a caller-provided probe scratch (what
 /// [`validate`] does across its whole candidate queue).
-fn hwmt_star_scratched<S: TrajectoryStore + ?Sized>(
+fn hwmt_star_scratched<S: SnapshotSource + ?Sized>(
     store: &S,
     params: DbscanParams,
     min_len: u32,

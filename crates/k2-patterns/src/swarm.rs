@@ -220,10 +220,8 @@ mod tests {
 
         // Convoys with k = 2 find nothing (never together twice in a row).
         let store = k2_storage::InMemoryStore::new(d);
-        let convoys = k2_core::K2Hop::new(k2_core::K2Config::new(3, 2, 1.0).unwrap())
-            .mine(&store)
-            .unwrap()
-            .convoys;
+        let miner = k2_core::K2Hop::new(k2_core::K2Config::new(3, 2, 1.0).unwrap());
+        let convoys = k2_core::ConvoyMiner::mine(&miner, &store).unwrap().convoys;
         assert!(convoys.is_empty());
     }
 

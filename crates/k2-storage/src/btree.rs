@@ -24,7 +24,7 @@
 
 use crate::iostats::IoCounters;
 use crate::keys::{decode_key, decode_val, encode_key, encode_val, KEY_SIZE, VAL_SIZE};
-use crate::{IoStats, StoreError, StoreResult, TrajectoryStore};
+use crate::{IoStats, SnapshotRef, SnapshotSource, StoreError, StoreResult, TrajectoryStore};
 use k2_model::{Dataset, ObjPos, Oid, Time, TimeInterval};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -451,7 +451,7 @@ impl RelationalStore {
     }
 }
 
-impl TrajectoryStore for RelationalStore {
+impl SnapshotSource for RelationalStore {
     fn span(&self) -> TimeInterval {
         self.span
     }
@@ -460,28 +460,15 @@ impl TrajectoryStore for RelationalStore {
         self.num_points
     }
 
-    fn scan_snapshot(&self, t: Time) -> StoreResult<Vec<ObjPos>> {
-        let mut out = Vec::new();
-        self.scan_snapshot_into(t, &mut out)?;
-        Ok(out)
-    }
-
-    fn scan_snapshot_into(&self, t: Time, out: &mut Vec<ObjPos>) -> StoreResult<()> {
-        self.io.add_range_query();
-        self.io.add_snapshot_copied();
-        // Leaf entries decode straight into the caller's buffer; one
-        // buffer serves every benchmark snapshot a worker scans.
-        out.clear();
-        self.scan_key_range(encode_key(t, 0), encode_key(t, Oid::MAX), |_, p| {
-            out.push(p)
-        })?;
-        Ok(())
-    }
-
-    fn multi_get(&self, t: Time, oids: &[Oid]) -> StoreResult<Vec<ObjPos>> {
-        let mut out = Vec::with_capacity(oids.len());
-        self.multi_get_into(t, oids, &mut out)?;
-        Ok(out)
+    fn scan_snapshot_ref<'a>(
+        &self,
+        t: Time,
+        buf: &'a mut Vec<ObjPos>,
+    ) -> StoreResult<SnapshotRef<'a>> {
+        // Disk engine: records are decoded into the caller's reused
+        // buffer (one copy, no fresh allocation per scan).
+        self.scan_snapshot_into(t, buf)?;
+        Ok(SnapshotRef::Buffered(buf))
     }
 
     fn multi_get_into(&self, t: Time, oids: &[Oid], out: &mut Vec<ObjPos>) -> StoreResult<()> {
@@ -508,6 +495,40 @@ impl TrajectoryStore for RelationalStore {
         Ok(())
     }
 
+    fn io_stats(&self) -> IoStats {
+        self.io.snapshot()
+    }
+
+    fn name(&self) -> &'static str {
+        "k2-rdbms"
+    }
+}
+
+impl TrajectoryStore for RelationalStore {
+    fn scan_snapshot(&self, t: Time) -> StoreResult<Vec<ObjPos>> {
+        let mut out = Vec::new();
+        self.scan_snapshot_into(t, &mut out)?;
+        Ok(out)
+    }
+
+    fn scan_snapshot_into(&self, t: Time, out: &mut Vec<ObjPos>) -> StoreResult<()> {
+        self.io.add_range_query();
+        self.io.add_snapshot_copied();
+        // Leaf entries decode straight into the caller's buffer; one
+        // buffer serves every benchmark snapshot a worker scans.
+        out.clear();
+        self.scan_key_range(encode_key(t, 0), encode_key(t, Oid::MAX), |_, p| {
+            out.push(p)
+        })?;
+        Ok(())
+    }
+
+    fn multi_get(&self, t: Time, oids: &[Oid]) -> StoreResult<Vec<ObjPos>> {
+        let mut out = Vec::with_capacity(oids.len());
+        self.multi_get_into(t, oids, &mut out)?;
+        Ok(out)
+    }
+
     fn point_get(&self, t: Time, oid: Oid) -> StoreResult<Option<ObjPos>> {
         self.io.add_point_query();
         let key = encode_key(t, oid);
@@ -515,16 +536,8 @@ impl TrajectoryStore for RelationalStore {
         Ok(Self::leaf_lookup(&page, &key).map(|(x, y)| ObjPos::new(oid, x, y)))
     }
 
-    fn io_stats(&self) -> IoStats {
-        self.io.snapshot()
-    }
-
     fn reset_io_stats(&self) {
         self.io.reset()
-    }
-
-    fn name(&self) -> &'static str {
-        "k2-rdbms"
     }
 }
 

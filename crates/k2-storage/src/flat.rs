@@ -1,7 +1,10 @@
 //! Flat-file store: sorted fixed-width records, sequential access only.
 
 use crate::iostats::IoCounters;
-use crate::{InMemoryStore, IoStats, MemoryBudget, StoreError, StoreResult, TrajectoryStore};
+use crate::{
+    InMemoryStore, IoStats, MemoryBudget, SnapshotRef, SnapshotSource, StoreError, StoreResult,
+    TrajectoryStore,
+};
 use k2_model::codec::{decode_record, RECORD_SIZE};
 use k2_model::{codec, Dataset, ObjPos, Oid, Point, Time, TimeInterval};
 use std::cell::RefCell;
@@ -147,7 +150,7 @@ impl FlatFileStore {
     }
 }
 
-impl TrajectoryStore for FlatFileStore {
+impl SnapshotSource for FlatFileStore {
     fn span(&self) -> TimeInterval {
         self.span
     }
@@ -156,6 +159,47 @@ impl TrajectoryStore for FlatFileStore {
         self.num_points
     }
 
+    fn scan_snapshot_ref<'a>(
+        &self,
+        t: Time,
+        buf: &'a mut Vec<ObjPos>,
+    ) -> StoreResult<SnapshotRef<'a>> {
+        // Disk engine: records are decoded into the caller's reused
+        // buffer (one copy, no fresh allocation per scan).
+        self.scan_snapshot_into(t, buf)?;
+        Ok(SnapshotRef::Buffered(buf))
+    }
+
+    fn multi_get_into(&self, t: Time, oids: &[Oid], out: &mut Vec<ObjPos>) -> StoreResult<()> {
+        debug_assert!(oids.windows(2).all(|w| w[0] < w[1]));
+        for _ in oids {
+            self.io.add_point_query();
+        }
+        // The caller's buffer is filled straight from the record scan —
+        // no intermediate allocation per probe.
+        out.clear();
+        self.scan_from_start(|p| {
+            if p.t > t {
+                return false;
+            }
+            if p.t == t && oids.binary_search(&p.oid).is_ok() {
+                out.push(p.pos());
+            }
+            true
+        })?;
+        Ok(())
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.io.snapshot()
+    }
+
+    fn name(&self) -> &'static str {
+        "k2-file"
+    }
+}
+
+impl TrajectoryStore for FlatFileStore {
     fn scan_snapshot(&self, t: Time) -> StoreResult<Vec<ObjPos>> {
         let mut out = Vec::new();
         self.scan_snapshot_into(t, &mut out)?;
@@ -187,26 +231,6 @@ impl TrajectoryStore for FlatFileStore {
         Ok(out)
     }
 
-    fn multi_get_into(&self, t: Time, oids: &[Oid], out: &mut Vec<ObjPos>) -> StoreResult<()> {
-        debug_assert!(oids.windows(2).all(|w| w[0] < w[1]));
-        for _ in oids {
-            self.io.add_point_query();
-        }
-        // The caller's buffer is filled straight from the record scan —
-        // no intermediate allocation per probe.
-        out.clear();
-        self.scan_from_start(|p| {
-            if p.t > t {
-                return false;
-            }
-            if p.t == t && oids.binary_search(&p.oid).is_ok() {
-                out.push(p.pos());
-            }
-            true
-        })?;
-        Ok(())
-    }
-
     fn point_get(&self, t: Time, oid: Oid) -> StoreResult<Option<ObjPos>> {
         self.io.add_point_query();
         let mut found = None;
@@ -223,16 +247,8 @@ impl TrajectoryStore for FlatFileStore {
         Ok(found)
     }
 
-    fn io_stats(&self) -> IoStats {
-        self.io.snapshot()
-    }
-
     fn reset_io_stats(&self) {
         self.io.reset()
-    }
-
-    fn name(&self) -> &'static str {
-        "k2-file"
     }
 }
 

@@ -42,7 +42,7 @@ pub use keys::{decode_key, decode_val, encode_key, encode_val, KEY_SIZE, VAL_SIZ
 pub use lsm::{BloomFilter, LsmConfig, LsmStore, SsTableReader, SsTableWriter};
 pub use memory::InMemoryStore;
 
-use k2_model::{ObjPos, Oid, Time, TimeInterval};
+use k2_model::{Dataset, ObjPos, Oid, Time, TimeInterval};
 use std::sync::Arc;
 
 /// A borrowed view of one timestamp's snapshot — the zero-copy form of
@@ -89,22 +89,87 @@ impl std::ops::Deref for SnapshotRef<'_> {
     }
 }
 
-/// Read-side interface shared by every storage engine.
+/// The read paths convoy mining actually needs — the object-safe common
+/// surface of every storage engine *and* the in-memory [`Dataset`].
+///
+/// §5 of the paper observes that k/2-hop touches the data in exactly two
+/// ways: full-snapshot scans at benchmark points and `(t, oid)` probes
+/// inside hop-windows. This trait is those two access paths (in their
+/// zero-copy / buffer-reusing forms) plus the span/size/IO metadata the
+/// miners report — nothing else. Every miner in the workspace
+/// ([`K2Hop`], [`K2HopParallel`], the baselines) is generic over
+/// `SnapshotSource`, so one mining pipeline serves all four storage
+/// engines and bare datasets alike; `&dyn SnapshotSource` is the
+/// argument type of the unified `ConvoyMiner` trait.
 ///
 /// All methods take `&self`; engines use interior mutability for buffer
 /// pools and statistics so that the mining algorithms can hold a single
 /// shared reference.
-pub trait TrajectoryStore {
+///
+/// [`K2Hop`]: https://docs.rs/k2-core
+/// [`K2HopParallel`]: https://docs.rs/k2-core
+pub trait SnapshotSource {
     /// The dataset's time span `[Ts, Te]`.
     fn span(&self) -> TimeInterval;
 
     /// Total number of movement records.
     fn num_points(&self) -> u64;
 
+    /// Borrowed snapshot scan — the zero-copy benchmark access path
+    /// (access requirement 1 of §5).
+    ///
+    /// Returns [`SnapshotRef::Shared`] when the engine can hand out its
+    /// resident storage without copying (see [`InMemoryStore`]), otherwise
+    /// fills `buf` (cleared first) and returns [`SnapshotRef::Buffered`].
+    /// Positions are sorted by object id; timestamps outside the span
+    /// yield an empty snapshot. The integration suite
+    /// (`tests/snapshot_parity.rs`) pins parity with the owned scans
+    /// across all engines.
+    fn scan_snapshot_ref<'a>(
+        &self,
+        t: Time,
+        buf: &'a mut Vec<ObjPos>,
+    ) -> StoreResult<SnapshotRef<'a>>;
+
+    /// Positions of the given objects at timestamp `t` (`DB[t]|O`) into a
+    /// caller-provided buffer (cleared first) — the hop-window access
+    /// path (requirement 2 of §5).
+    ///
+    /// `oids` must be sorted ascending; the output is in `oids` order
+    /// (absent objects skipped). The k/2-hop probe loops (HWMT,
+    /// extension, validation) call this thousands of times on tiny
+    /// candidate sets, so implementations should serve it without fresh
+    /// allocation.
+    fn multi_get_into(&self, t: Time, oids: &[Oid], out: &mut Vec<ObjPos>) -> StoreResult<()>;
+
+    /// Snapshot of the I/O counters (all zero for sources that do no
+    /// I/O, such as a bare [`Dataset`]).
+    fn io_stats(&self) -> IoStats;
+
+    /// Human-readable source name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The fully-resident dataset behind this source, if there is one.
+    ///
+    /// Parallel miners use this to keep the in-memory fast path
+    /// zero-copy: when the source is (or wraps) a [`Dataset`], hop-window
+    /// probes read it directly instead of prefetching a restricted copy.
+    fn as_dataset(&self) -> Option<&Dataset> {
+        None
+    }
+}
+
+/// Read-side interface shared by every storage engine.
+///
+/// Extends [`SnapshotSource`] (the access paths mining needs) with the
+/// owned-allocation scan forms, single-record point gets, and counter
+/// management that the experiment harnesses and conformance tests use.
+pub trait TrajectoryStore: SnapshotSource {
     /// All object positions at timestamp `t`, sorted by object id.
     ///
-    /// This is the benchmark-point access path (access requirement 1 of
-    /// §5). Returns an empty vector for timestamps outside the span.
+    /// The owned-allocation form of
+    /// [`scan_snapshot_ref`](SnapshotSource::scan_snapshot_ref). Returns
+    /// an empty vector for timestamps outside the span.
     fn scan_snapshot(&self, t: Time) -> StoreResult<Vec<ObjPos>>;
 
     /// [`scan_snapshot`](Self::scan_snapshot) into a caller-provided
@@ -120,54 +185,63 @@ pub trait TrajectoryStore {
         Ok(())
     }
 
-    /// Borrowed snapshot scan — the zero-copy benchmark access path.
+    /// Positions of the given objects at timestamp `t` (`DB[t]|O`), as an
+    /// owned vector.
     ///
-    /// Returns [`SnapshotRef::Shared`] when the engine can hand out its
-    /// resident storage without copying (see [`InMemoryStore`]), otherwise
-    /// fills `buf` and returns [`SnapshotRef::Buffered`]. Equivalent to
-    /// [`scan_snapshot`](Self::scan_snapshot) in content and order; the
-    /// integration suite (`tests/snapshot_parity.rs`) pins that parity
-    /// across all engines.
-    fn scan_snapshot_ref<'a>(
-        &self,
-        t: Time,
-        buf: &'a mut Vec<ObjPos>,
-    ) -> StoreResult<SnapshotRef<'a>> {
-        self.scan_snapshot_into(t, buf)?;
-        Ok(SnapshotRef::Buffered(buf))
-    }
-
-    /// Positions of the given objects at timestamp `t` (`DB[t]|O`).
-    ///
-    /// `oids` must be sorted ascending. This is the hop-window access path
-    /// (requirement 2): engines are free to implement it as point queries
-    /// (the paper's LSMT formulation) or sorted probes.
+    /// `oids` must be sorted ascending. Engines are free to implement it
+    /// as point queries (the paper's LSMT formulation) or sorted probes.
     fn multi_get(&self, t: Time, oids: &[Oid]) -> StoreResult<Vec<ObjPos>>;
-
-    /// [`multi_get`](Self::multi_get) into a caller-provided buffer
-    /// (cleared first).
-    ///
-    /// The k/2-hop probe loops (HWMT, extension, validation) call this
-    /// thousands of times on tiny candidate sets; engines that can serve
-    /// it without a fresh allocation (see [`InMemoryStore`]) should
-    /// override the default, which delegates to `multi_get`.
-    fn multi_get_into(&self, t: Time, oids: &[Oid], out: &mut Vec<ObjPos>) -> StoreResult<()> {
-        out.clear();
-        out.extend(self.multi_get(t, oids)?);
-        Ok(())
-    }
 
     /// Position of one object at one timestamp.
     fn point_get(&self, t: Time, oid: Oid) -> StoreResult<Option<ObjPos>>;
 
-    /// Snapshot of the I/O counters.
-    fn io_stats(&self) -> IoStats;
-
     /// Resets the I/O counters to zero.
     fn reset_io_stats(&self);
+}
 
-    /// Human-readable engine name for reports.
-    fn name(&self) -> &'static str;
+/// A bare in-memory [`Dataset`] is a [`SnapshotSource`]: snapshot scans
+/// hand out its own Arc-backed storage (zero-copy) and hop-window probes
+/// are galloping-merge restrictions. No I/O counters move — wrap the
+/// dataset in an [`InMemoryStore`] to account accesses.
+impl SnapshotSource for Dataset {
+    fn span(&self) -> TimeInterval {
+        Dataset::span(self)
+    }
+
+    fn num_points(&self) -> u64 {
+        Dataset::num_points(self)
+    }
+
+    fn scan_snapshot_ref<'a>(
+        &self,
+        t: Time,
+        _buf: &'a mut Vec<ObjPos>,
+    ) -> StoreResult<SnapshotRef<'a>> {
+        Ok(match self.snapshot(t) {
+            Some(s) => SnapshotRef::Shared(s.positions_shared()),
+            None => SnapshotRef::Buffered(&[]),
+        })
+    }
+
+    fn multi_get_into(&self, t: Time, oids: &[Oid], out: &mut Vec<ObjPos>) -> StoreResult<()> {
+        out.clear();
+        if let Some(snap) = self.snapshot(t) {
+            snap.restrict_ids_into(oids, out);
+        }
+        Ok(())
+    }
+
+    fn io_stats(&self) -> IoStats {
+        IoStats::default()
+    }
+
+    fn name(&self) -> &'static str {
+        "dataset"
+    }
+
+    fn as_dataset(&self) -> Option<&Dataset> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

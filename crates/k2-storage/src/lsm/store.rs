@@ -3,7 +3,7 @@
 use super::sstable::{BlockCache, SsTableIter, SsTableReader, SsTableWriter};
 use crate::iostats::IoCounters;
 use crate::keys::VAL_SIZE;
-use crate::{IoStats, StoreError, StoreResult, TrajectoryStore};
+use crate::{IoStats, SnapshotRef, SnapshotSource, StoreError, StoreResult, TrajectoryStore};
 use k2_model::{Dataset, ObjPos, Oid, Point, Time, TimeInterval};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -442,7 +442,7 @@ impl<'a> MergeIter<'a> {
     }
 }
 
-impl TrajectoryStore for LsmStore {
+impl SnapshotSource for LsmStore {
     fn span(&self) -> TimeInterval {
         match self.span {
             Some((lo, hi)) => TimeInterval::new(lo, hi),
@@ -456,6 +456,46 @@ impl TrajectoryStore for LsmStore {
         self.tables.iter().map(|t| t.num_entries()).sum::<u64>() + self.memtable.len() as u64
     }
 
+    fn scan_snapshot_ref<'a>(
+        &self,
+        t: Time,
+        buf: &'a mut Vec<ObjPos>,
+    ) -> StoreResult<SnapshotRef<'a>> {
+        // Disk engine: records are decoded into the caller's reused
+        // buffer (one copy, no fresh allocation per scan).
+        self.scan_snapshot_into(t, buf)?;
+        Ok(SnapshotRef::Buffered(buf))
+    }
+
+    fn multi_get_into(&self, t: Time, oids: &[Oid], out: &mut Vec<ObjPos>) -> StoreResult<()> {
+        debug_assert!(oids.windows(2).all(|w| w[0] < w[1]));
+        // §5.2: "for fetching the data for HWMT, a point query is issued
+        // for each (timestamp, oid) pair." Each probe goes straight from
+        // the memtable / SSTable blocks into the caller's buffer — the
+        // k/2-hop probe loops call this thousands of times on tiny
+        // candidate sets, and the default `multi_get` delegation was the
+        // last per-probe allocation on this engine.
+        out.clear();
+        for &oid in oids {
+            self.io.add_point_query();
+            if let Some(v) = self.get_raw(key_of(t, oid))? {
+                let (x, y) = val_parts(&v);
+                out.push(ObjPos::new(oid, x, y));
+            }
+        }
+        Ok(())
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.io.snapshot()
+    }
+
+    fn name(&self) -> &'static str {
+        "k2-lsmt"
+    }
+}
+
+impl TrajectoryStore for LsmStore {
     fn scan_snapshot(&self, t: Time) -> StoreResult<Vec<ObjPos>> {
         let mut out = Vec::new();
         self.scan_snapshot_into(t, &mut out)?;
@@ -482,25 +522,6 @@ impl TrajectoryStore for LsmStore {
         Ok(out)
     }
 
-    fn multi_get_into(&self, t: Time, oids: &[Oid], out: &mut Vec<ObjPos>) -> StoreResult<()> {
-        debug_assert!(oids.windows(2).all(|w| w[0] < w[1]));
-        // §5.2: "for fetching the data for HWMT, a point query is issued
-        // for each (timestamp, oid) pair." Each probe goes straight from
-        // the memtable / SSTable blocks into the caller's buffer — the
-        // k/2-hop probe loops call this thousands of times on tiny
-        // candidate sets, and the default `multi_get` delegation was the
-        // last per-probe allocation on this engine.
-        out.clear();
-        for &oid in oids {
-            self.io.add_point_query();
-            if let Some(v) = self.get_raw(key_of(t, oid))? {
-                let (x, y) = val_parts(&v);
-                out.push(ObjPos::new(oid, x, y));
-            }
-        }
-        Ok(())
-    }
-
     fn point_get(&self, t: Time, oid: Oid) -> StoreResult<Option<ObjPos>> {
         self.io.add_point_query();
         Ok(self.get_raw(key_of(t, oid))?.map(|v| {
@@ -509,16 +530,8 @@ impl TrajectoryStore for LsmStore {
         }))
     }
 
-    fn io_stats(&self) -> IoStats {
-        self.io.snapshot()
-    }
-
     fn reset_io_stats(&self) {
         self.io.reset()
-    }
-
-    fn name(&self) -> &'static str {
-        "k2-lsmt"
     }
 }
 

@@ -1,7 +1,7 @@
 //! In-memory store: a [`Dataset`] behind the [`TrajectoryStore`] trait.
 
 use crate::iostats::IoCounters;
-use crate::{IoStats, SnapshotRef, StoreResult, TrajectoryStore};
+use crate::{IoStats, SnapshotRef, SnapshotSource, StoreResult, TrajectoryStore};
 use k2_model::{Dataset, ObjPos, Oid, Time, TimeInterval};
 
 /// A fully in-memory store.
@@ -41,29 +41,13 @@ impl InMemoryStore {
     }
 }
 
-impl TrajectoryStore for InMemoryStore {
+impl SnapshotSource for InMemoryStore {
     fn span(&self) -> TimeInterval {
         self.dataset.span()
     }
 
     fn num_points(&self) -> u64 {
         self.dataset.num_points()
-    }
-
-    fn scan_snapshot(&self, t: Time) -> StoreResult<Vec<ObjPos>> {
-        let mut out = Vec::new();
-        self.scan_snapshot_into(t, &mut out)?;
-        Ok(out)
-    }
-
-    fn scan_snapshot_into(&self, t: Time, out: &mut Vec<ObjPos>) -> StoreResult<()> {
-        self.io.add_range_query();
-        self.io.add_snapshot_copied();
-        out.clear();
-        if let Some(s) = self.dataset.snapshot(t) {
-            out.extend_from_slice(s.positions());
-        }
-        Ok(())
     }
 
     fn scan_snapshot_ref<'a>(
@@ -85,6 +69,47 @@ impl TrajectoryStore for InMemoryStore {
         })
     }
 
+    fn multi_get_into(&self, t: Time, oids: &[Oid], out: &mut Vec<ObjPos>) -> StoreResult<()> {
+        for _ in oids {
+            self.io.add_point_query();
+        }
+        out.clear();
+        if let Some(snap) = self.dataset.snapshot(t) {
+            snap.restrict_ids_into(oids, out);
+        }
+        Ok(())
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.io.snapshot()
+    }
+
+    fn name(&self) -> &'static str {
+        "in-memory"
+    }
+
+    fn as_dataset(&self) -> Option<&Dataset> {
+        Some(&self.dataset)
+    }
+}
+
+impl TrajectoryStore for InMemoryStore {
+    fn scan_snapshot(&self, t: Time) -> StoreResult<Vec<ObjPos>> {
+        let mut out = Vec::new();
+        self.scan_snapshot_into(t, &mut out)?;
+        Ok(out)
+    }
+
+    fn scan_snapshot_into(&self, t: Time, out: &mut Vec<ObjPos>) -> StoreResult<()> {
+        self.io.add_range_query();
+        self.io.add_snapshot_copied();
+        out.clear();
+        if let Some(s) = self.dataset.snapshot(t) {
+            out.extend_from_slice(s.positions());
+        }
+        Ok(())
+    }
+
     fn multi_get(&self, t: Time, oids: &[Oid]) -> StoreResult<Vec<ObjPos>> {
         debug_assert!(oids.windows(2).all(|w| w[0] < w[1]));
         for _ in oids {
@@ -102,32 +127,13 @@ impl TrajectoryStore for InMemoryStore {
         Ok(out)
     }
 
-    fn multi_get_into(&self, t: Time, oids: &[Oid], out: &mut Vec<ObjPos>) -> StoreResult<()> {
-        for _ in oids {
-            self.io.add_point_query();
-        }
-        out.clear();
-        if let Some(snap) = self.dataset.snapshot(t) {
-            snap.restrict_ids_into(oids, out);
-        }
-        Ok(())
-    }
-
     fn point_get(&self, t: Time, oid: Oid) -> StoreResult<Option<ObjPos>> {
         self.io.add_point_query();
         Ok(self.dataset.snapshot(t).and_then(|s| s.get(oid)).copied())
     }
 
-    fn io_stats(&self) -> IoStats {
-        self.io.snapshot()
-    }
-
     fn reset_io_stats(&self) {
         self.io.reset()
-    }
-
-    fn name(&self) -> &'static str {
-        "in-memory"
     }
 }
 

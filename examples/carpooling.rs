@@ -41,12 +41,11 @@ fn main() {
         }
     }
     let dataset = builder.build().expect("non-empty");
-    let store = InMemoryStore::new(dataset);
 
     // A car-pool candidate: >= 2 people within ~couple of metres of the
     // same route for >= 20 consecutive minutes.
-    let config = K2Config::new(2, 20, 1.5).expect("valid parameters");
-    let result = K2Hop::new(config).mine(&store).expect("mining");
+    let session = MiningSession::with_params(2, 20, 1.5).expect("valid parameters");
+    let result = session.mine(&dataset).expect("mining");
 
     // Count, per object pair, the number of distinct days on which they
     // convoyed for at least 20 minutes (a convoy may span several days —
@@ -83,7 +82,7 @@ fn main() {
     );
     println!(
         "\npruned {:.1}% of {} points",
-        result.pruning.pruning_ratio() * 100.0,
-        result.pruning.total_points
+        result.stats.pruning.pruning_ratio() * 100.0,
+        result.stats.pruning.total_points
     );
 }

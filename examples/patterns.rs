@@ -39,9 +39,9 @@ fn main() {
     let dataset = b.build().expect("non-empty");
 
     // --- Convoys (density-based, fixed members) ---
-    let store = InMemoryStore::new(dataset.clone());
-    let convoys = K2Hop::new(K2Config::new(4, 30, 1.0).expect("config"))
-        .mine(&store)
+    let convoys = MiningSession::with_params(4, 30, 1.0)
+        .expect("config")
+        .mine(&dataset)
         .expect("mining")
         .convoys;
     println!("convoys (m=4, k=30, eps=1):");
@@ -50,12 +50,19 @@ fn main() {
     }
 
     // --- Flocks (disk-based): the column is NOT a flock, the peloton is ---
+    // The session mines flocks with the k/2-hop-accelerated miner; the
+    // exact full-sweep miner cross-checks it.
     let miner = FlockMiner::new(FlockConfig::new(4, 30, 1.0));
     let t0 = Instant::now();
     let flocks_sweep = miner.mine_sweep(&dataset);
     let sweep_time = t0.elapsed();
     let t0 = Instant::now();
-    let flocks_hop = miner.mine_hop(&dataset);
+    let flocks_hop = MiningSession::with_params(4, 30, 1.0)
+        .expect("config")
+        .pattern(PatternKind::Flock)
+        .mine(&dataset)
+        .expect("mining")
+        .convoys;
     let hop_time = t0.elapsed();
     assert_eq!(flocks_sweep, flocks_hop, "accelerated flock miner is exact");
     println!("\nflocks (m=4, k=30, r=1):");

@@ -23,10 +23,11 @@ fn main() {
     );
 
     // Mine fully-connected convoys: >= 3 objects together for >= 25
-    // consecutive timestamps, density-connected within eps = 1.0.
-    let config = K2Config::new(3, 25, 1.0).expect("valid parameters");
-    let store = InMemoryStore::new(dataset);
-    let result = K2Hop::new(config).mine(&store).expect("in-memory mining");
+    // consecutive timestamps, density-connected within eps = 1.0. The
+    // session mines the dataset directly; hand it a storage engine and
+    // the same call works unchanged.
+    let session = MiningSession::with_params(3, 25, 1.0).expect("valid parameters");
+    let result = session.mine(&dataset).expect("in-memory mining");
 
     println!("\nfound {} convoys:", result.convoys.len());
     for convoy in &result.convoys {
@@ -39,7 +40,7 @@ fn main() {
         );
     }
 
-    let p = &result.pruning;
+    let p = &result.stats.pruning;
     println!("\npruning (the paper's Table 5 view):");
     println!("  total points       : {}", p.total_points);
     println!("  points processed   : {}", p.points_processed());
@@ -50,8 +51,11 @@ fn main() {
     );
 
     println!("\nphase timings (the paper's Figure 8i view):");
-    for (label, duration) in result.timings.rows() {
+    for (label, duration) in result.stats.timings.rows() {
         println!("  {label:<22} {duration:?}");
     }
-    println!("  total                  {:?}", result.timings.total());
+    println!(
+        "  total                  {:?}",
+        result.stats.timings.total()
+    );
 }

@@ -35,8 +35,7 @@ fn main() {
     let btree = RelationalStore::create(dir.join("data.k2bt"), &dataset).expect("b+tree store");
     let lsm = LsmStore::bulk_load(dir.join("lsm"), &dataset).expect("lsm store");
 
-    let config = K2Config::new(4, 40, 1.0).expect("valid parameters");
-    let miner = K2Hop::new(config);
+    let session = MiningSession::with_params(4, 40, 1.0).expect("valid parameters");
 
     println!(
         "{:<10} {:>9} {:>8} {:>10} {:>10} {:>10} {:>9} {:>8}",
@@ -49,26 +48,22 @@ fn main() {
     let mem = flat
         .load_in_memory(MemoryBudget::unlimited())
         .expect("fits in memory");
-    let res = miner.mine(&mem).expect("mining");
+    let res = session.mine(&mem).expect("mining");
     let io = flat.io_stats();
     print_row("k2-file", res.convoys.len(), t0.elapsed(), io);
 
-    // k2-RDBMS.
+    // k2-RDBMS. One session, any engine: the outcome carries the I/O
+    // profile of whichever store served it.
     btree.reset_io_stats();
     let t0 = Instant::now();
-    let res_b = miner.mine(&btree).expect("mining");
-    print_row(
-        "k2-rdbms",
-        res_b.convoys.len(),
-        t0.elapsed(),
-        btree.io_stats(),
-    );
+    let res_b = session.mine(&btree).expect("mining");
+    print_row("k2-rdbms", res_b.convoys.len(), t0.elapsed(), res_b.io);
 
     // k2-LSMT.
     lsm.reset_io_stats();
     let t0 = Instant::now();
-    let res_l = miner.mine(&lsm).expect("mining");
-    print_row("k2-lsmt", res_l.convoys.len(), t0.elapsed(), lsm.io_stats());
+    let res_l = session.mine(&lsm).expect("mining");
+    print_row("k2-lsmt", res_l.convoys.len(), t0.elapsed(), res_l.io);
 
     assert_eq!(res.convoys, res_b.convoys);
     assert_eq!(res.convoys, res_l.convoys);

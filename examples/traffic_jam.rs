@@ -52,12 +52,11 @@ fn main() {
         dataset.num_points()
     );
 
-    let store = InMemoryStore::new(dataset);
     // The paper's jam parameters: m = 50 cars, k = 15 minutes. eps = 25
     // units ≈ the bumper-to-bumper spacing of stalled traffic (free-flow
     // spacing is much larger).
-    let config = K2Config::new(50, 15, 25.0).expect("valid parameters");
-    let result = K2Hop::new(config).mine(&store).expect("mining");
+    let session = MiningSession::with_params(50, 15, 25.0).expect("valid parameters");
+    let result = session.mine(&dataset).expect("mining");
 
     if result.convoys.is_empty() {
         println!("no jam detected");
@@ -85,7 +84,7 @@ fn main() {
     assert!(jam.start() >= JAM_START && jam.end() <= JAM_END + 15);
     println!(
         "\nmined by touching {:.1}% of the data (pruned {:.1}%)",
-        100.0 - result.pruning.pruning_ratio() * 100.0,
-        result.pruning.pruning_ratio() * 100.0,
+        100.0 - result.stats.pruning.pruning_ratio() * 100.0,
+        result.stats.pruning.pruning_ratio() * 100.0,
     );
 }

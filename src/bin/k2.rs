@@ -11,10 +11,12 @@
 //! Movement files are the 24-byte binary record format of
 //! `k2_model::codec` (`.csv` extension switches to CSV).
 
-use k2hop::baselines::{cmc, cuts, dcm, pccd, spare, vcoda};
-use k2hop::core::{K2Config, K2Hop, K2HopParallel};
+use k2hop::baselines::sweep::SweepMiner;
+use k2hop::baselines::{cuts, dcm, spare, vcoda};
+use k2hop::core::{K2Config, K2HopParallel};
 use k2hop::model::{codec, Dataset};
-use k2hop::storage::{InMemoryStore, LsmStore, RelationalStore};
+use k2hop::storage::{FlatFileStore, InMemoryStore, LsmStore, RelationalStore};
+use k2hop::{MiningSession, PatternKind};
 use std::collections::HashMap;
 use std::fs::File;
 use std::process::ExitCode;
@@ -37,13 +39,15 @@ const USAGE: &str = "\
 usage:
   k2 generate <trucks|tdrive|brinkhoff|inject> --out <file> [--scale F] [--seed N]
   k2 stats <file>
-  k2 mine <file> --m N --k N --eps F [--algo A] [--engine E] [--threads N] [--quiet]
+  k2 mine <file> --m N --k N --eps F [--algo A] [--engine E] [--threads N]
+          [--pattern P] [--quiet]
   k2 interpolate <in> <out> [--max-gap N]
   k2 convert <in> <out>
 
 algorithms (--algo): k2hop (default), k2hop-parallel, vcoda, vcoda-star,
                      cmc, pccd, cuts, spare, dcm
-engines    (--engine, k2hop only): memory (default), rdbms, lsmt
+engines    (--engine): memory (default), flat, rdbms, lsmt
+patterns   (--pattern, unified algos only): convoy (default), flock
 files:     *.csv is CSV (oid,x,y,t); anything else is the binary format";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -182,54 +186,94 @@ fn mine(args: &[&String]) -> Result<(), String> {
     let eps: f64 = flag_parse(&flags, "eps", None)?;
     let algo = flags.get("algo").copied().unwrap_or("k2hop");
     let engine = flags.get("engine").copied().unwrap_or("memory");
-    let threads: usize = flag_parse(&flags, "threads", Some(4))?;
+    // `--threads` defaults to 4 for the explicitly-parallel algorithms;
+    // the default k2hop engine auto-sizes to the machine unless the flag
+    // is actually passed.
+    let threads_flag: Option<usize> = match flags.get("threads") {
+        Some(_) => Some(flag_parse(&flags, "threads", None)?),
+        None => None,
+    };
+    let threads = threads_flag.unwrap_or(4);
     let quiet = flags.contains_key("quiet");
+
+    let pattern = match flags.get("pattern").copied().unwrap_or("convoy") {
+        "convoy" => PatternKind::Convoy,
+        "flock" => PatternKind::Flock,
+        other => return Err(format!("unknown pattern '{other}'")),
+    };
 
     let dataset = load(path)?;
     let start = Instant::now();
-    let (convoys, extra) = match algo {
+
+    // The unified algorithms run through one MiningSession over whichever
+    // storage engine was requested; the remaining baselines keep their
+    // research entry points (in-memory only).
+    let config = K2Config::new(m, k, eps).map_err(|e| e.to_string())?;
+    let session = match algo {
         "k2hop" => {
-            let config = K2Config::new(m, k, eps).map_err(|e| e.to_string())?;
-            let miner = K2Hop::new(config);
+            let mut session = MiningSession::new(config);
+            if let Some(n) = threads_flag {
+                session = session.threads(n);
+            }
+            Some(session)
+        }
+        "k2hop-parallel" => {
+            Some(MiningSession::new(config).engine(K2HopParallel::new(config, threads)))
+        }
+        "cmc" => Some(MiningSession::new(config).engine(SweepMiner::cmc(config))),
+        "pccd" => Some(MiningSession::new(config).engine(SweepMiner::pccd(config))),
+        _ => None,
+    };
+    let (convoys, extra) = match session {
+        Some(session) => {
+            let session = session.pattern(pattern);
             let tmp = std::env::temp_dir().join(format!("k2cli-{}", std::process::id()));
-            let result = match engine {
-                "memory" => miner.mine(&InMemoryStore::new(dataset)),
+            let outcome = match engine {
+                "memory" => session.mine(&dataset),
+                "flat" => {
+                    std::fs::create_dir_all(&tmp).map_err(|e| e.to_string())?;
+                    let store = FlatFileStore::create(tmp.join("data.bin"), &dataset)
+                        .map_err(|e| e.to_string())?;
+                    session.mine(&store)
+                }
                 "rdbms" => {
                     std::fs::create_dir_all(&tmp).map_err(|e| e.to_string())?;
                     let store = RelationalStore::create(tmp.join("data.k2bt"), &dataset)
                         .map_err(|e| e.to_string())?;
-                    miner.mine(&store)
+                    session.mine(&store)
                 }
                 "lsmt" => {
                     let store = LsmStore::bulk_load(tmp.join("lsm"), &dataset)
                         .map_err(|e| e.to_string())?;
-                    miner.mine(&store)
+                    session.mine(&store)
                 }
                 other => return Err(format!("unknown engine '{other}'")),
             }
             .map_err(|e| e.to_string())?;
             let _ = std::fs::remove_dir_all(&tmp);
-            let extra = format!(
-                ", pruned {:.2}% of {} points",
-                result.pruning.pruning_ratio() * 100.0,
-                result.pruning.total_points
-            );
-            (result.convoys, extra)
+            let pruning = &outcome.stats.pruning;
+            let extra = if pruning.total_points > 0 {
+                format!(
+                    ", engine {}, pruned {:.2}% of {} points",
+                    outcome.stats.engine,
+                    pruning.pruning_ratio() * 100.0,
+                    pruning.total_points
+                )
+            } else {
+                // Engines that do not track pruning (flocks) report no
+                // counters rather than a fictitious ratio.
+                format!(", engine {}", outcome.stats.engine)
+            };
+            (outcome.convoys, extra)
         }
-        "k2hop-parallel" => {
-            let config = K2Config::new(m, k, eps).map_err(|e| e.to_string())?;
-            (
-                K2HopParallel::new(config, threads).mine(&dataset),
-                format!(", {threads} threads"),
-            )
-        }
-        baseline => {
+        None => {
+            if pattern != PatternKind::Convoy {
+                return Err(format!("--pattern is not supported by --algo {algo}"));
+            }
             let store = InMemoryStore::new(dataset);
-            let result = match baseline {
+            let result = match algo {
                 "vcoda" => vcoda::vcoda(&store, m, k, eps),
                 "vcoda-star" => vcoda::vcoda_star(&store, m, k, eps),
-                "cmc" => cmc::mine(&store, m, k, eps),
-                "pccd" => pccd::mine(&store, m, k, eps),
                 "cuts" => cuts::mine(&store, m, k, eps, cuts::CutsParams::default()),
                 "spare" => spare::mine(&store, m, k, eps, threads),
                 "dcm" => dcm::mine(&store, m, k, eps, threads),

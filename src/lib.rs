@@ -15,7 +15,11 @@
 //! * [`datagen`] — seeded synthetic workloads (Brinkhoff-style network
 //!   traffic, Trucks-like, T-Drive-like, convoy injection),
 //! * [`patterns`] — the paper's §7 future work: flocks (with k/2-hop
-//!   acceleration) and moving clusters.
+//!   acceleration) and moving clusters,
+//!
+//! and adds the unified entry point: [`MiningSession`], a builder that
+//! runs any engine ([`ConvoyMiner`]) over any data source
+//! ([`SnapshotSource`]) for any supported [`PatternKind`].
 //!
 //! ## Quickstart
 //!
@@ -29,17 +33,42 @@
 //!     .generate();
 //!
 //! // Mine fully-connected convoys: at least 4 objects together for at
-//! // least 10 consecutive timestamps, within eps = 1.5.
-//! let config = K2Config::new(4, 10, 1.5).expect("valid parameters");
-//! let store = InMemoryStore::new(dataset);
-//! let result = K2Hop::new(config).mine(&store).expect("in-memory mining");
+//! // least 10 consecutive timestamps, within eps = 1.5. A session mines
+//! // a bare dataset or any storage engine alike.
+//! let session = MiningSession::with_params(4, 10, 1.5).expect("valid parameters");
+//! let outcome = session.mine(&dataset).expect("in-memory mining");
 //!
-//! assert!(result.convoys.len() >= 2);
-//! for convoy in result.convoys.iter() {
+//! assert!(outcome.convoys.len() >= 2);
+//! for convoy in outcome.convoys.iter() {
 //!     assert!(convoy.objects.len() >= 4);
 //!     assert!(convoy.len() >= 10);
 //! }
+//! // Run metadata rides along: per-phase timings, pruning counters, I/O.
+//! assert_eq!(outcome.stats.engine, "k2hop");
+//! assert!(outcome.stats.pruning.pruning_ratio() > 0.5);
 //! ```
+//!
+//! Engines are interchangeable behind [`ConvoyMiner`]:
+//!
+//! ```
+//! use k2hop::core::K2HopParallel;
+//! use k2hop::prelude::*;
+//!
+//! let dataset = k2hop::datagen::ConvoyInjector::new(200, 40)
+//!     .convoys(1, 5, 25)
+//!     .seed(1)
+//!     .generate();
+//! let config = K2Config::new(4, 10, 1.5).expect("valid parameters");
+//!
+//! let sequential = MiningSession::new(config).mine(&dataset).unwrap();
+//! let parallel = MiningSession::new(config)
+//!     .engine(K2HopParallel::new(config, 4))
+//!     .mine(&dataset)
+//!     .unwrap();
+//! assert_eq!(sequential.convoys, parallel.convoys);
+//! ```
+
+#![deny(missing_docs)]
 
 pub use k2_baselines as baselines;
 pub use k2_cluster as cluster;
@@ -49,13 +78,22 @@ pub use k2_model as model;
 pub use k2_patterns as patterns;
 pub use k2_storage as storage;
 
+mod session;
+
+pub use k2_core::{ConvoyMiner, MineError, MineOutcome, MineStats};
+pub use k2_storage::SnapshotSource;
+pub use session::{MiningSession, PatternKind};
+
 /// The most common imports, re-exported flat.
 pub mod prelude {
+    pub use crate::session::{MiningSession, PatternKind};
     pub use k2_cluster::{dbscan, DbscanParams};
-    pub use k2_core::{K2Config, K2Hop, MiningResult};
+    pub use k2_core::{
+        ConvoyMiner, K2Config, K2Hop, MineError, MineOutcome, MineStats, MiningResult,
+    };
     pub use k2_model::{
         Convoy, ConvoySet, Dataset, DatasetBuilder, ObjPos, ObjectSet, Oid, Point, SetId, SetPool,
         Snapshot, Time, TimeInterval,
     };
-    pub use k2_storage::{InMemoryStore, TrajectoryStore};
+    pub use k2_storage::{InMemoryStore, SnapshotSource, TrajectoryStore};
 }

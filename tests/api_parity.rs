@@ -1,0 +1,187 @@
+//! API parity: the unified `MiningSession`/`ConvoyMiner` surface must
+//! reproduce the legacy `K2Hop::mine` / `K2HopParallel::mine` results
+//! *byte for byte* — on the golden Brinkhoff/Trucks/T-Drive fixtures,
+//! across all four storage engines, at several thread counts.
+//!
+//! Together with `tests/golden_convoys.rs` (which pins the legacy entry
+//! points against the committed `tests/golden/*.golden` files) this
+//! proves the deprecation shims are pure renames: old API == new API ==
+//! committed goldens.
+#![allow(deprecated)] // the point of this suite is old-vs-new equivalence
+
+use k2hop::core::{ConvoyMiner, K2Config, K2Hop, K2HopParallel};
+use k2hop::datagen::brinkhoff::BrinkhoffConfig;
+use k2hop::datagen::tdrive::TDriveConfig;
+use k2hop::datagen::trucks::TrucksConfig;
+use k2hop::model::{Convoy, Dataset};
+use k2hop::prelude::*;
+use k2hop::storage::{FlatFileStore, LsmStore, RelationalStore};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The golden Brinkhoff fixture (identical to `golden_convoys.rs`).
+fn brinkhoff() -> (Dataset, K2Config) {
+    let dataset = BrinkhoffConfig {
+        max_time: 120,
+        obj_begin: 60,
+        obj_time: 2,
+        ..BrinkhoffConfig::default()
+    }
+    .seed(42)
+    .generate();
+    (dataset, K2Config::new(2, 20, 600.0).unwrap())
+}
+
+/// The golden Trucks fixture (identical to `golden_convoys.rs`).
+fn trucks() -> (Dataset, K2Config) {
+    let dataset = TrucksConfig {
+        days: 2,
+        trucks_per_day: 12,
+        samples_per_day: 400,
+        ..TrucksConfig::default()
+    }
+    .seed(5)
+    .generate();
+    (dataset, K2Config::new(2, 30, 6.0e-4).unwrap())
+}
+
+/// The golden T-Drive fixture (identical to `golden_convoys.rs`).
+fn tdrive() -> (Dataset, K2Config) {
+    let dataset = TDriveConfig {
+        num_taxis: 60,
+        num_timestamps: 90,
+        platoon_fraction: 0.25,
+        seed: 0,
+    }
+    .seed(3)
+    .generate();
+    (dataset, K2Config::new(2, 30, 2.0e-4).unwrap())
+}
+
+/// Canonical text form — identical to `golden_convoys.rs`, so outputs
+/// can be diffed against the same committed files.
+fn render(convoys: &[Convoy]) -> String {
+    let mut s = String::new();
+    for c in convoys {
+        let _ = write!(s, "{}-{}:", c.start(), c.end());
+        for (i, oid) in c.objects.iter().enumerate() {
+            let _ = write!(s, "{}{oid}", if i == 0 { " " } else { "," });
+        }
+        s.push('\n');
+    }
+    s
+}
+
+fn golden(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.golden"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run golden_convoys first",
+            path.display()
+        )
+    })
+}
+
+/// For one fixture: legacy sequential == session(sequential) ==
+/// session(parallel) on every storage engine at ≥ 2 thread counts, and
+/// all of it byte-identical to the committed golden file.
+fn check_fixture(name: &str, dataset: Dataset, cfg: K2Config) {
+    // Legacy baselines (deprecated entry points).
+    let store = InMemoryStore::new(dataset.clone());
+    let legacy_seq = K2Hop::with_threads(cfg, 1).mine(&store).unwrap().convoys;
+    let legacy_par = K2HopParallel::new(cfg, 4).mine(&dataset);
+    assert_eq!(
+        legacy_par, legacy_seq,
+        "{name}: legacy parallel vs sequential"
+    );
+    assert_eq!(
+        render(&legacy_seq),
+        golden(name),
+        "{name}: legacy output diverged from the committed golden file"
+    );
+
+    let dir = std::env::temp_dir().join(format!("k2-api-parity-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let flat = FlatFileStore::create(dir.join("data.bin"), &dataset).unwrap();
+    let btree = RelationalStore::create(dir.join("data.k2bt"), &dataset).unwrap();
+    let lsm = LsmStore::bulk_load(dir.join("lsm"), &dataset).unwrap();
+    let engines: [(&str, &dyn SnapshotSource); 5] = [
+        ("dataset", &dataset),
+        ("in-memory", &store),
+        ("flat", &flat),
+        ("rdbms", &btree),
+        ("lsmt", &lsm),
+    ];
+
+    for threads in [1usize, 4] {
+        for (engine_name, source) in engines {
+            // New API, sequential engine.
+            let outcome = MiningSession::new(cfg)
+                .threads(threads)
+                .mine(source)
+                .unwrap();
+            assert_eq!(
+                outcome.convoys, legacy_seq,
+                "{name}: session/k2hop on {engine_name} at {threads} threads"
+            );
+            // New API, parallel engine over the same source.
+            let outcome = MiningSession::new(cfg)
+                .engine(K2HopParallel::new(cfg, threads))
+                .mine(source)
+                .unwrap();
+            assert_eq!(
+                outcome.convoys, legacy_seq,
+                "{name}: session/k2hop-parallel on {engine_name} at {threads} threads"
+            );
+            assert_eq!(
+                render(&outcome.convoys),
+                golden(name),
+                "{name}: new-API output diverged from the golden file \
+                 ({engine_name}, {threads} threads)"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn brinkhoff_api_parity() {
+    let (dataset, cfg) = brinkhoff();
+    check_fixture("brinkhoff", dataset, cfg);
+}
+
+#[test]
+fn trucks_api_parity() {
+    let (dataset, cfg) = trucks();
+    check_fixture("trucks", dataset, cfg);
+}
+
+#[test]
+fn tdrive_api_parity() {
+    let (dataset, cfg) = tdrive();
+    check_fixture("tdrive", dataset, cfg);
+}
+
+/// The trait objects compose: every unified engine mines every source
+/// through `&dyn ConvoyMiner` + `&dyn SnapshotSource`.
+#[test]
+fn dyn_miners_over_dyn_sources() {
+    let (dataset, cfg) = brinkhoff();
+    let store = InMemoryStore::new(dataset.clone());
+    let miners: Vec<Box<dyn ConvoyMiner>> = vec![
+        Box::new(K2Hop::with_threads(cfg, 2)),
+        Box::new(K2HopParallel::new(cfg, 2)),
+    ];
+    let sources: [&dyn SnapshotSource; 2] = [&dataset, &store];
+    let expect = K2Hop::with_threads(cfg, 1).mine(&store).unwrap().convoys;
+    for miner in &miners {
+        for source in sources {
+            let outcome = miner.mine(source).unwrap();
+            assert_eq!(outcome.convoys, expect, "{}", miner.engine_name());
+            assert_eq!(outcome.stats.engine, miner.engine_name());
+        }
+    }
+}

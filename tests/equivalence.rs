@@ -3,14 +3,13 @@
 //! fully-connected convoy sets on every workload.
 
 use k2hop::baselines::{reference, vcoda};
-use k2hop::core::{K2Config, K2Hop};
+use k2hop::core::{ConvoyMiner, K2Config, K2Hop};
 use k2hop::datagen::ConvoyInjector;
 use k2hop::model::Convoy;
 use k2hop::storage::InMemoryStore;
 
 fn k2(store: &InMemoryStore, m: usize, k: u32, eps: f64) -> Vec<Convoy> {
-    K2Hop::new(K2Config::new(m, k, eps).unwrap())
-        .mine(store)
+    ConvoyMiner::mine(&K2Hop::new(K2Config::new(m, k, eps).unwrap()), store)
         .unwrap()
         .convoys
 }

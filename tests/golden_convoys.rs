@@ -18,6 +18,13 @@
 //! and commit the diff under `tests/golden/` together with the change
 //! that explains it.
 
+// The deprecated `K2Hop::mine` / `K2HopParallel::mine` shims are called
+// deliberately: this suite pins the legacy entry points against the
+// committed golden files, while `tests/api_parity.rs` pins the new
+// `MiningSession`/`ConvoyMiner` API against the same files — together
+// they prove old-vs-new equivalence.
+#![allow(deprecated)]
+
 use k2hop::core::{K2Config, K2Hop, K2HopParallel};
 use k2hop::datagen::brinkhoff::BrinkhoffConfig;
 use k2hop::datagen::tdrive::TDriveConfig;

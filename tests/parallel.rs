@@ -1,15 +1,17 @@
 //! Parallel k/2-hop (§7 future work) — equivalence with the sequential
 //! pipeline on realistic workloads.
 
-use k2hop::core::{K2Config, K2Hop, K2HopParallel};
+use k2hop::core::{ConvoyMiner, K2Config, K2Hop, K2HopParallel};
 use k2hop::datagen::{tdrive::TDriveConfig, trucks::TrucksConfig, ConvoyInjector};
 use k2hop::storage::InMemoryStore;
 
 fn sequential(d: &k2hop::model::Dataset, m: usize, k: u32, eps: f64) -> Vec<k2hop::model::Convoy> {
-    K2Hop::new(K2Config::new(m, k, eps).unwrap())
-        .mine(&InMemoryStore::new(d.clone()))
-        .unwrap()
-        .convoys
+    ConvoyMiner::mine(
+        &K2Hop::new(K2Config::new(m, k, eps).unwrap()),
+        &InMemoryStore::new(d.clone()),
+    )
+    .unwrap()
+    .convoys
 }
 
 #[test]
@@ -23,7 +25,9 @@ fn parallel_equals_sequential_on_injected_workloads() {
         assert!(!expect.is_empty());
         for threads in [1usize, 2, 8] {
             let cfg = K2Config::new(3, 20, 1.0).unwrap();
-            let got = K2HopParallel::new(cfg, threads).mine(&d);
+            let got = ConvoyMiner::mine(&K2HopParallel::new(cfg, threads), &d)
+                .unwrap()
+                .convoys;
             assert_eq!(got, expect, "seed {seed}, {threads} threads");
         }
     }
@@ -35,7 +39,12 @@ fn parallel_equals_sequential_on_trucks() {
     let (m, k, eps) = (3usize, 300u32, 6.0e-5);
     let expect = sequential(&d, m, k, eps);
     let cfg = K2Config::new(m, k, eps).unwrap();
-    assert_eq!(K2HopParallel::new(cfg, 4).mine(&d), expect);
+    assert_eq!(
+        ConvoyMiner::mine(&K2HopParallel::new(cfg, 4), &d)
+            .unwrap()
+            .convoys,
+        expect
+    );
 }
 
 #[test]
@@ -44,7 +53,12 @@ fn parallel_equals_sequential_on_tdrive() {
     let (m, k, eps) = (3usize, 40u32, 6.0e-4);
     let expect = sequential(&d, m, k, eps);
     let cfg = K2Config::new(m, k, eps).unwrap();
-    assert_eq!(K2HopParallel::new(cfg, 4).mine(&d), expect);
+    assert_eq!(
+        ConvoyMiner::mine(&K2HopParallel::new(cfg, 4), &d)
+            .unwrap()
+            .convoys,
+        expect
+    );
 }
 
 #[test]
@@ -101,5 +115,10 @@ fn oversubscribed_thread_count_is_harmless() {
         .generate();
     let cfg = K2Config::new(3, 10, 1.0).unwrap();
     let expect = sequential(&d, 3, 10, 1.0);
-    assert_eq!(K2HopParallel::new(cfg, 64).mine(&d), expect);
+    assert_eq!(
+        ConvoyMiner::mine(&K2HopParallel::new(cfg, 64), &d)
+            .unwrap()
+            .convoys,
+        expect
+    );
 }

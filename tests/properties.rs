@@ -2,7 +2,7 @@
 
 use k2hop::baselines::reference;
 use k2hop::cluster::{dbscan, DbscanParams, GridIndex};
-use k2hop::core::{K2Config, K2Hop};
+use k2hop::core::{ConvoyMiner, K2Config, K2Hop};
 use k2hop::model::{Dataset, ObjPos, ObjectSet, Point, TimeInterval};
 use k2hop::storage::InMemoryStore;
 use proptest::prelude::*;
@@ -106,8 +106,7 @@ proptest! {
     fn k2hop_equals_reference(d in dataset_strategy(), m in 2usize..4, k in 2u32..7) {
         let store = InMemoryStore::new(d);
         let eps = 1.0;
-        let k2 = K2Hop::new(K2Config::new(m, k, eps).unwrap())
-            .mine(&store)
+        let k2 = ConvoyMiner::mine(&K2Hop::new(K2Config::new(m, k, eps).unwrap()), &store)
             .unwrap()
             .convoys;
         let brute = reference::mine(&store, m, k, eps).unwrap().convoys;
@@ -215,7 +214,7 @@ proptest! {
     fn mining_output_invariants(d in dataset_strategy()) {
         let (m, k, eps) = (2usize, 3u32, 1.0);
         let store = InMemoryStore::new(d.clone());
-        let res = K2Hop::new(K2Config::new(m, k, eps).unwrap()).mine(&store).unwrap();
+        let res = ConvoyMiner::mine(&K2Hop::new(K2Config::new(m, k, eps).unwrap()), &store).unwrap();
         for c in &res.convoys {
             prop_assert!(c.objects.len() >= m);
             prop_assert!(c.len() >= k);

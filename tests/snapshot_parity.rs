@@ -6,10 +6,11 @@
 //! must serve every borrowed scan from shared storage, and a full mining
 //! run over it must clone no benchmark snapshot at all.
 
-use k2hop::core::{K2Config, K2Hop};
+use k2hop::core::{ConvoyMiner, K2Config, K2Hop};
 use k2hop::model::{Dataset, ObjPos, Point};
 use k2hop::storage::{
-    FlatFileStore, InMemoryStore, LsmStore, RelationalStore, SnapshotRef, TrajectoryStore,
+    FlatFileStore, InMemoryStore, LsmStore, RelationalStore, SnapshotRef, SnapshotSource,
+    TrajectoryStore,
 };
 use proptest::prelude::*;
 
@@ -144,9 +145,8 @@ fn in_memory_mining_clones_no_benchmark_snapshot() {
     let store = InMemoryStore::new(Dataset::from_points(&pts).unwrap());
     for threads in [1usize, 4] {
         store.reset_io_stats();
-        let result = K2Hop::with_threads(K2Config::new(3, 20, 1.0).unwrap(), threads)
-            .mine(&store)
-            .unwrap();
+        let miner = K2Hop::with_threads(K2Config::new(3, 20, 1.0).unwrap(), threads);
+        let result = ConvoyMiner::mine(&miner, &store).unwrap();
         assert_eq!(result.convoys.len(), 1, "{threads} threads");
         let io = store.io_stats();
         assert_eq!(

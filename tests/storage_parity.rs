@@ -3,7 +3,7 @@
 //! clustered B+tree (k2-RDBMS), or the LSM-tree (k2-LSMT) — and the I/O
 //! profiles must match the paper's access-path story.
 
-use k2hop::core::{K2Config, K2Hop};
+use k2hop::core::{ConvoyMiner, K2Config, K2Hop};
 use k2hop::datagen::ConvoyInjector;
 use k2hop::storage::{
     FlatFileStore, InMemoryStore, LsmConfig, LsmStore, MemoryBudget, RelationalStore, StoreError,
@@ -31,13 +31,15 @@ fn all_engines_agree_on_mining_results() {
     let lsm = LsmStore::bulk_load(dir.join("lsm"), &dataset).unwrap();
 
     let miner = K2Hop::new(K2Config::new(3, 10, 1.0).unwrap());
-    let from_mem = miner.mine(&mem).unwrap().convoys;
-    let from_flat = miner
-        .mine(&flat.load_in_memory(MemoryBudget::unlimited()).unwrap())
-        .unwrap()
-        .convoys;
-    let from_btree = miner.mine(&btree).unwrap().convoys;
-    let from_lsm = miner.mine(&lsm).unwrap().convoys;
+    let from_mem = ConvoyMiner::mine(&miner, &mem).unwrap().convoys;
+    let from_flat = ConvoyMiner::mine(
+        &miner,
+        &flat.load_in_memory(MemoryBudget::unlimited()).unwrap(),
+    )
+    .unwrap()
+    .convoys;
+    let from_btree = ConvoyMiner::mine(&miner, &btree).unwrap().convoys;
+    let from_lsm = ConvoyMiner::mine(&miner, &lsm).unwrap().convoys;
 
     assert!(!from_mem.is_empty(), "workload should contain convoys");
     assert_eq!(from_mem, from_flat, "k2-File");
@@ -58,7 +60,7 @@ fn disk_engines_serve_benchmark_scans_and_point_queries() {
     let miner = K2Hop::new(K2Config::new(4, 10, 1.0).unwrap());
     for engine in [&btree as &dyn TrajectoryStore, &lsm as &dyn TrajectoryStore] {
         engine.reset_io_stats();
-        let res = miner.mine(engine).unwrap();
+        let res = ConvoyMiner::mine(&miner, engine).unwrap();
         let io = engine.io_stats();
         assert!(!res.convoys.is_empty(), "{}", engine.name());
         // Benchmark scans: hop = 5 over 30 timestamps -> 6 range queries.
@@ -102,10 +104,10 @@ fn lsm_reopen_mid_experiment_is_consistent() {
             },
         )
         .unwrap();
-        miner.mine(&lsm).unwrap().convoys
+        ConvoyMiner::mine(&miner, &lsm).unwrap().convoys
     };
     let reopened = LsmStore::open(dir.join("lsm")).unwrap();
-    let after = miner.mine(&reopened).unwrap().convoys;
+    let after = ConvoyMiner::mine(&miner, &reopened).unwrap().convoys;
     assert_eq!(before, after);
 }
 
@@ -126,7 +128,7 @@ fn trait_objects_support_heterogeneous_pipelines() {
     let miner = K2Hop::new(K2Config::new(3, 6, 1.0).unwrap());
     let results: Vec<_> = stores
         .iter()
-        .map(|s| miner.mine(s.as_ref()).unwrap().convoys)
+        .map(|s| ConvoyMiner::mine(&miner, s.as_ref()).unwrap().convoys)
         .collect();
     assert_eq!(results[0], results[1]);
     assert_eq!(results[0], results[2]);
