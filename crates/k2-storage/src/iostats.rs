@@ -30,6 +30,11 @@ pub struct IoStats {
     /// Snapshot scans that materialised records into a fresh or caller
     /// buffer (owned `scan_snapshot`, or any disk-engine scan).
     pub snapshots_copied: u64,
+    /// Records appended to the write-ahead log (LSM only).
+    pub wal_appends: u64,
+    /// Records replayed from the write-ahead log during recovery
+    /// (LSM only).
+    pub wal_replayed: u64,
 }
 
 impl IoStats {
@@ -45,6 +50,8 @@ impl IoStats {
             bloom_negatives: self.bloom_negatives - earlier.bloom_negatives,
             snapshots_shared: self.snapshots_shared - earlier.snapshots_shared,
             snapshots_copied: self.snapshots_copied - earlier.snapshots_copied,
+            wal_appends: self.wal_appends - earlier.wal_appends,
+            wal_replayed: self.wal_replayed - earlier.wal_replayed,
         }
     }
 }
@@ -61,6 +68,8 @@ pub struct IoCounters {
     bloom_negatives: Cell<u64>,
     snapshots_shared: Cell<u64>,
     snapshots_copied: Cell<u64>,
+    wal_appends: Cell<u64>,
+    wal_replayed: Cell<u64>,
 }
 
 impl IoCounters {
@@ -102,6 +111,14 @@ impl IoCounters {
         self.snapshots_copied.set(self.snapshots_copied.get() + 1);
     }
 
+    pub(crate) fn add_wal_append(&self) {
+        self.wal_appends.set(self.wal_appends.get() + 1);
+    }
+
+    pub(crate) fn add_wal_replayed(&self, records: u64) {
+        self.wal_replayed.set(self.wal_replayed.get() + records);
+    }
+
     /// Snapshot of the counters.
     pub fn snapshot(&self) -> IoStats {
         IoStats {
@@ -114,6 +131,8 @@ impl IoCounters {
             bloom_negatives: self.bloom_negatives.get(),
             snapshots_shared: self.snapshots_shared.get(),
             snapshots_copied: self.snapshots_copied.get(),
+            wal_appends: self.wal_appends.get(),
+            wal_replayed: self.wal_replayed.get(),
         }
     }
 
@@ -128,6 +147,8 @@ impl IoCounters {
         self.bloom_negatives.set(0);
         self.snapshots_shared.set(0);
         self.snapshots_copied.set(0);
+        self.wal_appends.set(0);
+        self.wal_replayed.set(0);
     }
 }
 
@@ -196,6 +217,8 @@ mod tests {
         c.add_bloom_negative();
         c.add_snapshot_shared();
         c.add_snapshot_copied();
+        c.add_wal_append();
+        c.add_wal_replayed(3);
         let s = c.snapshot();
         assert_eq!(s.seeks, 1);
         assert_eq!(s.blocks_read, 2);
@@ -206,6 +229,8 @@ mod tests {
         assert_eq!(s.bloom_negatives, 1);
         assert_eq!(s.snapshots_shared, 1);
         assert_eq!(s.snapshots_copied, 1);
+        assert_eq!(s.wal_appends, 1);
+        assert_eq!(s.wal_replayed, 3);
         c.reset();
         assert_eq!(c.snapshot(), IoStats::default());
     }

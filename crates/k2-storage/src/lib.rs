@@ -31,15 +31,18 @@ mod error;
 mod flat;
 mod iostats;
 mod keys;
-mod lsm;
+pub mod lsm;
 mod memory;
 
 pub use btree::{BTreeConfig, RelationalStore};
 pub use error::{StoreError, StoreResult};
 pub use flat::FlatFileStore;
-pub use iostats::{IoStats, MemoryBudget};
+pub use iostats::{IoCounters, IoStats, MemoryBudget};
 pub use keys::{decode_key, decode_val, encode_key, encode_val, KEY_SIZE, VAL_SIZE};
-pub use lsm::{BloomFilter, LsmConfig, LsmStore, SsTableReader, SsTableWriter};
+pub use lsm::{
+    replay_wal, BloomFilter, LsmConfig, LsmStore, Manifest, ManifestRecord, SsTableReader,
+    SsTableWriter, WalReplay, WalSyncPolicy, WalWriter, WAL_FRAME_SIZE,
+};
 pub use memory::InMemoryStore;
 
 use k2_model::{Dataset, ObjPos, Oid, Time, TimeInterval};

@@ -273,6 +273,21 @@ impl SsTableReader {
         self.index.first().map(|&(first, _, _)| first)
     }
 
+    /// Largest key in the table (`None` for an empty table). Reads the
+    /// last data block; used by recovery to rebuild the store's time
+    /// span without a record-by-record scan.
+    pub fn max_key(&self) -> StoreResult<Option<u64>> {
+        let Some(last) = self.index.len().checked_sub(1) else {
+            return Ok(None);
+        };
+        let block = self.read_block(last)?;
+        let n = block.len() / ENTRY_SIZE;
+        let off = (n - 1) * ENTRY_SIZE;
+        Ok(Some(u64::from_be_bytes(
+            block[off..off + 8].try_into().expect("8"),
+        )))
+    }
+
     /// May `key` be present according to the bloom filter?
     pub fn may_contain(&self, key: u64) -> bool {
         self.bloom.may_contain(key)

@@ -1,19 +1,17 @@
-//! The LSM-tree store: memtable + SSTables + compaction + manifest.
+//! The LSM-tree store: WAL + memtable + SSTables + compaction + manifest.
 
+use super::manifest::{sync_dir, Manifest, ManifestRecord};
 use super::sstable::{BlockCache, SsTableIter, SsTableReader, SsTableWriter};
+use super::wal::{replay_wal, WalSyncPolicy, WalWriter};
 use crate::iostats::IoCounters;
 use crate::keys::VAL_SIZE;
-use crate::{IoStats, SnapshotRef, SnapshotSource, StoreError, StoreResult, TrajectoryStore};
+use crate::{IoStats, SnapshotRef, SnapshotSource, StoreResult, TrajectoryStore};
 use k2_model::{Dataset, ObjPos, Oid, Point, Time, TimeInterval};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
-
-const MANIFEST: &str = "MANIFEST";
-const MANIFEST_HEADER: &str = "K2LSMT v1";
 
 /// Tuning knobs for [`LsmStore`].
 #[derive(Debug, Clone, Copy)]
@@ -27,6 +25,14 @@ pub struct LsmConfig {
     pub max_tables: usize,
     /// Shared block-cache capacity in blocks.
     pub cache_blocks: usize,
+    /// Write every `insert` to the write-ahead log before acknowledging
+    /// it, so a crash before the next flush loses nothing. Bulk loads
+    /// ([`LsmStore::bulk_load`]) bypass the log during the load and
+    /// start it afterwards.
+    pub wal: bool,
+    /// When the WAL is `fsync`ed (see [`WalSyncPolicy`]); irrelevant
+    /// when `wal` is off.
+    pub wal_sync: WalSyncPolicy,
 }
 
 impl Default for LsmConfig {
@@ -36,8 +42,25 @@ impl Default for LsmConfig {
             bloom_bits_per_key: 10,
             max_tables: 8,
             cache_blocks: 256,
+            wal: true,
+            wal_sync: WalSyncPolicy::default(),
         }
     }
+}
+
+fn sst_name(seq: u64) -> String {
+    format!("sst-{seq:06}.k2ss")
+}
+
+fn wal_name(seq: u64) -> String {
+    format!("wal-{seq:06}.log")
+}
+
+fn parse_seq(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
 }
 
 /// Composite key as an integer: ordering equals `(t, oid)` ordering.
@@ -64,9 +87,16 @@ fn val_parts(v: &[u8; VAL_SIZE]) -> (f64, f64) {
 /// A log-structured merge-tree over `(t, oid) → (x, y)`.
 ///
 /// See the `k2_storage::lsm` module docs for the design. Writes go to
-/// [`LsmStore::insert`]; durability is established by [`LsmStore::flush`]
-/// (there is no write-ahead log — the workload of the paper is bulk load
-/// followed by read-only mining).
+/// [`LsmStore::insert`] and are crash-safe: with the default
+/// [`LsmConfig`] every insert is appended to a CRC-framed write-ahead
+/// log before it is acknowledged, every flush/compaction is committed
+/// by an `fsync`ed record in the append-only manifest, and
+/// [`LsmStore::open`] runs a recovery procedure (fold the manifest,
+/// drop orphans of crashed flushes/compactions, replay the live WAL
+/// tail into the memtable). [`LsmStore::bulk_load`] bypasses the WAL
+/// during the load — the paper's workload is bulk load followed by
+/// read-only mining, and durability there is established wholesale by
+/// the final flush.
 ///
 /// ```
 /// use k2_storage::{LsmStore, TrajectoryStore};
@@ -90,7 +120,15 @@ pub struct LsmStore {
     memtable: BTreeMap<u64, [u8; VAL_SIZE]>,
     /// Oldest first; index position is the recency rank.
     tables: Vec<SsTableReader>,
-    table_files: Vec<String>,
+    /// Sequence numbers of `tables`, same order.
+    table_seqs: Vec<u64>,
+    manifest: Manifest,
+    /// Live WAL appender (present iff `config.wal`).
+    wal: Option<WalWriter>,
+    /// A live WAL inherited from a previous WAL-enabled incarnation when
+    /// this one runs with the WAL off: its contents were replayed into
+    /// the memtable and it is retired at the next flush.
+    stale_wal: Option<PathBuf>,
     next_seq: u64,
     next_cache_id: u64,
     cache: Rc<RefCell<BlockCache>>,
@@ -108,19 +146,25 @@ impl LsmStore {
     pub fn create_with(dir: impl AsRef<Path>, config: LsmConfig) -> StoreResult<Self> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        let store = Self {
+        let manifest = Manifest::create(&dir)?;
+        let mut store = Self {
             dir,
             config,
             memtable: BTreeMap::new(),
             tables: Vec::new(),
-            table_files: Vec::new(),
+            table_seqs: Vec::new(),
+            manifest,
+            wal: None,
+            stale_wal: None,
             next_seq: 1,
             next_cache_id: 1,
             cache: Rc::new(RefCell::new(BlockCache::new(config.cache_blocks))),
             io: Rc::new(IoCounters::new()),
             span: None,
         };
-        store.write_manifest()?;
+        if config.wal {
+            store.rotate_wal()?;
+        }
         Ok(store)
     }
 
@@ -129,72 +173,148 @@ impl LsmStore {
         Self::open_with(dir, LsmConfig::default())
     }
 
-    /// Opens with explicit configuration.
+    /// Opens with explicit configuration, running crash recovery:
+    ///
+    /// 1. fold the manifest log (a torn/corrupt tail is dropped) into
+    ///    the live SSTable set and live WAL generation,
+    /// 2. delete orphaned SSTables/WALs — files whose flush, compaction
+    ///    or rotation crashed before its manifest commit record,
+    /// 3. replay the live WAL tail into the memtable (truncating at the
+    ///    first torn or corrupt frame), counted in
+    ///    [`IoStats::wal_replayed`],
+    /// 4. rebuild the time span from the live tables and memtable.
+    ///
+    /// Every insert acknowledged by a WAL-enabled store before a crash
+    /// is visible again after `open_with` — see `tests/lsm_recovery.rs`.
     pub fn open_with(dir: impl AsRef<Path>, config: LsmConfig) -> StoreResult<Self> {
         let dir = dir.as_ref().to_path_buf();
-        let manifest = fs::read_to_string(dir.join(MANIFEST))?;
-        let mut lines = manifest.lines();
-        if lines.next() != Some(MANIFEST_HEADER) {
-            return Err(StoreError::Corrupt("bad manifest header".into()));
-        }
-        let span = match lines.next() {
-            Some("span none") => None,
-            Some(line) => {
-                let mut it = line
-                    .strip_prefix("span ")
-                    .ok_or_else(|| StoreError::Corrupt("missing span line".into()))?
-                    .split_whitespace();
-                let lo = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or_else(|| StoreError::Corrupt("bad span".into()))?;
-                let hi = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or_else(|| StoreError::Corrupt("bad span".into()))?;
-                Some((lo, hi))
+        let (manifest, records) = Manifest::open(&dir)?;
+
+        // 1. Fold the structural history into the live state.
+        let mut live: Vec<u64> = Vec::new();
+        let mut wal_seq: Option<u64> = None;
+        let mut next_seq: u64 = 1;
+        for rec in &records {
+            match rec {
+                ManifestRecord::Flush { seq } => {
+                    live.push(*seq);
+                    next_seq = next_seq.max(seq + 1);
+                }
+                ManifestRecord::Compact { inputs, output } => {
+                    let pos = live
+                        .iter()
+                        .position(|s| inputs.contains(s))
+                        .unwrap_or(live.len());
+                    live.retain(|s| !inputs.contains(s));
+                    live.insert(pos.min(live.len()), *output);
+                    next_seq = next_seq.max(output + 1);
+                }
+                ManifestRecord::WalRotate { seq } => {
+                    wal_seq = (*seq != 0).then_some(*seq);
+                    next_seq = next_seq.max(seq + 1);
+                }
             }
-            None => return Err(StoreError::Corrupt("missing span line".into())),
-        };
+        }
+
+        // 2. Sweep orphans; also bump next_seq past every seq ever seen
+        //    on disk so fresh files cannot collide with leftovers.
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name == "MANIFEST.tmp" {
+                let _ = fs::remove_file(entry.path());
+            } else if let Some(seq) = parse_seq(&name, "sst-", ".k2ss") {
+                next_seq = next_seq.max(seq + 1);
+                if !live.contains(&seq) {
+                    let _ = fs::remove_file(entry.path());
+                }
+            } else if let Some(seq) = parse_seq(&name, "wal-", ".log") {
+                next_seq = next_seq.max(seq + 1);
+                if wal_seq != Some(seq) {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+
         let cache = Rc::new(RefCell::new(BlockCache::new(config.cache_blocks)));
         let io = Rc::new(IoCounters::new());
         let mut tables = Vec::new();
-        let mut table_files = Vec::new();
-        let mut next_seq = 1;
         let mut next_cache_id = 1;
-        for name in lines {
-            let name = name.trim();
-            if name.is_empty() {
-                continue;
-            }
-            let reader =
-                SsTableReader::open(dir.join(name), next_cache_id, cache.clone(), io.clone())?;
+        for &seq in &live {
+            let reader = SsTableReader::open(
+                dir.join(sst_name(seq)),
+                next_cache_id,
+                cache.clone(),
+                io.clone(),
+            )?;
             next_cache_id += 1;
-            if let Some(seq) = name
-                .strip_prefix("sst-")
-                .and_then(|s| s.strip_suffix(".k2ss"))
-                .and_then(|s| s.parse::<u64>().ok())
-            {
-                next_seq = next_seq.max(seq + 1);
-            }
             tables.push(reader);
-            table_files.push(name.to_string());
         }
-        Ok(Self {
+
+        // 4 (span, table part). The composite key is (t << 32 | oid), so
+        // each table's key range bounds its time range.
+        let mut span: Option<(Time, Time)> = None;
+        let mut widen = |lo: Time, hi: Time| {
+            span = Some(match span {
+                None => (lo, hi),
+                Some((a, b)) => (a.min(lo), b.max(hi)),
+            });
+        };
+        for t in &tables {
+            if let (Some(lo), Some(hi)) = (t.min_key(), t.max_key()?) {
+                widen((lo >> 32) as Time, (hi >> 32) as Time);
+            }
+        }
+
+        // 3. Replay the live WAL tail into the memtable.
+        let mut memtable = BTreeMap::new();
+        let mut wal = None;
+        let mut stale_wal = None;
+        if let Some(seq) = wal_seq {
+            let path = dir.join(wal_name(seq));
+            let replay = replay_wal(&path, |k, v| {
+                memtable.insert(k, v);
+            })?;
+            io.add_wal_replayed(replay.frames);
+            if config.wal {
+                wal = Some(WalWriter::open_append(&path, config.wal_sync, io.clone())?);
+            } else if path.exists() {
+                stale_wal = Some(path);
+            }
+        }
+        if let (Some((&lo, _)), Some((&hi, _))) =
+            (memtable.first_key_value(), memtable.last_key_value())
+        {
+            widen((lo >> 32) as Time, (hi >> 32) as Time);
+        }
+
+        let mut store = Self {
             dir,
             config,
-            memtable: BTreeMap::new(),
+            memtable,
             tables,
-            table_files,
+            table_seqs: live,
+            manifest,
+            wal,
+            stale_wal,
             next_seq,
             next_cache_id,
             cache,
             io,
             span,
-        })
+        };
+        // WAL requested but no live generation (fresh store, or one last
+        // run with the WAL off): start one now.
+        if store.config.wal && store.wal.is_none() {
+            store.rotate_wal()?;
+        }
+        Ok(store)
     }
 
-    /// Bulk-loads a dataset: inserts every record and flushes.
+    /// Bulk-loads a dataset: inserts every record and flushes. The WAL
+    /// is bypassed during the load (the final flush establishes
+    /// durability wholesale) and started afterwards if configured.
     pub fn bulk_load(dir: impl AsRef<Path>, dataset: &Dataset) -> StoreResult<Self> {
         Self::bulk_load_with(dir, dataset, LsmConfig::default())
     }
@@ -205,17 +325,37 @@ impl LsmStore {
         dataset: &Dataset,
         config: LsmConfig,
     ) -> StoreResult<Self> {
-        let mut store = Self::create_with(dir, config)?;
+        let mut store = Self::create_with(
+            dir,
+            LsmConfig {
+                wal: false,
+                ..config
+            },
+        )?;
         for p in dataset.iter_points() {
             store.insert(p)?;
         }
         store.flush()?;
+        store.config.wal = config.wal;
+        if config.wal {
+            store.rotate_wal()?;
+        }
         Ok(store)
     }
 
     /// Inserts one record; may trigger an automatic memtable flush.
+    ///
+    /// With the WAL enabled the record is framed and handed to the OS
+    /// before this returns: an acknowledged insert survives a crash at
+    /// any later point (see [`LsmConfig::wal_sync`] for the power-
+    /// failure window).
     pub fn insert(&mut self, p: Point) -> StoreResult<()> {
-        self.memtable.insert(key_of(p.t, p.oid), val_of(p.x, p.y));
+        let key = key_of(p.t, p.oid);
+        let val = val_of(p.x, p.y);
+        if let Some(w) = &mut self.wal {
+            w.append(key, &val)?;
+        }
+        self.memtable.insert(key, val);
         self.span = Some(match self.span {
             None => (p.t, p.t),
             Some((lo, hi)) => (lo.min(p.t), hi.max(p.t)),
@@ -226,21 +366,30 @@ impl LsmStore {
         Ok(())
     }
 
-    /// Flushes the memtable to a new SSTable (no-op when empty), then runs
-    /// compaction if the table count exceeds the configured threshold.
+    /// Flushes the memtable to a new SSTable (no-op when empty), retires
+    /// the WAL generation that covered it, then runs compaction if the
+    /// table count exceeds the configured threshold.
+    ///
+    /// The flush commits in a fixed order: the SSTable is written and
+    /// `fsync`ed, the directory entry is `fsync`ed, and only then is the
+    /// [`ManifestRecord::Flush`] appended — a crash before the record
+    /// leaves an orphan file that recovery ignores, while the WAL still
+    /// holds every entry.
     pub fn flush(&mut self) -> StoreResult<()> {
         if self.memtable.is_empty() {
             return Ok(());
         }
-        let name = format!("sst-{:06}.k2ss", self.next_seq);
+        let seq = self.next_seq;
         self.next_seq += 1;
-        let path = self.dir.join(&name);
+        let path = self.dir.join(sst_name(seq));
         let mut w =
             SsTableWriter::create(&path, self.memtable.len(), self.config.bloom_bits_per_key)?;
         for (&k, v) in &self.memtable {
             w.put(k, v)?;
         }
         w.finish()?;
+        sync_dir(&self.dir)?;
+        self.manifest.append(&ManifestRecord::Flush { seq })?;
         let reader = SsTableReader::open(
             &path,
             self.next_cache_id,
@@ -249,9 +398,17 @@ impl LsmStore {
         )?;
         self.next_cache_id += 1;
         self.tables.push(reader);
-        self.table_files.push(name);
+        self.table_seqs.push(seq);
         self.memtable.clear();
-        self.write_manifest()?;
+        // The flushed entries are durable in the SSTable; retire the WAL
+        // generation that covered them.
+        if self.config.wal {
+            self.rotate_wal()?;
+        } else if let Some(stale) = self.stale_wal.take() {
+            self.manifest
+                .append(&ManifestRecord::WalRotate { seq: 0 })?;
+            let _ = fs::remove_file(stale);
+        }
         if self.tables.len() > self.config.max_tables {
             self.compact()?;
         }
@@ -260,13 +417,18 @@ impl LsmStore {
 
     /// Size-tiered full compaction: merges every SSTable into one run
     /// (newest version of each key wins) and deletes the inputs.
+    ///
+    /// The [`ManifestRecord::Compact`] append is the commit point: a
+    /// crash before it leaves an orphaned output that recovery deletes
+    /// (the inputs stay live); a crash after it leaves stale inputs that
+    /// recovery deletes (the output is live).
     pub fn compact(&mut self) -> StoreResult<()> {
         if self.tables.len() <= 1 {
             return Ok(());
         }
-        let name = format!("sst-{:06}.k2ss", self.next_seq);
+        let seq = self.next_seq;
         self.next_seq += 1;
-        let path = self.dir.join(&name);
+        let path = self.dir.join(sst_name(seq));
         let total: u64 = self.tables.iter().map(|t| t.num_entries()).sum();
         let mut w = SsTableWriter::create(&path, total as usize, self.config.bloom_bits_per_key)?;
         {
@@ -276,8 +438,13 @@ impl LsmStore {
             }
         }
         w.finish()?;
+        sync_dir(&self.dir)?;
+        let inputs = std::mem::take(&mut self.table_seqs);
+        self.manifest.append(&ManifestRecord::Compact {
+            inputs: inputs.clone(),
+            output: seq,
+        })?;
         // Swap in the merged table.
-        let old_files = std::mem::take(&mut self.table_files);
         self.tables.clear();
         {
             let mut cache = self.cache.borrow_mut();
@@ -293,10 +460,39 @@ impl LsmStore {
         )?;
         self.next_cache_id += 1;
         self.tables.push(reader);
-        self.table_files.push(name);
-        self.write_manifest()?;
-        for f in old_files {
-            let _ = fs::remove_file(self.dir.join(f));
+        self.table_seqs.push(seq);
+        for s in inputs {
+            let _ = fs::remove_file(self.dir.join(sst_name(s)));
+        }
+        Ok(())
+    }
+
+    /// Starts a fresh WAL generation and retires the previous one: the
+    /// new log file is created and made durable, the rotation is
+    /// committed to the manifest, then the old file is deleted. A crash
+    /// between those steps only ever leaves an orphan file or an
+    /// idempotent replay.
+    fn rotate_wal(&mut self) -> StoreResult<()> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let path = self.dir.join(wal_name(seq));
+        let writer = WalWriter::create(&path, self.config.wal_sync, self.io.clone())?;
+        sync_dir(&self.dir)?;
+        self.manifest.append(&ManifestRecord::WalRotate { seq })?;
+        if let Some(old) = self.wal.replace(writer) {
+            let _ = fs::remove_file(old.path());
+        }
+        if let Some(stale) = self.stale_wal.take() {
+            let _ = fs::remove_file(stale);
+        }
+        Ok(())
+    }
+
+    /// Forces the live WAL (if any) to stable storage, regardless of the
+    /// configured [`WalSyncPolicy`].
+    pub fn sync_wal(&mut self) -> StoreResult<()> {
+        if let Some(w) = &mut self.wal {
+            w.sync()?;
         }
         Ok(())
     }
@@ -311,27 +507,14 @@ impl LsmStore {
         self.memtable.len()
     }
 
+    /// Path of the live write-ahead log, if the WAL is enabled.
+    pub fn wal_path(&self) -> Option<&Path> {
+        self.wal.as_ref().map(|w| w.path())
+    }
+
     /// Storage directory.
     pub fn dir(&self) -> &Path {
         &self.dir
-    }
-
-    fn write_manifest(&self) -> StoreResult<()> {
-        let tmp = self.dir.join("MANIFEST.tmp");
-        {
-            let mut f = fs::File::create(&tmp)?;
-            writeln!(f, "{MANIFEST_HEADER}")?;
-            match self.span {
-                Some((lo, hi)) => writeln!(f, "span {lo} {hi}")?,
-                None => writeln!(f, "span none")?,
-            }
-            for name in &self.table_files {
-                writeln!(f, "{name}")?;
-            }
-            f.sync_all()?;
-        }
-        fs::rename(&tmp, self.dir.join(MANIFEST))?;
-        Ok(())
     }
 
     /// Newest version of one key: memtable first, then the SSTables newest
@@ -651,9 +834,79 @@ mod tests {
 
     #[test]
     fn corrupt_manifest_rejected() {
+        use crate::StoreError;
         let dir = tmpdir("badmanifest");
         fs::create_dir_all(&dir).unwrap();
-        fs::write(dir.join(MANIFEST), "WRONG\n").unwrap();
+        fs::write(dir.join(super::super::manifest::MANIFEST_FILE), "WRONG\n").unwrap();
         assert!(matches!(LsmStore::open(&dir), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn wal_recovers_unflushed_inserts_on_reopen() {
+        let dir = tmpdir("walrecover");
+        {
+            let mut store = LsmStore::create(&dir).unwrap();
+            for oid in 0..10u32 {
+                store.insert(Point::new(oid, oid as f64, 1.0, 3)).unwrap();
+            }
+            assert_eq!(store.memtable_len(), 10);
+            assert_eq!(store.num_tables(), 0);
+            // Dropped without flush: the memtable is gone, the WAL is not.
+        }
+        let store = LsmStore::open(&dir).unwrap();
+        assert_eq!(store.memtable_len(), 10);
+        assert_eq!(store.io_stats().wal_replayed, 10);
+        assert_eq!(store.span(), TimeInterval::instant(3));
+        for oid in 0..10u32 {
+            assert_eq!(
+                store.point_get(3, oid).unwrap(),
+                Some(ObjPos::new(oid, oid as f64, 1.0))
+            );
+        }
+    }
+
+    #[test]
+    fn flush_retires_the_wal_generation() {
+        let dir = tmpdir("walretire");
+        let mut store = LsmStore::create(&dir).unwrap();
+        store.insert(Point::new(1, 1.0, 1.0, 0)).unwrap();
+        let before = store.wal_path().unwrap().to_path_buf();
+        store.flush().unwrap();
+        let after = store.wal_path().unwrap().to_path_buf();
+        assert_ne!(before, after, "flush must rotate to a fresh WAL");
+        assert!(!before.exists(), "retired WAL file must be deleted");
+        // Reopen replays nothing: everything lives in the SSTable.
+        drop(store);
+        let store = LsmStore::open(&dir).unwrap();
+        assert_eq!(store.io_stats().wal_replayed, 0);
+        assert_eq!(store.memtable_len(), 0);
+        assert_eq!(store.point_get(0, 1).unwrap().unwrap().x, 1.0);
+    }
+
+    #[test]
+    fn wal_disabled_store_round_trips() {
+        let dir = tmpdir("nowal");
+        let config = LsmConfig {
+            wal: false,
+            ..LsmConfig::default()
+        };
+        let mut store = LsmStore::create_with(&dir, config).unwrap();
+        store.insert(Point::new(1, 1.0, 2.0, 0)).unwrap();
+        assert_eq!(store.wal_path(), None);
+        assert_eq!(store.io_stats().wal_appends, 0);
+        store.flush().unwrap();
+        drop(store);
+        let store = LsmStore::open_with(&dir, config).unwrap();
+        assert_eq!(store.point_get(0, 1).unwrap().unwrap().y, 2.0);
+    }
+
+    #[test]
+    fn bulk_load_bypasses_wal_then_starts_one() {
+        let d = toy_dataset();
+        let store = LsmStore::bulk_load(tmpdir("bulkwal"), &d).unwrap();
+        // No per-record WAL traffic during the load…
+        assert_eq!(store.io_stats().wal_appends, 0);
+        // …but the store is WAL-protected afterwards.
+        assert!(store.wal_path().is_some());
     }
 }

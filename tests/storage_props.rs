@@ -4,10 +4,12 @@
 
 use k2hop::model::{Dataset, Point};
 use k2hop::storage::{
-    FlatFileStore, InMemoryStore, LsmConfig, LsmStore, RelationalStore, TrajectoryStore,
+    replay_wal, FlatFileStore, InMemoryStore, IoCounters, LsmConfig, LsmStore, RelationalStore,
+    TrajectoryStore, WalSyncPolicy, WalWriter, VAL_SIZE, WAL_FRAME_SIZE,
 };
 use proptest::prelude::*;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 fn points_strategy() -> impl Strategy<Value = Vec<Point>> {
     proptest::collection::vec((0u32..20, 0u32..30, -100i32..100, -100i32..100), 1..200).prop_map(
@@ -24,6 +26,32 @@ fn tmp(name: &str, salt: u64) -> std::path::PathBuf {
     let _ = std::fs::remove_dir_all(&d);
     std::fs::create_dir_all(&d).unwrap();
     d
+}
+
+/// Random `(key, value)` WAL entries: arbitrary u64 keys, values packed
+/// from two arbitrary u64 words.
+fn wal_entries_strategy() -> impl Strategy<Value = Vec<(u64, [u8; VAL_SIZE])>> {
+    proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX), 0..64).prop_map(
+        |rows| {
+            rows.into_iter()
+                .map(|(key, a, b)| {
+                    let mut val = [0u8; VAL_SIZE];
+                    val[..8].copy_from_slice(&a.to_le_bytes());
+                    val[8..].copy_from_slice(&b.to_le_bytes());
+                    (key, val)
+                })
+                .collect()
+        },
+    )
+}
+
+fn write_wal(path: &std::path::Path, entries: &[(u64, [u8; VAL_SIZE])]) {
+    let io = Rc::new(IoCounters::new());
+    let mut wal = WalWriter::create(path, WalSyncPolicy::OnRotate, io).unwrap();
+    for (key, val) in entries {
+        wal.append(*key, val).unwrap();
+    }
+    wal.sync().unwrap();
 }
 
 /// Model: last write per (t, oid) wins.
@@ -112,6 +140,58 @@ proptest! {
         drop(lsm);
         let reopened = LsmStore::open(dir.join("lsm")).unwrap();
         check_against_model(&reopened, &model);
+    }
+
+    /// WAL frames round-trip: any batch of entries appended to a log
+    /// replays back byte-identical, in order, with no truncation.
+    #[test]
+    fn wal_frame_round_trip(entries in wal_entries_strategy(), salt in 0u64..1_000_000) {
+        let dir = tmp("walrt", salt);
+        let path = dir.join("wal-000001.log");
+        write_wal(&path, &entries);
+
+        let mut got = Vec::new();
+        let replay = replay_wal(&path, |key, val| got.push((key, val))).unwrap();
+        assert_eq!(got, entries);
+        assert_eq!(replay.frames, entries.len() as u64);
+        assert_eq!(replay.valid_len, (entries.len() * WAL_FRAME_SIZE) as u64);
+        assert!(!replay.truncated);
+    }
+
+    /// Any prefix of a valid WAL replays cleanly to the longest whole
+    /// frame: a cut mid-frame drops exactly the torn frame and truncates
+    /// the file so appends can continue from the last good one.
+    #[test]
+    fn wal_torn_tail_replays_longest_whole_prefix(
+        entries in wal_entries_strategy(),
+        cut_seed in 0u64..1_000_000,
+        salt in 0u64..1_000_000,
+    ) {
+        let dir = tmp("waltorn", salt);
+        let path = dir.join("wal-000001.log");
+        write_wal(&path, &entries);
+
+        let full_len = (entries.len() * WAL_FRAME_SIZE) as u64;
+        let cut = cut_seed % (full_len + 1);
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+
+        let whole = cut as usize / WAL_FRAME_SIZE;
+        let mut got = Vec::new();
+        let replay = replay_wal(&path, |key, val| got.push((key, val))).unwrap();
+        assert_eq!(got, entries[..whole]);
+        assert_eq!(replay.frames, whole as u64);
+        assert_eq!(replay.valid_len, (whole * WAL_FRAME_SIZE) as u64);
+        assert_eq!(replay.truncated, !cut.is_multiple_of(WAL_FRAME_SIZE as u64));
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            (whole * WAL_FRAME_SIZE) as u64,
+            "file truncated to the clean prefix"
+        );
     }
 
     /// The clustered B+tree file round-trips through close/open.
