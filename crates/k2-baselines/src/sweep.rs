@@ -132,6 +132,7 @@ impl ConvoyMiner for SweepMiner {
                 threads: 1,
                 timings,
                 pruning,
+                prefetch: Default::default(),
             },
             io: source.io_stats(),
         })

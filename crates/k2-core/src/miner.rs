@@ -35,7 +35,7 @@
 //! ```
 
 use crate::config::ConfigError;
-use crate::stats::{PhaseTimings, PruningStats};
+use crate::stats::{PhaseTimings, PrefetchStats, PruningStats};
 use k2_model::Convoy;
 use k2_storage::{IoStats, SnapshotSource, StoreError};
 use std::fmt;
@@ -110,6 +110,9 @@ pub struct MineStats {
     /// Data-pruning counters (Table 5). Engines fill the counters their
     /// execution strategy tracks; untracked counters stay zero.
     pub pruning: PruningStats,
+    /// Memory discipline of the store path's bounded hop-window
+    /// prefetch. All-zero for engines (or paths) that never prefetch.
+    pub prefetch: PrefetchStats,
 }
 
 /// Everything one mining run produces: the convoys, the run statistics,

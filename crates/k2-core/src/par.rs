@@ -67,6 +67,26 @@ where
         .collect()
 }
 
+/// Splits `0..len` into at most `shards` contiguous index ranges of
+/// near-equal size (the first `len % shards` ranges are one longer) —
+/// the temporal sharding of the hop-window list. Never produces an
+/// empty range; returns fewer ranges when `len < shards`.
+pub(crate) fn shard_ranges(len: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    let shards = shards.clamp(1, len.max(1));
+    let (base, extra) = (len / shards, len % shards);
+    let mut out = Vec::with_capacity(shards);
+    let mut lo = 0usize;
+    for i in 0..shards {
+        let size = base + usize::from(i < extra);
+        if size == 0 {
+            break;
+        }
+        out.push(lo..lo + size);
+        lo += size;
+    }
+    out
+}
+
 /// Benchmark clustering over a fetched snapshot stream — the step-1 engine
 /// shared by [`K2Hop`](crate::K2Hop) and
 /// [`K2HopParallel`](crate::K2HopParallel).
@@ -297,6 +317,30 @@ mod tests {
             assert_eq!(mixed, shared_clusters, "switch at {switch_at}");
             assert_eq!(mixed_points, shared_points, "switch at {switch_at}");
             assert_eq!(fetches, long_bench.len(), "no refetch at {switch_at}");
+        }
+    }
+
+    #[test]
+    fn shard_ranges_partition_exactly() {
+        for len in [0usize, 1, 2, 7, 16, 97] {
+            for shards in [1usize, 2, 3, 4, 16, 200] {
+                let ranges = shard_ranges(len, shards);
+                assert!(ranges.len() <= shards.max(1));
+                assert!(ranges.iter().all(|r| !r.is_empty()), "{len}/{shards}");
+                let covered: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(covered, len, "{len}/{shards}");
+                for pair in ranges.windows(2) {
+                    assert_eq!(pair[0].end, pair[1].start, "{len}/{shards}");
+                }
+                if let (Some(first), Some(last)) = (ranges.first(), ranges.last()) {
+                    assert_eq!(first.start, 0);
+                    assert_eq!(last.end, len);
+                    // Near-equal: sizes differ by at most one.
+                    let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                    let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                    assert!(max - min <= 1, "{len}/{shards}: {sizes:?}");
+                }
+            }
         }
     }
 

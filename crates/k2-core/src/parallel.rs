@@ -22,17 +22,19 @@
 //! workspace integration tests enforce this.
 
 use crate::benchpoints::benchmark_points;
-use crate::candidates::candidate_clusters_pooled;
+use crate::candidates::{candidate_clusters_pooled, object_id_union};
 use crate::config::K2Config;
+use crate::hwmt::{mine_window_slab, WindowSlab};
 use crate::merge::merge_spanning_tuned;
-use crate::par::{cluster_benchmark_snapshots, self_scheduled_map};
+use crate::par::{cluster_benchmark_snapshots, self_scheduled_map, shard_ranges};
 use crate::pipeline::MiningResult;
-use crate::stats::{PhaseTimings, PruningStats};
-use crate::validate::{hwmt_star_dataset_scratched, DatasetProbeScratch};
+use crate::stats::{PhaseTimings, PrefetchStats, PruningStats};
+use crate::validate::{
+    hwmt_star_dataset_scratched, hwmt_star_source_scratched, DatasetProbeScratch,
+};
 use k2_cluster::{recluster_with, DbscanParams};
-use k2_model::{Convoy, ConvoySet, Dataset, ObjectSet, Oid, Snapshot, Time};
+use k2_model::{Convoy, ConvoySet, Dataset, ObjectSet, Oid, SetPool, Time};
 use k2_storage::{SnapshotRef, SnapshotSource, StoreResult};
-use std::collections::BTreeSet;
 use std::time::Instant;
 
 /// Parallel k/2-hop miner over an in-memory dataset or any storage
@@ -58,6 +60,7 @@ use std::time::Instant;
 pub struct K2HopParallel {
     config: K2Config,
     threads: usize,
+    shards: Option<usize>,
 }
 
 impl K2HopParallel {
@@ -66,7 +69,23 @@ impl K2HopParallel {
         Self {
             config,
             threads: threads.max(1),
+            shards: None,
         }
+    }
+
+    /// Overrides the number of temporal shards the store path splits the
+    /// hop-window list into (clamped to `[1, windows]`).
+    ///
+    /// Each shard is a contiguous window range whose slabs are fetched
+    /// together, so fewer shards mean more resident slab memory and
+    /// fewer fetch/compute barriers; `with_shards(1)` prefetches every
+    /// open window at once. The default — one shard per `threads`
+    /// windows — keeps peak slab memory at `O(window × threads)`.
+    /// Mined convoys are identical at every shard count (the goldens
+    /// pin this).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
     }
 
     /// The configuration in use.
@@ -77,6 +96,12 @@ impl K2HopParallel {
     /// The worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The configured temporal shard override, if any (see
+    /// [`with_shards`](Self::with_shards)).
+    pub fn shards(&self) -> Option<usize> {
+        self.shards
     }
 
     /// Mines all maximal fully-connected convoys of `dataset` — the
@@ -113,6 +138,7 @@ impl K2HopParallel {
                 convoys: Vec::new(),
                 timings,
                 pruning,
+                prefetch: PrefetchStats::default(),
             };
         }
         let bench = benchmark_points(span, cfg.hop());
@@ -144,6 +170,8 @@ impl K2HopParallel {
             convoys,
             timings,
             pruning,
+            // Dataset-resident mining never prefetches.
+            prefetch: PrefetchStats::default(),
         }
     }
 
@@ -154,16 +182,25 @@ impl K2HopParallel {
     ///
     /// Store I/O never leaves the calling thread (engines use interior
     /// mutability for buffer pools and counters, so they need not be
-    /// `Sync`). Two fetch passes feed the parallel compute:
+    /// `Sync`), and — this is the memory discipline — no phase ever
+    /// materializes more than one temporal shard of the dataset:
     ///
     /// 1. benchmark snapshots stream through the shared batched zero-copy
-    ///    fetcher (`SnapshotRef`s fan out to clustering workers),
-    /// 2. the hop-window phases run against an in-memory *restriction* of
-    ///    the dataset to the union of candidate objects — one
-    ///    `multi_get` sweep over the span, which is exactly the data
-    ///    k/2-hop's pruning would touch probe by probe. The restricted
-    ///    points are charged to `PruningStats::hwmt_points` once, at
-    ///    prefetch.
+    ///    fetcher (`SnapshotRef`s fan out to clustering workers);
+    /// 2. the hop-window list is split into contiguous **temporal
+    ///    shards** (default: `threads` windows per shard, override with
+    ///    [`with_shards`](Self::with_shards)). Per shard, the calling
+    ///    thread fetches one [slab] per window — `DB[t]|union(CCᵢ)` for
+    ///    the window's open timestamps, via sorted-probe
+    ///    `multi_get_into` into reused buffers — then HWMT fans out over
+    ///    the shard's slabs. Peak resident slab bytes are
+    ///    `O(window span × threads)`, not `O(full span × union)`;
+    ///    [`PrefetchStats`] reports the measured peak;
+    /// 3. merge consumes the shard outputs in timestamp order, and
+    ///    extension/validation re-fetch their (tiny, candidate-restricted)
+    ///    probes through the same bounded `multi_get_into` path on the
+    ///    calling thread, charging `extend_points`/`validation_points`
+    ///    for exactly what they touch.
     ///
     /// Fully-resident sources (a bare dataset, [`InMemoryStore`]) skip
     /// the prefetch entirely via
@@ -171,6 +208,8 @@ impl K2HopParallel {
     /// own Arc-backed storage, so nothing is copied and no point query
     /// is issued.
     ///
+    /// [slab]: crate::stats::PrefetchStats
+    /// [`PrefetchStats`]: crate::stats::PrefetchStats
     /// [`InMemoryStore`]: k2_storage::InMemoryStore
     pub fn mine_store<S: SnapshotSource + ?Sized>(&self, store: &S) -> StoreResult<MiningResult> {
         // Fully-resident sources skip the restriction prefetch: the
@@ -185,11 +224,13 @@ impl K2HopParallel {
             total_points: store.num_points(),
             ..PruningStats::default()
         };
+        let mut prefetch = PrefetchStats::default();
         if span.len() < cfg.k {
             return Ok(MiningResult {
                 convoys: Vec::new(),
                 timings,
                 pruning,
+                prefetch,
             });
         }
         let params = cfg.dbscan();
@@ -206,28 +247,153 @@ impl K2HopParallel {
         pruning.benchmark_timestamps = bench.len() as u32;
         timings.benchmark = t0.elapsed();
 
-        // Candidate union: every object the hop-window phases can ever
-        // probe is a member of some candidate cluster (HWMT re-clusters
-        // candidates; extension and validation only shrink object sets).
-        let union = candidate_union(&benchmark_clusters, cfg.m, self.threads);
-
-        // Prefetch `DB|union` in one sorted-probe sweep over the span —
-        // the store-side cost of everything after step 1 — and run the
-        // remaining phases dataset-direct on the restriction.
-        let (restricted, fetched) = materialize_restricted(store, span, &union)?;
-        pruning.hwmt_points = fetched;
-
-        let convoys = self.finish_from_benchmarks(
-            &restricted,
-            &bench,
-            &benchmark_clusters,
-            &mut timings,
-            &mut pruning,
+        // Step 2 (parallel): candidate clusters per hop-window, computed
+        // once up front — the slab fetcher needs each window's candidate
+        // union before its HWMT runs.
+        let t0 = Instant::now();
+        let window_pairs: Vec<(&Vec<ObjectSet>, &Vec<ObjectSet>)> = benchmark_clusters
+            .windows(2)
+            .map(|w| (&w[0], &w[1]))
+            .collect();
+        let ccs: Vec<Vec<ObjectSet>> = self_scheduled_map(
+            self.threads,
+            &window_pairs,
+            SetPool::new,
+            |pool, &(cl, cr)| {
+                pool.clear();
+                candidate_clusters_pooled(cl, cr, cfg.m, pool)
+            },
         );
+        pruning.candidate_clusters = ccs.iter().map(|cc| cc.len() as u32).sum();
+        let unions: Vec<Vec<Oid>> = ccs.iter().map(|cc| object_id_union(cc)).collect();
+        timings.intersect = t0.elapsed();
+
+        // Step 3: HWMT over temporal shards. Per shard: fetch the slabs
+        // on the calling thread (buffers reused shard to shard), fan the
+        // windows out to the workers, collect in timestamp order.
+        let t0 = Instant::now();
+        let num_windows = ccs.len();
+        let shard_count = self
+            .shards
+            .unwrap_or_else(|| num_windows.div_ceil(self.threads));
+        let mut slabs: Vec<WindowSlab> = Vec::new();
+        let mut spanning_windows: Vec<Vec<Convoy>> = Vec::with_capacity(num_windows);
+        for range in shard_ranges(num_windows, shard_count) {
+            prefetch.shards += 1;
+            slabs.resize_with(range.len().max(slabs.len()), WindowSlab::default);
+            let mut shard_bytes = 0u64;
+            for (slot, w) in range.clone().enumerate() {
+                let slab = &mut slabs[slot];
+                if ccs[w].is_empty() {
+                    slab.cols.clear();
+                    continue;
+                }
+                let fetched = slab.fill(store, bench[w], bench[w + 1], &unions[w])?;
+                pruning.hwmt_points += fetched;
+                shard_bytes += slab.bytes();
+                if !slab.cols.is_empty() {
+                    prefetch.windows_fetched += 1;
+                }
+            }
+            prefetch.prefetch_bytes_peak = prefetch.prefetch_bytes_peak.max(shard_bytes);
+            let inputs: Vec<(Time, Time, &Vec<ObjectSet>, &WindowSlab)> = range
+                .clone()
+                .zip(slabs.iter())
+                .map(|(w, slab)| (bench[w], bench[w + 1], &ccs[w], slab))
+                .collect();
+            let outs: Vec<Vec<Convoy>> = self_scheduled_map(
+                self.threads,
+                &inputs,
+                DatasetProbeScratch::default,
+                |scratch, &(left, right, cc, slab)| {
+                    scratch.cluster.pool_mut().clear();
+                    mine_window_slab(slab, params, left, right, cc, scratch)
+                },
+            );
+            for spanning in outs {
+                pruning.spanning_convoys += spanning.len() as u32;
+                spanning_windows.push(spanning);
+            }
+        }
+        timings.hwmt = t0.elapsed();
+
+        // Step 4 (sequential): merge, in timestamp order.
+        let t0 = Instant::now();
+        let merged = merge_spanning_tuned(&spanning_windows, cfg.m, cfg.convoyset);
+        pruning.merged_convoys = merged.len() as u32;
+        timings.merge = t0.elapsed();
+
+        // Step 5: extension through the bounded fetcher — sequential on
+        // the calling thread (store I/O is not `Sync`), consuming the
+        // merged convoys in the same order the dataset path merges its
+        // per-convoy result sets, so the output is identical.
+        let t0 = Instant::now();
+        let merged_vec: Vec<Convoy> = merged.into_sorted_vec();
+        let mut scratch = DatasetProbeScratch::default();
+        let mut candidates = ConvoySet::with_tuning(cfg.convoyset);
+        for v in &merged_vec {
+            scratch.cluster.pool_mut().clear();
+            let right = extend_source(
+                store,
+                params,
+                v.clone(),
+                Direction::Right,
+                &mut pruning.extend_points,
+                &mut scratch,
+            )?;
+            let mut out = ConvoySet::with_tuning(cfg.convoyset);
+            for r in right {
+                for l in extend_source(
+                    store,
+                    params,
+                    r,
+                    Direction::Left,
+                    &mut pruning.extend_points,
+                    &mut scratch,
+                )? {
+                    if l.len() >= cfg.k {
+                        out.update(l);
+                    }
+                }
+            }
+            candidates.merge(out);
+        }
+        pruning.pre_validation_convoys = candidates.len() as u32;
+        timings.extend_right = t0.elapsed();
+
+        // Step 6: validation through the bounded fetcher, same order as
+        // the dataset path's per-candidate merge.
+        let t0 = Instant::now();
+        let candidate_vec: Vec<Convoy> = candidates.into_sorted_vec();
+        let mut fc = ConvoySet::with_tuning(cfg.convoyset);
+        for v in &candidate_vec {
+            scratch.cluster.pool_mut().clear();
+            let mut queue = vec![v.clone()];
+            let mut set = ConvoySet::with_tuning(cfg.convoyset);
+            while let Some(vin) = queue.pop() {
+                let out = hwmt_star_source_scratched(
+                    store,
+                    params,
+                    cfg.k,
+                    &vin,
+                    &mut pruning.validation_points,
+                    &mut scratch,
+                )?;
+                if out.len() == 1 && out.contains(&vin) {
+                    set.update(vin);
+                } else {
+                    queue.extend(out);
+                }
+            }
+            fc.merge(set);
+        }
+        timings.validation = t0.elapsed();
+
         Ok(MiningResult {
-            convoys,
+            convoys: fc.into_sorted_vec(),
             timings,
             pruning,
+            prefetch,
         })
     }
 
@@ -294,10 +460,26 @@ impl K2HopParallel {
             DatasetProbeScratch::default,
             |scratch, v| {
                 scratch.cluster.pool_mut().clear();
-                let right = extend_dataset(dataset, params, v.clone(), Direction::Right, scratch);
+                // A dataset's `multi_get_into` is its own restriction, so
+                // the store-generic extender reproduces the dataset-direct
+                // probes bit for bit (and cannot fail); the fetch counter
+                // is discarded — resident reads are free.
+                let mut fetched = 0u64;
+                let right = extend_source(
+                    dataset,
+                    params,
+                    v.clone(),
+                    Direction::Right,
+                    &mut fetched,
+                    scratch,
+                )
+                .expect("dataset-direct extension cannot fail");
                 let mut out = ConvoySet::with_tuning(cfg.convoyset);
                 for r in right {
-                    for l in extend_dataset(dataset, params, r, Direction::Left, scratch) {
+                    for l in
+                        extend_source(dataset, params, r, Direction::Left, &mut fetched, scratch)
+                            .expect("dataset-direct extension cannot fail")
+                    {
                         if l.len() >= cfg.k {
                             out.update(l);
                         }
@@ -359,67 +541,11 @@ impl crate::ConvoyMiner for K2HopParallel {
                 threads: self.threads,
                 timings: result.timings,
                 pruning: result.pruning,
+                prefetch: result.prefetch,
             },
             io: source.io_stats(),
         })
     }
-}
-
-/// Union of all candidate-cluster object sets over every hop-window —
-/// the objects the post-benchmark phases can ever fetch.
-///
-/// Candidate computation is repeated inside the fused HWMT map (where it
-/// shares the probe workers' interning pools); this standalone pass only
-/// exists so the store path knows what to prefetch, and is itself
-/// sharded.
-fn candidate_union(benchmark_clusters: &[Vec<ObjectSet>], m: usize, threads: usize) -> Vec<Oid> {
-    let windows: Vec<(&Vec<ObjectSet>, &Vec<ObjectSet>)> = benchmark_clusters
-        .windows(2)
-        .map(|w| (&w[0], &w[1]))
-        .collect();
-    let per_window: Vec<BTreeSet<Oid>> = self_scheduled_map(
-        threads,
-        &windows,
-        k2_model::SetPool::new,
-        |pool, &(cl, cr)| {
-            pool.clear();
-            candidate_clusters_pooled(cl, cr, m, pool)
-                .iter()
-                .flat_map(|set| set.iter())
-                .collect()
-        },
-    );
-    let mut union = BTreeSet::new();
-    for w in per_window {
-        union.extend(w);
-    }
-    union.into_iter().collect()
-}
-
-/// Materializes `DB|oids` over `span` from one sorted-probe `multi_get`
-/// sweep (store I/O on the calling thread), returning the restricted
-/// dataset and the number of points fetched.
-fn materialize_restricted<S: SnapshotSource + ?Sized>(
-    store: &S,
-    span: k2_model::TimeInterval,
-    oids: &[Oid],
-    // The restriction preserves the full span (empty snapshots where the
-    // candidates are absent) so extension frontiers see the same dataset
-    // bounds as the store path.
-) -> StoreResult<(Dataset, u64)> {
-    let mut snapshots = Vec::with_capacity(span.len() as usize);
-    let mut fetched = 0u64;
-    let mut buf = Vec::new();
-    for t in span.iter() {
-        if oids.is_empty() {
-            snapshots.push(Snapshot::new());
-            continue;
-        }
-        store.multi_get_into(t, oids, &mut buf)?;
-        fetched += buf.len() as u64;
-        snapshots.push(Snapshot::from_sorted(std::mem::take(&mut buf)));
-    }
-    Ok((Dataset::from_snapshots(span.start, snapshots), fetched))
 }
 
 /// Dataset-direct HWMT (same semantics as [`crate::hwmt::mine_window`]).
@@ -465,16 +591,19 @@ enum Direction {
     Left,
 }
 
-/// Dataset-direct single-convoy extension (same semantics as
-/// [`crate::extend`]).
-fn extend_dataset(
-    dataset: &Dataset,
+/// Single-convoy extension probing any [`SnapshotSource`] through
+/// `multi_get_into` (same semantics as [`crate::extend`]) — the bounded
+/// re-fetch path of the parallel store miner, and (with a dataset, whose
+/// `multi_get_into` is its own restriction) the dataset path's extender.
+fn extend_source<S: SnapshotSource + ?Sized>(
+    source: &S,
     params: DbscanParams,
     seed: Convoy,
     dir: Direction,
+    fetched: &mut u64,
     scratch: &mut DatasetProbeScratch,
-) -> Vec<Convoy> {
-    let span = dataset.span();
+) -> StoreResult<Vec<Convoy>> {
+    let span = source.span();
     let mut result = ConvoySet::new();
     let mut prev = vec![seed];
     loop {
@@ -496,7 +625,8 @@ fn extend_dataset(
         };
         let mut next = ConvoySet::new();
         for v in &prev {
-            dataset.restrict_at_into(frontier, &v.objects, &mut scratch.positions);
+            source.multi_get_into(frontier, v.objects.ids(), &mut scratch.positions)?;
+            *fetched += scratch.positions.len() as u64;
             let clusters = recluster_with(&scratch.positions, params, &mut scratch.cluster);
             if clusters.is_empty() {
                 result.update(v.clone());
@@ -526,7 +656,7 @@ fn extend_dataset(
     for v in prev {
         result.update(v);
     }
-    result.into_sorted_vec()
+    Ok(result.into_sorted_vec())
 }
 
 #[cfg(test)]
@@ -650,6 +780,78 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn shard_count_does_not_change_output() {
+        for seed in 0..3u64 {
+            let d = random_dataset(seed);
+            let cfg = K2Config::new(3, 8, 1.5).unwrap();
+            let opaque = OpaqueSource(InMemoryStore::new(d.clone()));
+            let expected = K2HopParallel::new(cfg, 4).mine_store(&d).unwrap().convoys;
+            for threads in [1usize, 4] {
+                for shards in [1usize, 2, 4, 7] {
+                    let miner = K2HopParallel::new(cfg, threads).with_shards(shards);
+                    let res = miner.mine_store(&opaque).unwrap();
+                    assert_eq!(
+                        res.convoys, expected,
+                        "seed {seed} threads {threads} shards {shards}"
+                    );
+                    assert!(res.prefetch.shards >= 1, "shards counted");
+                    assert!(
+                        res.prefetch.shards <= shards as u32,
+                        "never more shards than requested"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_memory_is_bounded_by_window_times_threads() {
+        let d = random_dataset(1);
+        let cfg = K2Config::new(3, 8, 1.5).unwrap();
+        let num_objects = 24u64; // 20 walkers + 4 planted
+        let point_bytes = std::mem::size_of::<k2_model::ObjPos>() as u64;
+        let threads = 2usize;
+        let opaque = OpaqueSource(InMemoryStore::new(d.clone()));
+        let res = K2HopParallel::new(cfg, threads)
+            .mine_store(&opaque)
+            .unwrap();
+        let p = res.prefetch;
+        assert!(p.prefetch_bytes_peak > 0, "store path must prefetch");
+        assert!(p.windows_fetched > 0);
+        assert!(p.shards > 1, "default sharding splits this span");
+        // The bound the whole design exists for: one shard holds at most
+        // `threads` hop windows, each at most `h + 1` open timestamps of
+        // at most every tracked object.
+        let h = (cfg.k / 2) as u64;
+        let bound = threads as u64 * (h + 1) * num_objects * point_bytes;
+        assert!(
+            p.prefetch_bytes_peak <= bound,
+            "peak {} exceeds O(window x threads) bound {bound}",
+            p.prefetch_bytes_peak
+        );
+        // And it is far below the old single-sweep residency of
+        // O(span x union).
+        let full_span_bytes = d.span().len() as u64 * num_objects * point_bytes;
+        assert!(
+            p.prefetch_bytes_peak < full_span_bytes / 2,
+            "peak {} is not meaningfully below full-span residency {full_span_bytes}",
+            p.prefetch_bytes_peak
+        );
+        // A single shard keeps every window resident at once: the peak
+        // can only grow, and the convoys still match.
+        let one = K2HopParallel::new(cfg, threads)
+            .with_shards(1)
+            .mine_store(&opaque)
+            .unwrap();
+        assert_eq!(one.convoys, res.convoys);
+        assert_eq!(one.prefetch.shards, 1);
+        assert!(one.prefetch.prefetch_bytes_peak >= p.prefetch_bytes_peak);
+        // The dataset fast path never prefetches.
+        let resident = K2HopParallel::new(cfg, threads).mine_store(&d).unwrap();
+        assert_eq!(resident.prefetch, PrefetchStats::default());
     }
 
     #[test]

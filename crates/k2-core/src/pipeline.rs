@@ -7,7 +7,7 @@ use crate::extend::{extend_left_tuned, extend_right_tuned};
 use crate::hwmt::mine_window_scratched;
 use crate::merge::merge_spanning_tuned;
 use crate::par::cluster_benchmark_snapshots;
-use crate::stats::{PhaseTimings, PruningStats};
+use crate::stats::{PhaseTimings, PrefetchStats, PruningStats};
 use crate::validate::validate_tuned;
 use crate::ProbeScratch;
 use k2_model::{Convoy, ObjectSet};
@@ -43,6 +43,10 @@ pub struct MiningResult {
     pub timings: PhaseTimings,
     /// Data-pruning statistics (Table 5, Figure 8j).
     pub pruning: PruningStats,
+    /// Memory discipline of the bounded hop-window prefetch — all-zero
+    /// for the sequential pipeline, which probes the store point by
+    /// point and never holds a slab.
+    pub prefetch: PrefetchStats,
 }
 
 impl K2Hop {
@@ -116,6 +120,7 @@ impl K2Hop {
                 convoys: Vec::new(),
                 timings,
                 pruning,
+                prefetch: PrefetchStats::default(),
             });
         }
 
@@ -210,6 +215,7 @@ impl K2Hop {
             convoys: validated.convoys.into_sorted_vec(),
             timings,
             pruning,
+            prefetch: PrefetchStats::default(),
         })
     }
 }
@@ -228,6 +234,7 @@ impl crate::ConvoyMiner for K2Hop {
                 threads: self.threads,
                 timings: result.timings,
                 pruning: result.pruning,
+                prefetch: result.prefetch,
             },
             io: source.io_stats(),
         })

@@ -168,15 +168,35 @@ pub(crate) fn hwmt_star_dataset_scratched(
     v: &Convoy,
     scratch: &mut DatasetProbeScratch,
 ) -> Vec<Convoy> {
-    let result: StoreResult<Vec<Convoy>> = hwmt_star_with(params, min_len, v, |t, objects| {
-        dataset.restrict_at_into(t, objects, &mut scratch.positions);
+    // A dataset's `multi_get_into` is exactly `restrict_at_into`, so the
+    // source-generic engine below reproduces the dataset-direct probes
+    // bit for bit (and cannot fail).
+    let mut fetched = 0u64;
+    hwmt_star_source_scratched(dataset, params, min_len, v, &mut fetched, scratch)
+        .expect("dataset-direct clustering cannot fail")
+}
+
+/// HWMT\* probing any [`SnapshotSource`] through `multi_get_into` — the
+/// bounded re-fetch path of the parallel store miner's validation phase
+/// (probes are `DB[t]|O` restrictions, sorted-id point lookups, never
+/// full scans).
+pub(crate) fn hwmt_star_source_scratched<S: SnapshotSource + ?Sized>(
+    source: &S,
+    params: DbscanParams,
+    min_len: u32,
+    v: &Convoy,
+    fetched: &mut u64,
+    scratch: &mut DatasetProbeScratch,
+) -> StoreResult<Vec<Convoy>> {
+    hwmt_star_with(params, min_len, v, |t, objects| {
+        source.multi_get_into(t, objects.ids(), &mut scratch.positions)?;
+        *fetched += scratch.positions.len() as u64;
         Ok(k2_cluster::recluster_with(
             &scratch.positions,
             params,
             &mut scratch.cluster,
         ))
-    });
-    result.expect("dataset-direct clustering cannot fail")
+    })
 }
 
 /// The HWMT\* engine, generic over how `DB[t]|O` is clustered.

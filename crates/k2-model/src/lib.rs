@@ -37,7 +37,7 @@ pub use interval::TimeInterval;
 pub use object_set::ObjectSet;
 pub use point::{ObjPos, Point};
 pub use set_pool::{SetId, SetPool};
-pub use snapshot::Snapshot;
+pub use snapshot::{restrict_sorted_ids_into, Snapshot};
 
 /// Object identifier. Movement datasets identify each moving object (car,
 /// truck, taxi, person) with a dense integer id.

@@ -114,24 +114,7 @@ impl Snapshot {
     /// [`restrict_into`](Self::restrict_into) over a raw sorted id slice
     /// (what the storage layer's `multi_get` receives).
     pub fn restrict_ids_into(&self, ids: &[Oid], out: &mut Vec<ObjPos>) {
-        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
-        let pos = &self.positions[..];
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < ids.len() && j < pos.len() {
-            match ids[i].cmp(&pos[j].oid) {
-                std::cmp::Ordering::Equal => {
-                    out.push(pos[j]);
-                    i += 1;
-                    j += 1;
-                }
-                std::cmp::Ordering::Less => {
-                    i = gallop(ids, i + 1, |&id| id < pos[j].oid);
-                }
-                std::cmp::Ordering::Greater => {
-                    j = gallop(pos, j + 1, |p| p.oid < ids[i]);
-                }
-            }
-        }
+        restrict_sorted_ids_into(&self.positions, ids, out);
     }
 
     /// The set of objects present at this timestamp.
@@ -151,6 +134,36 @@ impl Snapshot {
             Err(i) => positions.insert(i, pos),
         }
         self.positions = positions.into();
+    }
+}
+
+/// Restricts a position slice to a sorted id list, appending matches to
+/// `out` — the free-standing form of
+/// [`Snapshot::restrict_ids_into`] for positions that live outside a
+/// snapshot (e.g. a prefetched hop-window slab column).
+///
+/// Both sequences are sorted by oid, so this is a galloping merge:
+/// whichever side is behind jumps forward by exponential search instead
+/// of stepping — `O(|ids| · log |positions|)` for sparse id sets,
+/// degrading gracefully to the linear merge for dense ones.
+pub fn restrict_sorted_ids_into(positions: &[ObjPos], ids: &[Oid], out: &mut Vec<ObjPos>) {
+    debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(positions.windows(2).all(|w| w[0].oid < w[1].oid));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ids.len() && j < positions.len() {
+        match ids[i].cmp(&positions[j].oid) {
+            std::cmp::Ordering::Equal => {
+                out.push(positions[j]);
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                i = gallop(ids, i + 1, |&id| id < positions[j].oid);
+            }
+            std::cmp::Ordering::Greater => {
+                j = gallop(positions, j + 1, |p| p.oid < ids[i]);
+            }
+        }
     }
 }
 

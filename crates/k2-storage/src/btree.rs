@@ -95,6 +95,12 @@ pub struct RelationalStore {
     span: TimeInterval,
     pool: RefCell<BufferPool>,
     io: IoCounters,
+    /// The leaf page the last `multi_get_into` batch ended on. Hop-window
+    /// probes ascend across calls as well as within them (same `t` with
+    /// later oids, or the next timestamp — adjacent key space), so the
+    /// next batch's first key usually lands on this same leaf and the
+    /// root-to-leaf descent can be skipped entirely.
+    last_leaf: RefCell<Option<Rc<[u8]>>>,
 }
 
 /// Simple LRU buffer pool over fixed-size pages.
@@ -293,6 +299,7 @@ impl RelationalStore {
             span: TimeInterval::new(t_min, t_max),
             pool: RefCell::new(BufferPool::new(config.pool_pages)),
             io: IoCounters::new(),
+            last_leaf: RefCell::new(None),
         })
     }
 
@@ -377,7 +384,8 @@ impl RelationalStore {
 
     /// Does this leaf's key range cover `key` (i.e. `key <=` the leaf's
     /// last entry)? Used to keep probing the current leaf instead of
-    /// re-descending from the root.
+    /// re-descending from the root. Only valid when probe keys ascend —
+    /// `key` is already known to be past the leaf's start.
     fn leaf_covers(page: &[u8], key: &[u8; KEY_SIZE]) -> bool {
         let n = Self::leaf_count(page);
         if n == 0 {
@@ -385,6 +393,19 @@ impl RelationalStore {
         }
         let (last, _) = Self::leaf_entry(page, n - 1);
         &key[..] <= last
+    }
+
+    /// Does this leaf's key range span `key` on both sides (`first <=
+    /// key <= last`)? The check a *retained* leaf needs before serving
+    /// an arbitrary new key: an upper bound alone would wrongly claim
+    /// keys that belong to earlier leaves.
+    fn leaf_spans(page: &[u8], key: &[u8; KEY_SIZE]) -> bool {
+        let n = Self::leaf_count(page);
+        if n == 0 {
+            return false;
+        }
+        let (first, _) = Self::leaf_entry(page, 0);
+        first <= &key[..] && Self::leaf_covers(page, key)
     }
 
     /// Looks `key` up inside one leaf page, decoding the value on a hit.
@@ -478,20 +499,39 @@ impl SnapshotSource for RelationalStore {
         // keys are ascending (fixed `t`, sorted oids), so consecutive hits
         // usually land in the same leaf — the descent from the root is
         // repeated only when the current leaf's key range is exhausted.
+        // The first key additionally tries the leaf retained from the
+        // previous batch: the slab prefetcher's batches themselves ascend
+        // (next timestamp, adjacent key space), so cross-call reuse skips
+        // the root descent for most batches of a hop-window sweep.
         out.clear();
-        let mut leaf: Option<Rc<[u8]>> = None;
+        self.io.add_point_queries(oids.len() as u64);
+        let mut retained = self.last_leaf.borrow_mut();
+        let mut leaf: Option<Rc<[u8]>> = retained.take();
+        let mut first = true;
         for &oid in oids {
-            self.io.add_point_query();
             let key = encode_key(t, oid);
             let page = match leaf.take() {
-                Some(page) if Self::leaf_covers(&page, &key) => page,
+                Some(page)
+                    if if first {
+                        Self::leaf_spans(&page, &key)
+                    } else {
+                        Self::leaf_covers(&page, &key)
+                    } =>
+                {
+                    if first {
+                        self.io.add_cache_hit();
+                    }
+                    page
+                }
                 _ => self.find_leaf(&key)?,
             };
+            first = false;
             if let Some((x, y)) = Self::leaf_lookup(&page, &key) {
                 out.push(ObjPos::new(oid, x, y));
             }
             leaf = Some(page);
         }
+        *retained = leaf;
         Ok(())
     }
 
@@ -607,6 +647,29 @@ mod tests {
         let warm = store.io_stats().since(&cold);
         assert_eq!(warm.blocks_read, 0, "second probe should hit the pool");
         assert!(warm.cache_hits >= 1);
+    }
+
+    #[test]
+    fn retained_leaf_serves_next_batch_without_descending() {
+        let d = toy_dataset();
+        let store = RelationalStore::create(tmp("retained.k2bt"), &d).unwrap();
+        let oids: Vec<Oid> = vec![1, 2, 3];
+        let mut out = Vec::new();
+        store.multi_get_into(0, &oids, &mut out).unwrap();
+        store.reset_io_stats();
+        // Same key neighbourhood: the retained leaf spans the first key,
+        // so no page is touched at all — not even pool-cached ones.
+        store.multi_get_into(0, &oids, &mut out).unwrap();
+        let s = store.io_stats();
+        assert_eq!(out.len(), oids.len());
+        assert_eq!(s.blocks_read, 0, "no disk reads");
+        assert_eq!(s.cache_hits, 1, "one retained-leaf hit, no pool probes");
+
+        // A key outside the retained leaf's range must fall back to a
+        // root descent and still answer correctly.
+        let far: Vec<Oid> = vec![4];
+        store.multi_get_into(40, &far, &mut out).unwrap();
+        assert_eq!(out, vec![store.point_get(40, 4).unwrap().unwrap()]);
     }
 
     #[test]

@@ -95,6 +95,12 @@ impl IoCounters {
         self.point_queries.set(self.point_queries.get() + 1);
     }
 
+    /// Bulk form of [`add_point_query`](Self::add_point_query) — one
+    /// `Cell` round-trip for a whole sorted-probe `multi_get` batch.
+    pub(crate) fn add_point_queries(&self, n: u64) {
+        self.point_queries.set(self.point_queries.get() + n);
+    }
+
     pub(crate) fn add_range_query(&self) {
         self.range_queries.set(self.range_queries.get() + 1);
     }

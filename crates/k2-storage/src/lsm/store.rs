@@ -517,13 +517,20 @@ impl LsmStore {
         &self.dir
     }
 
-    /// Newest version of one key: memtable first, then the SSTables newest
-    /// to oldest. The single read path behind both `point_get` and
-    /// `multi_get_into` — keep any change to lookup semantics here.
+    /// Newest version of one key: memtable first, then the SSTables.
+    /// `multi_get_into` takes the same two steps but replaces the
+    /// memtable point-get with a batch range cursor — keep any change
+    /// to lookup semantics in these two helpers.
     fn get_raw(&self, key: u64) -> StoreResult<Option<[u8; VAL_SIZE]>> {
         if let Some(v) = self.memtable.get(&key) {
             return Ok(Some(*v));
         }
+        self.get_from_tables(key)
+    }
+
+    /// Newest version of one key among the SSTables (newest to oldest),
+    /// ignoring the memtable.
+    fn get_from_tables(&self, key: u64) -> StoreResult<Option<[u8; VAL_SIZE]>> {
         for table in self.tables.iter().rev() {
             if let Some(v) = table.get(key)? {
                 return Ok(Some(v));
@@ -658,10 +665,26 @@ impl SnapshotSource for LsmStore {
         // k/2-hop probe loops call this thousands of times on tiny
         // candidate sets, and the default `multi_get` delegation was the
         // last per-probe allocation on this engine.
+        //
+        // The batch's keys ascend (fixed `t`, sorted oids), so the
+        // memtable side is one ordered range cursor walked in step with
+        // the oids instead of a `log n` tree descent per oid; only keys
+        // the memtable does not hold fall through to the SSTables.
         out.clear();
+        if oids.is_empty() {
+            return Ok(());
+        }
+        self.io.add_point_queries(oids.len() as u64);
+        let lo = key_of(t, oids[0]);
+        let hi = key_of(t, *oids.last().expect("non-empty"));
+        let mut mem = self.memtable.range(lo..=hi).peekable();
         for &oid in oids {
-            self.io.add_point_query();
-            if let Some(v) = self.get_raw(key_of(t, oid))? {
+            let key = key_of(t, oid);
+            while mem.next_if(|&(&k, _)| k < key).is_some() {}
+            if let Some((_, v)) = mem.next_if(|&(&k, _)| k == key) {
+                let (x, y) = val_parts(v);
+                out.push(ObjPos::new(oid, x, y));
+            } else if let Some(v) = self.get_from_tables(key)? {
                 let (x, y) = val_parts(&v);
                 out.push(ObjPos::new(oid, x, y));
             }

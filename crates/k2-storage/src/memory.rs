@@ -70,9 +70,7 @@ impl SnapshotSource for InMemoryStore {
     }
 
     fn multi_get_into(&self, t: Time, oids: &[Oid], out: &mut Vec<ObjPos>) -> StoreResult<()> {
-        for _ in oids {
-            self.io.add_point_query();
-        }
+        self.io.add_point_queries(oids.len() as u64);
         out.clear();
         if let Some(snap) = self.dataset.snapshot(t) {
             snap.restrict_ids_into(oids, out);

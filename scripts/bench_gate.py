@@ -30,6 +30,19 @@ Also cross-checks the deterministic fields (convoy count, points
 processed) against every baseline whose workload matches — a silent
 behaviour change fails harder than a slow one. At least one baseline
 must match the fresh workload.
+
+Beyond the main Brinkhoff section, reports that carry a ``trucks_geo``
+section are gated the same way (normalized ratio + determinism) against
+every baseline that also carries one, and ``scale_axis`` entries are
+determinism-checked against baseline entries with an identical workload.
+Sections absent from a baseline are skipped — older committed reports
+predate them.
+
+``--prefetch-ceiling BYTES`` additionally asserts that every
+``scale_axis`` entry's ``prefetch.prefetch_bytes_peak`` stays at or
+under the ceiling — the bounded-memory guarantee of the hop-window
+prefetch, checked in CI on every push. With this flag the gate also
+accepts a single report (no baselines): ceiling-only mode.
 """
 
 import argparse
@@ -42,8 +55,7 @@ def load(path):
         return json.load(fh)
 
 
-def ratio(report, path):
-    mine = report["mine"]["median_total_secs"]
+def probe_secs(report, path):
     probe = report["dbscan_largest_snapshot"]["median_secs"]
     if probe <= 0:
         # A zero denominator would make the limit infinite (baseline) or
@@ -51,7 +63,30 @@ def ratio(report, path):
         sys.exit(f"FAIL: {path}: dbscan_largest_snapshot.median_secs is 0 — "
                  "report too coarse to normalize (regenerate with the "
                  "ns-precision bench-report)")
-    return mine / probe
+    return probe
+
+
+def ratio(report, path, section=None):
+    mine = (report[section] if section else report)["mine"]["median_total_secs"]
+    return mine / probe_secs(report, path)
+
+
+def check_prefetch_ceiling(fresh, ceiling, failures):
+    entries = fresh.get("scale_axis") or []
+    if not entries:
+        failures.append("--prefetch-ceiling given but the report has no "
+                        "scale_axis entries (run bench-report with "
+                        "--scale-axis)")
+    for e in entries:
+        peak = e["prefetch"]["prefetch_bytes_peak"]
+        label = e.get("workload", {}).get("scale")
+        print(f"scale-axis {label}: {e['dataset']['points']} points, "
+              f"prefetch_bytes_peak {peak} (ceiling {ceiling})")
+        if peak > ceiling:
+            failures.append(
+                f"scale-axis {label}: prefetch_bytes_peak {peak} exceeds "
+                f"the committed ceiling {ceiling} — the hop-window "
+                f"prefetch is no longer memory-bounded")
 
 
 def main():
@@ -61,9 +96,25 @@ def main():
                          "under test")
     ap.add_argument("--threshold", type=float, default=1.25)
     ap.add_argument("--slack", type=float, default=15.0)
+    ap.add_argument("--prefetch-ceiling", type=int, default=None,
+                    metavar="BYTES",
+                    help="fail if any scale_axis entry's "
+                         "prefetch_bytes_peak exceeds this")
     args = ap.parse_args()
-    if len(args.reports) < 2:
-        ap.error("need at least one baseline and one fresh report")
+
+    if len(args.reports) == 1:
+        # Ceiling-only mode: one report, no baselines.
+        if args.prefetch_ceiling is None:
+            ap.error("need at least one baseline and one fresh report "
+                     "(or a single report with --prefetch-ceiling)")
+        failures = []
+        check_prefetch_ceiling(load(args.reports[0]), args.prefetch_ceiling,
+                               failures)
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        if not failures:
+            print("OK: prefetch peak within the committed ceiling")
+        return 1 if failures else 0
 
     baseline_paths, fresh_path = args.reports[:-1], args.reports[-1]
     baselines = [(p, load(p)) for p in baseline_paths]
@@ -113,6 +164,64 @@ def main():
             "--scale/--seed/parameters as the report under test; regenerate "
             "the baseline with the same flags the CI job uses"
         )
+
+    # trucks_geo section: same gate, against the baselines that carry it
+    # (older committed reports predate the section and are skipped).
+    geo_baselines = [(p, r) for p, r in baselines if "trucks_geo" in r]
+    if "trucks_geo" in fresh and geo_baselines:
+        fresh_geo = ratio(fresh, fresh_path, "trucks_geo")
+        best_geo_path, best_geo = min(
+            ((p, ratio(r, p, "trucks_geo")) for p, r in geo_baselines),
+            key=lambda pr: pr[1]
+        )
+        geo_limit = best_geo * args.threshold + args.slack
+        print(f"trucks_geo ratio: best baseline {best_geo:.1f} "
+              f"({best_geo_path}), fresh {fresh_geo:.1f}, "
+              f"limit {geo_limit:.1f}")
+        if fresh_geo > geo_limit:
+            failures.append(
+                f"trucks_geo mining regressed: normalized ratio "
+                f"{fresh_geo:.1f} > {geo_limit:.1f}")
+        for p, r in geo_baselines:
+            if r["trucks_geo"].get("workload") != \
+                    fresh["trucks_geo"].get("workload"):
+                continue
+            for field in ("convoys", "points_processed"):
+                if r["trucks_geo"]["mine"].get(field) != \
+                        fresh["trucks_geo"]["mine"].get(field):
+                    failures.append(
+                        f"trucks_geo determinism break vs {p}: {field} was "
+                        f"{r['trucks_geo']['mine'].get(field)}, now "
+                        f"{fresh['trucks_geo']['mine'].get(field)}")
+
+    # scale_axis entries: determinism against baseline entries with an
+    # identical workload (seeded generation + mining must be bit-stable).
+    fresh_axis = fresh.get("scale_axis") or []
+    for p, r in baselines:
+        by_workload = {json.dumps(e.get("workload"), sort_keys=True): e
+                       for e in r.get("scale_axis") or []}
+        for e in fresh_axis:
+            base = by_workload.get(json.dumps(e.get("workload"),
+                                              sort_keys=True))
+            if base is None:
+                continue
+            for field in ("convoys", "points_processed"):
+                if base["mine"].get(field) != e["mine"].get(field):
+                    failures.append(
+                        f"scale-axis {e['workload'].get('scale')} "
+                        f"determinism break vs {p}: {field} was "
+                        f"{base['mine'].get(field)}, now "
+                        f"{e['mine'].get(field)}")
+            base_peak = base["prefetch"]["prefetch_bytes_peak"]
+            peak = e["prefetch"]["prefetch_bytes_peak"]
+            if peak > base_peak:
+                failures.append(
+                    f"scale-axis {e['workload'].get('scale')} prefetch "
+                    f"peak grew vs {p}: {base_peak} -> {peak} bytes — the "
+                    f"memory bound must not regress")
+
+    if args.prefetch_ceiling is not None:
+        check_prefetch_ceiling(fresh, args.prefetch_ceiling, failures)
 
     if failures:
         for f in failures:

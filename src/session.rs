@@ -187,6 +187,7 @@ impl MiningSession {
             threads: 1,
             timings: Default::default(),
             pruning: Default::default(),
+            prefetch: Default::default(),
         };
         stats.timings.hwmt = t0.elapsed();
         Ok(MineOutcome {

@@ -116,6 +116,39 @@ fn check_fixture(name: &str, dataset: Dataset, cfg: K2Config) {
         ("lsmt", &lsm),
     ];
 
+    // Temporal sharding is output-invariant: every shard count must
+    // reproduce the same golden bytes on every engine, and every
+    // non-resident engine must go through the bounded hop-window
+    // prefetch (observable in the counters).
+    for shards in [1usize, 2, 4] {
+        for (engine_name, source) in engines {
+            let outcome = MiningSession::new(cfg)
+                .engine(K2HopParallel::new(cfg, 4).with_shards(shards))
+                .mine(source)
+                .unwrap();
+            assert_eq!(
+                render(&outcome.convoys),
+                golden(name),
+                "{name}: sharded output diverged from the golden file \
+                 ({engine_name}, {shards} shards)"
+            );
+            let p = outcome.stats.prefetch;
+            if matches!(engine_name, "flat" | "rdbms" | "lsmt") {
+                assert!(
+                    p.prefetch_bytes_peak > 0 && p.windows_fetched > 0,
+                    "{name}: {engine_name} must prefetch through the slab path"
+                );
+                assert_eq!(p.shards, shards as u32, "{name}: {engine_name}");
+            } else {
+                assert_eq!(
+                    p,
+                    Default::default(),
+                    "{name}: resident {engine_name} must not prefetch"
+                );
+            }
+        }
+    }
+
     for threads in [1usize, 4] {
         for (engine_name, source) in engines {
             // New API, sequential engine.

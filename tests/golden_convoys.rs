@@ -25,14 +25,43 @@
 // they prove old-vs-new equivalence.
 #![allow(deprecated)]
 
-use k2hop::core::{K2Config, K2Hop, K2HopParallel};
+use k2hop::core::{ConvoyMiner, K2Config, K2Hop, K2HopParallel};
 use k2hop::datagen::brinkhoff::BrinkhoffConfig;
 use k2hop::datagen::tdrive::TDriveConfig;
 use k2hop::datagen::trucks::TrucksConfig;
-use k2hop::model::{Convoy, Dataset};
-use k2hop::storage::InMemoryStore;
+use k2hop::model::{Convoy, Dataset, ObjPos, Oid, Time, TimeInterval};
+use k2hop::storage::{InMemoryStore, IoStats, SnapshotRef, SnapshotSource, StoreResult};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+
+/// Hides the resident dataset so the miner takes the store path — the
+/// bounded hop-window slab prefetch — without any disk I/O in the loop.
+struct OpaqueSource(InMemoryStore);
+
+impl SnapshotSource for OpaqueSource {
+    fn span(&self) -> TimeInterval {
+        self.0.span()
+    }
+    fn num_points(&self) -> u64 {
+        self.0.num_points()
+    }
+    fn scan_snapshot_ref<'a>(
+        &self,
+        t: Time,
+        buf: &'a mut Vec<ObjPos>,
+    ) -> StoreResult<SnapshotRef<'a>> {
+        self.0.scan_snapshot_ref(t, buf)
+    }
+    fn multi_get_into(&self, t: Time, oids: &[Oid], out: &mut Vec<ObjPos>) -> StoreResult<()> {
+        self.0.multi_get_into(t, oids, out)
+    }
+    fn io_stats(&self) -> IoStats {
+        self.0.io_stats()
+    }
+    fn name(&self) -> &'static str {
+        "opaque"
+    }
+}
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -79,6 +108,18 @@ fn golden_check(name: &str, dataset: Dataset, cfg: K2Config) {
         assert_eq!(
             got, sequential,
             "{name}: K2HopParallel with {threads} threads"
+        );
+    }
+    // The bounded hop-window prefetch with temporal sharding must
+    // reproduce the same bytes at every shard count.
+    let opaque = OpaqueSource(InMemoryStore::new(dataset.clone()));
+    for shards in [1usize, 2, 4] {
+        let got = ConvoyMiner::mine(&K2HopParallel::new(cfg, 4).with_shards(shards), &opaque)
+            .expect("opaque in-memory mining cannot fail")
+            .convoys;
+        assert_eq!(
+            got, sequential,
+            "{name}: K2HopParallel store path with {shards} shards"
         );
     }
 

@@ -1,0 +1,97 @@
+//! Property tests for the bounded hop-window prefetch: on random
+//! workloads, the windowed slab store path must equal the resident
+//! dataset fast path and the sequential reference miner — on all four
+//! storage engines, at several shard counts — and the peak prefetch
+//! residency must stay within the `O(window x threads)` bound the
+//! design promises.
+
+use k2hop::core::{ConvoyMiner, K2Config, K2Hop, K2HopParallel};
+use k2hop::model::{Convoy, Dataset, ObjPos, Point};
+use k2hop::storage::{FlatFileStore, InMemoryStore, LsmStore, RelationalStore, SnapshotSource};
+use proptest::prelude::*;
+
+fn points_strategy() -> impl Strategy<Value = Vec<Point>> {
+    // A handful of objects over a few dozen timestamps, coordinates
+    // coarse enough that DBSCAN at eps=1.5 finds real clusters.
+    proptest::collection::vec((0u32..12, 0u32..36, 0i32..40, 0i32..40), 30..400).prop_map(|rows| {
+        rows.into_iter()
+            .map(|(oid, t, x, y)| Point::new(oid, x as f64 / 2.0, y as f64 / 2.0, t))
+            .collect()
+    })
+}
+
+fn tmp(salt: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "k2prefetchprops-{}-{:?}-{salt}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn mine_seq(store: &InMemoryStore, cfg: K2Config) -> Vec<Convoy> {
+    ConvoyMiner::mine(&K2Hop::new(cfg), store).unwrap().convoys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn windowed_prefetch_equals_resident_on_all_engines(
+        points in points_strategy(),
+        m in 2usize..4,
+        k in 4u32..10,
+    ) {
+        let Some(dataset) = Dataset::from_points(&points) else {
+            return Ok(());
+        };
+        let cfg = K2Config::new(m, k, 1.5).unwrap();
+        let store = InMemoryStore::new(dataset.clone());
+        let reference = mine_seq(&store, cfg);
+
+        let dir = tmp("engines");
+        let flat = FlatFileStore::create(dir.join("data.bin"), &dataset).unwrap();
+        let btree = RelationalStore::create(dir.join("data.k2bt"), &dataset).unwrap();
+        let lsm = LsmStore::bulk_load(dir.join("lsm"), &dataset).unwrap();
+        let engines: [&dyn SnapshotSource; 4] = [&store, &flat, &btree, &lsm];
+
+        for threads in [1usize, 3] {
+            // Resident fast path.
+            let miner = K2HopParallel::new(cfg, threads);
+            prop_assert_eq!(&ConvoyMiner::mine(&miner, &dataset).unwrap().convoys, &reference);
+            for source in engines {
+                for shards in [1usize, 2, 4] {
+                    let miner = K2HopParallel::new(cfg, threads).with_shards(shards);
+                    let outcome = ConvoyMiner::mine(&miner, source).unwrap();
+                    prop_assert_eq!(
+                        &outcome.convoys, &reference,
+                        "{} threads {} shards {}", source.name(), threads, shards
+                    );
+                    // Disk engines go through the slab prefetch; its peak
+                    // must respect the per-shard residency bound.
+                    if source.as_dataset().is_none() && outcome.stats.prefetch.windows_fetched > 0 {
+                        let h = (k / 2) as u64;
+                        // At most ceil(span/h)+1 hop windows exist; one
+                        // shard holds at most its even share of them.
+                        let num_windows_ub = (dataset.span().len() as u64).div_ceil(h) + 1;
+                        let windows_resident = num_windows_ub.div_ceil(shards as u64);
+                        let bound = windows_resident
+                            * (h + 1)
+                            * 12
+                            * std::mem::size_of::<ObjPos>() as u64;
+                        prop_assert!(
+                            outcome.stats.prefetch.prefetch_bytes_peak <= bound,
+                            "{}: peak {} > bound {}",
+                            source.name(),
+                            outcome.stats.prefetch.prefetch_bytes_peak,
+                            bound
+                        );
+                    }
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
