@@ -133,6 +133,7 @@ impl ConvoyMiner for SweepMiner {
                 timings,
                 pruning,
                 prefetch: Default::default(),
+                grid: Default::default(),
             },
             io: source.io_stats(),
         })

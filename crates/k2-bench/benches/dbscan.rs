@@ -3,7 +3,7 @@
 //! `O(n²)` vs index-assisted `O(n log n)`; ours is grid-assisted).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use k2_cluster::{dbscan, DbscanParams};
+use k2_cluster::{dbscan, dist2_filter_chunked, DbscanParams};
 use k2_model::ObjPos;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -74,10 +74,63 @@ fn bench_recluster_small(c: &mut Criterion) {
     });
 }
 
+/// The scalar filter the chunked kernel replaced, reproduced verbatim at
+/// the bench level: one distance, one branch per candidate.
+fn dist2_filter_scalar(
+    points: &[ObjPos],
+    candidates: &[u32],
+    q: &ObjPos,
+    eps2: f64,
+    out: &mut Vec<u32>,
+) {
+    for &j in candidates {
+        if points[j as usize].dist2(q) <= eps2 {
+            out.push(j);
+        }
+    }
+}
+
+/// A/B of the distance-filter kernel at the candidate-list sizes the
+/// probe paths actually see: 8 (HWMT recluster), 256 (a dense 3×3
+/// probe), 10k (the small-snapshot brute-force path).
+fn bench_scalar_vs_simd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dbscan/scalar_vs_simd");
+    for &n in &[8usize, 256, 10_000] {
+        let points = snapshot(n, 0.5, 19);
+        let candidates: Vec<u32> = (0..n as u32).collect();
+        let q = points[n / 2];
+        let eps2 = 4.0; // eps 2: a mixed pass/fail population at every n
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        dist2_filter_chunked(&points, &candidates, &q, eps2, &mut a);
+        dist2_filter_scalar(&points, &candidates, &q, eps2, &mut b);
+        assert_eq!(a, b, "kernels must agree before we compare their speed");
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("simd", n), &points, |bch, pts| {
+            let mut out = Vec::new();
+            bch.iter(|| {
+                out.clear();
+                dist2_filter_chunked(pts, &candidates, &q, eps2, &mut out);
+                black_box(out.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scalar", n), &points, |bch, pts| {
+            let mut out = Vec::new();
+            bch.iter(|| {
+                out.clear();
+                dist2_filter_scalar(pts, &candidates, &q, eps2, &mut out);
+                black_box(out.len())
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_dbscan_scaling,
     bench_dbscan_density,
-    bench_recluster_small
+    bench_recluster_small,
+    bench_scalar_vs_simd
 );
 criterion_main!(benches);

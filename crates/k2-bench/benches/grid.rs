@@ -4,7 +4,7 @@
 //! workload the perf acceptance criterion is stated against.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use k2_cluster::{dbscan, dbscan_with, DbscanParams, GridIndex, GridScratch};
+use k2_cluster::{dbscan, dbscan_with, DbscanParams, GridIndex, GridScratch, GridState};
 use k2_model::{ObjPos, ObjectSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -40,6 +40,78 @@ fn bench_build(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("hashmap", n), &points, |b, pts| {
             b.iter(|| black_box(GridIndex::build_sparse(pts, EPS).is_csr()))
         });
+    }
+    group.finish();
+}
+
+/// `points` with `churn_pct`% of its members teleported to fresh uniform
+/// positions (new cell almost surely); the rest keep identical
+/// coordinates, so the patch path's diff sees exactly the intended churn.
+fn churned(points: &[ObjPos], churn_pct: usize, seed: u64) -> Vec<ObjPos> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = (points.len() as f64).sqrt() * 10.0;
+    let stride = (100 / churn_pct.max(1)).max(1);
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if i % stride == 0 {
+                ObjPos::new(p.oid, rng.gen_range(0.0..side), rng.gen_range(0.0..side))
+            } else {
+                *p
+            }
+        })
+        .collect()
+}
+
+/// The tentpole A/B: patching a [`GridState`] between two adjacent
+/// snapshots vs rebuilding a [`GridIndex`] from scratch each time. Each
+/// iteration performs two updates (A→B→A) so the state round-trips.
+/// Low churn is served by slot moves, high churn by the retained-geometry
+/// re-scatter — the bars quantify what each flavour saves over the full
+/// extent retune.
+fn bench_build_vs_patch(c: &mut Criterion) {
+    let n = 10_000usize;
+    let a = uniform(n, 29);
+    let mut group = c.benchmark_group("grid/build_vs_patch");
+    for &churn in &[1usize, 10, 50, 100] {
+        let b_pts = churned(&a, churn, 31 + churn as u64);
+        group.throughput(Throughput::Elements(2 * n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("patch", format!("churn_{churn}pct")),
+            &b_pts,
+            |bch, b_pts| {
+                let mut state = GridState::new();
+                state.update(&a, EPS);
+                // Warm round-trip, then check the patch path actually
+                // serves the updates: the teleports stay inside the
+                // retained box, so every churn level patches (the
+                // high-churn levels via the re-scatter flavour).
+                let before = state.counters();
+                state.update(b_pts, EPS);
+                state.update(&a, EPS);
+                let delta = state.counters().since(before);
+                assert_eq!(delta.patches, 2, "churn {churn}% should patch");
+                bch.iter(|| {
+                    state.update(b_pts, EPS);
+                    state.update(&a, EPS);
+                    black_box(state.counters().patches)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rebuild", format!("churn_{churn}pct")),
+            &b_pts,
+            |bch, b_pts| {
+                let mut grid = GridIndex::new();
+                grid.rebuild(&a, EPS);
+                bch.iter(|| {
+                    grid.rebuild(b_pts, EPS);
+                    grid.rebuild(&a, EPS);
+                    black_box(grid.is_csr())
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -166,6 +238,7 @@ fn bench_dbscan_uniform_10k(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_build,
+    bench_build_vs_patch,
     bench_neighbours,
     bench_dbscan_uniform_10k
 );

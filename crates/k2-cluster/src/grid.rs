@@ -28,12 +28,66 @@
 use k2_model::ObjPos;
 use std::collections::HashMap;
 
+/// Appends every candidate within distance `sqrt(eps2)` of `q` to `out` —
+/// the distance filter of the 3×3 probe, manually vectorized.
+///
+/// `candidates` are indices into `points`. The loop is a chunked,
+/// dependency-free f64x4-style kernel: four squared distances are computed
+/// per iteration into a small lane buffer (no lane depends on another, so
+/// the compiler is free to keep all four in vector registers), and the
+/// pass/fail decision branches **once per chunk** — in the common case of
+/// a chunk with no neighbour, the per-lane pushes are never reached. The
+/// remainder (1–3 trailing candidates) falls back to the scalar filter.
+///
+/// Per-lane arithmetic is exactly [`ObjPos::dist2`]`(q) <= eps2`, so the
+/// appended *set* is bit-identical to the scalar loop it replaces; only
+/// the instruction schedule changes. NaN coordinates compare false and
+/// are skipped, matching the scalar behaviour.
+#[inline]
+pub fn dist2_filter_chunked(
+    points: &[ObjPos],
+    candidates: &[u32],
+    q: &ObjPos,
+    eps2: f64,
+    out: &mut Vec<u32>,
+) {
+    let mut chunks = candidates.chunks_exact(4);
+    for c in &mut chunks {
+        let d = [
+            points[c[0] as usize].dist2(q),
+            points[c[1] as usize].dist2(q),
+            points[c[2] as usize].dist2(q),
+            points[c[3] as usize].dist2(q),
+        ];
+        // Non-short-circuiting `|` keeps this a single branch per chunk.
+        if (d[0] <= eps2) | (d[1] <= eps2) | (d[2] <= eps2) | (d[3] <= eps2) {
+            for (lane, &j) in c.iter().enumerate() {
+                if d[lane] <= eps2 {
+                    out.push(j);
+                }
+            }
+        }
+    }
+    for &j in chunks.remainder() {
+        if points[j as usize].dist2(q) <= eps2 {
+            out.push(j);
+        }
+    }
+}
+
 /// Target CSR occupancy: aim for about this many cells per point. Any
 /// cell side `>= eps` preserves the 3×3 neighbourhood guarantee, so when
 /// the eps-sized grid would be much sparser than this the cell side is
 /// scaled up — zero-filling a hundred empty cells per point costs more
 /// than filtering a couple of extra distance candidates.
 const CSR_TARGET_CELLS_PER_POINT: usize = 4;
+/// Floor on the occupancy target for small snapshots. Every build and
+/// every incremental re-scatter pays `O(cells)` passes, so a floor much
+/// larger than the snapshot (the old value was a flat 1024 cells even
+/// for a 60-point snapshot) makes the cell-array passes dominate the
+/// point work; 256 keeps tiny grids fine-grained enough to probe well
+/// while letting their build cost stay proportional to `n`.
+const CSR_MIN_TARGET_CELLS: usize = 256;
 /// Up to this scale factor over `eps` the cell side comes straight from
 /// the extent-to-eps ratio (the cheap path: no percentile pass). Beyond
 /// it the extent dwarfs eps — lat/lon data mined with degree-scale eps,
@@ -252,11 +306,7 @@ impl GridIndex {
                     // the 3-cell block is a single contiguous slot range.
                     let start = self.cell_range(r * self.cols + lo_c).start;
                     let end = self.cell_range(r * self.cols + hi_c).end;
-                    for &j in &self.slots[start..end] {
-                        if points[j as usize].dist2(p) <= eps2 {
-                            out.push(j);
-                        }
-                    }
+                    dist2_filter_chunked(points, &self.slots[start..end], p, eps2, out);
                 }
             }
             Repr::Sparse => {
@@ -264,11 +314,7 @@ impl GridIndex {
                 for dx in -1..=1 {
                     for dy in -1..=1 {
                         if let Some(bucket) = self.sparse.get(&(cx + dx, cy + dy)) {
-                            for &j in bucket {
-                                if points[j as usize].dist2(p) <= eps2 {
-                                    out.push(j);
-                                }
-                            }
+                            dist2_filter_chunked(points, bucket, p, eps2, out);
                         }
                     }
                 }
@@ -291,12 +337,15 @@ impl GridIndex {
 /// fallback must be used. `cell` is the chosen cell side — `eps`, a
 /// bounded multiple of it (extent path), or a density-derived side (geo
 /// path); always `>= eps`, which is all the 3×3 probe needs.
-struct CsrExtent {
-    min_x: f64,
-    min_y: f64,
-    cols: usize,
-    rows: usize,
-    cell: f64,
+///
+/// Shared between [`GridIndex`] and the patchable
+/// [`GridState`](crate::GridState) so both layouts self-tune identically.
+pub(crate) struct CsrExtent {
+    pub(crate) min_x: f64,
+    pub(crate) min_y: f64,
+    pub(crate) cols: usize,
+    pub(crate) rows: usize,
+    pub(crate) cell: f64,
 }
 
 /// Grid geometry for a box of `span_x × span_y` at cell side `cell`, or
@@ -317,7 +366,11 @@ fn grid_dims(span_x: f64, span_y: f64, cell: f64) -> Option<(usize, usize, usize
     Some((cols, rows, cells))
 }
 
-fn csr_extent(points: &[ObjPos], eps: f64, percentiles: &mut Vec<f64>) -> Option<CsrExtent> {
+pub(crate) fn csr_extent(
+    points: &[ObjPos],
+    eps: f64,
+    percentiles: &mut Vec<f64>,
+) -> Option<CsrExtent> {
     let first = points.first()?;
     let (mut min_x, mut max_x) = (first.x, first.x);
     let (mut min_y, mut max_y) = (first.y, first.y);
@@ -332,7 +385,7 @@ fn csr_extent(points: &[ObjPos], eps: f64, percentiles: &mut Vec<f64>) -> Option
         min_y = min_y.min(p.y);
         max_y = max_y.max(p.y);
     }
-    let target = 1024.max(points.len().saturating_mul(CSR_TARGET_CELLS_PER_POINT));
+    let target = CSR_MIN_TARGET_CELLS.max(points.len().saturating_mul(CSR_TARGET_CELLS_PER_POINT));
     let budget = CSR_MIN_CELL_BUDGET
         .max(points.len().saturating_mul(CSR_MAX_CELLS_PER_POINT))
         .min(CSR_ABS_MAX_CELLS);

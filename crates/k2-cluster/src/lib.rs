@@ -23,9 +23,11 @@
 
 mod dsu;
 mod grid;
+mod grid_state;
 
 pub use dsu::DisjointSet;
-pub use grid::GridIndex;
+pub use grid::{dist2_filter_chunked, GridIndex};
+pub use grid_state::{GridCounters, GridState};
 
 use k2_model::{ObjPos, ObjectSet, SetPool};
 
@@ -86,9 +88,18 @@ pub fn dbscan(points: &[ObjPos], params: DbscanParams) -> Vec<ObjectSet> {
 /// probes the HWMT, extension and validation phases issue. Create one per
 /// worker (it is cheap and empty until first use) and pass it to every
 /// call.
+///
+/// The grid inside is an incrementally patchable [`GridState`]: when
+/// consecutive calls cluster *adjacent* snapshots of the same moving
+/// population (benchmark clustering, streaming hop boundaries), the grid
+/// is diffed and patched in `O(moved)` instead of rebuilt — see the
+/// [`grid_state`](GridState) docs for the patch-or-rebuild heuristic.
+/// Unrelated point sets (successive HWMT candidates, say) simply fail the
+/// churn test and rebuild, so reuse is always safe.
+/// [`grid_counters`](Self::grid_counters) reports how often each path ran.
 #[derive(Debug, Default)]
 pub struct GridScratch {
-    grid: GridIndex,
+    grid: GridState,
     label: Vec<u32>,
     neighbours: Vec<u32>,
     frontier: Vec<u32>,
@@ -102,6 +113,15 @@ pub struct GridScratch {
     pool: SetPool,
     /// Sort buffer for the (rare) unsorted-input gather path.
     sort_buf: Vec<u32>,
+    /// Identity candidate list (`0, 1, 2, …`) for the gridless small
+    /// path, so it shares the chunked distance kernel (grown on demand,
+    /// never shrunk).
+    identity: Vec<u32>,
+    /// Union-find forest of the `min_pts <= 2` connected-component path.
+    parent: Vec<u32>,
+    /// Has-any-eps-neighbour flags of the same path (a component has
+    /// `>= 2` members iff its root was ever flagged).
+    linked: Vec<bool>,
 }
 
 impl GridScratch {
@@ -116,6 +136,19 @@ impl GridScratch {
     pub fn pool_mut(&mut self) -> &mut SetPool {
         &mut self.pool
     }
+
+    /// Grid-reuse counters of the scratch's [`GridState`], cumulative
+    /// since creation (see [`GridCounters`]).
+    pub fn grid_counters(&self) -> GridCounters {
+        self.grid.counters()
+    }
+
+    /// Drops the grid's retained geometry (buffers survive) so the next
+    /// clustering call rebuilds instead of patching — see
+    /// [`GridState::invalidate`].
+    pub fn invalidate_grid(&mut self) {
+        self.grid.invalidate();
+    }
 }
 
 /// [`dbscan`] with caller-provided scratch buffers — the allocation-free
@@ -127,6 +160,32 @@ pub fn dbscan_with(
     params: DbscanParams,
     scratch: &mut GridScratch,
 ) -> Vec<ObjectSet> {
+    dbscan_impl(points, params, scratch, true)
+}
+
+/// [`dbscan_with`] pinned to the seed-and-expand labeling loop — the
+/// `min_pts <= 2` connected-component shortcut is never taken, whatever
+/// the parameters. The output is identical; only the cost profile
+/// differs.
+///
+/// This exists for perf *probes*: a report that normalizes mining time by
+/// "one snapshot clustering" needs that denominator to keep measuring
+/// the same reference work across releases, or the normalized trajectory
+/// silently re-bases every time the clustering itself gets faster.
+pub fn dbscan_reference_with(
+    points: &[ObjPos],
+    params: DbscanParams,
+    scratch: &mut GridScratch,
+) -> Vec<ObjectSet> {
+    dbscan_impl(points, params, scratch, false)
+}
+
+fn dbscan_impl(
+    points: &[ObjPos],
+    params: DbscanParams,
+    scratch: &mut GridScratch,
+    allow_cc: bool,
+) -> Vec<ObjectSet> {
     if points.len() < params.min_pts {
         return Vec::new();
     }
@@ -134,61 +193,118 @@ pub fn dbscan_with(
     // Tiny probes skip the index entirely (see `SMALL_SNAPSHOT_CUTOFF`).
     let use_grid = points.len() > SMALL_SNAPSHOT_CUTOFF;
     if use_grid {
-        scratch.grid.rebuild(points, params.eps);
-    }
-    let neighbours_of = |idx: usize, out: &mut Vec<u32>| {
-        out.clear();
-        if use_grid {
-            scratch.grid.neighbours(points, idx, eps2, out);
-        } else {
-            let p = &points[idx];
-            for (j, q) in points.iter().enumerate() {
-                if q.dist2(p) <= eps2 {
-                    out.push(j as u32);
-                }
-            }
+        // Patch-or-rebuild: adjacent snapshots of the same population
+        // reuse the previous grid in O(moved) (see `GridState`).
+        scratch.grid.update(points, params.eps);
+    } else {
+        while scratch.identity.len() < points.len() {
+            scratch.identity.push(scratch.identity.len() as u32);
         }
-    };
-
+    }
     const UNVISITED: u32 = u32::MAX;
     const NOISE: u32 = u32::MAX - 1;
-    let label = &mut scratch.label;
-    label.clear();
-    label.resize(points.len(), UNVISITED);
     let mut cluster_count: u32 = 0;
 
-    let neighbours = &mut scratch.neighbours;
-    let frontier = &mut scratch.frontier;
-    frontier.clear();
-
-    for start in 0..points.len() {
-        if label[start] != UNVISITED {
-            continue;
-        }
-        neighbours_of(start, neighbours);
-        if neighbours.len() < params.min_pts {
-            label[start] = NOISE;
-            continue;
-        }
-        // `start` is a core point: expand a new cluster from it.
-        let cid = cluster_count;
-        cluster_count += 1;
-        label[start] = cid;
-        frontier.clear();
-        for &n in neighbours.iter() {
-            let l = label[n as usize];
-            if l == UNVISITED || l == NOISE {
-                if l == UNVISITED {
-                    frontier.push(n);
+    if allow_cc && use_grid && params.min_pts <= 2 && scratch.grid.is_clean_csr() {
+        // With `min_pts <= 2` a point is core iff it has any other point
+        // within eps (self counts), so border points do not exist and the
+        // clusters are exactly the connected components of the eps-graph
+        // with `>= min_pts` members. A union-find over the grid's
+        // half-stencil pair sweep labels them with half the candidate
+        // filtering of the seed-and-expand loop below — and identically:
+        // a component's first seed in the 0..n scan *is* its min-index
+        // member, so discovery order equals min-member order, which is
+        // what unioning roots toward the smaller index reproduces.
+        let GridScratch {
+            grid,
+            label,
+            neighbours,
+            parent,
+            linked,
+            ..
+        } = scratch;
+        let n = points.len();
+        label.clear();
+        label.resize(n, UNVISITED);
+        parent.clear();
+        parent.extend(0..n as u32);
+        linked.clear();
+        linked.resize(n, false);
+        // Path-halving find; roots only ever point at smaller indices,
+        // so every root is its component's minimum member.
+        fn find(parent: &mut [u32], mut i: u32) -> u32 {
+            loop {
+                let p = parent[i as usize];
+                if p == i {
+                    return i;
                 }
-                label[n as usize] = cid;
+                let g = parent[p as usize];
+                parent[i as usize] = g;
+                i = g;
             }
         }
-        while let Some(q) = frontier.pop() {
-            neighbours_of(q as usize, neighbours);
-            if neighbours.len() < params.min_pts {
-                continue; // border point: belongs to the cluster, no expansion
+        grid.eps_pairs(points, eps2, neighbours, |a, b| {
+            linked[a as usize] = true;
+            linked[b as usize] = true;
+            let ra = find(parent, a);
+            let rb = find(parent, b);
+            if ra != rb {
+                let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+                parent[hi as usize] = lo;
             }
+        });
+        for i in 0..n {
+            let r = find(parent, i as u32) as usize;
+            label[i] = if r == i {
+                // First member of its component in index order: decide
+                // the whole component here (later members copy from the
+                // root's label, including a NOISE verdict).
+                if linked[i] || params.min_pts <= 1 {
+                    let c = cluster_count;
+                    cluster_count += 1;
+                    c
+                } else {
+                    NOISE
+                }
+            } else {
+                label[r]
+            };
+        }
+    } else {
+        let grid = &scratch.grid;
+        let identity = &scratch.identity;
+        let neighbours_of = |idx: usize, out: &mut Vec<u32>| {
+            out.clear();
+            if use_grid {
+                grid.neighbours(points, idx, eps2, out);
+            } else {
+                // Same chunked kernel as the grid probe, over all points.
+                dist2_filter_chunked(points, &identity[..points.len()], &points[idx], eps2, out);
+            }
+        };
+
+        let label = &mut scratch.label;
+        label.clear();
+        label.resize(points.len(), UNVISITED);
+
+        let neighbours = &mut scratch.neighbours;
+        let frontier = &mut scratch.frontier;
+        frontier.clear();
+
+        for start in 0..points.len() {
+            if label[start] != UNVISITED {
+                continue;
+            }
+            neighbours_of(start, neighbours);
+            if neighbours.len() < params.min_pts {
+                label[start] = NOISE;
+                continue;
+            }
+            // `start` is a core point: expand a new cluster from it.
+            let cid = cluster_count;
+            cluster_count += 1;
+            label[start] = cid;
+            frontier.clear();
             for &n in neighbours.iter() {
                 let l = label[n as usize];
                 if l == UNVISITED || l == NOISE {
@@ -198,11 +314,27 @@ pub fn dbscan_with(
                     label[n as usize] = cid;
                 }
             }
+            while let Some(q) = frontier.pop() {
+                neighbours_of(q as usize, neighbours);
+                if neighbours.len() < params.min_pts {
+                    continue; // border point: belongs to the cluster, no expansion
+                }
+                for &n in neighbours.iter() {
+                    let l = label[n as usize];
+                    if l == UNVISITED || l == NOISE {
+                        if l == UNVISITED {
+                            frontier.push(n);
+                        }
+                        label[n as usize] = cid;
+                    }
+                }
+            }
         }
     }
     if cluster_count == 0 {
         return Vec::new();
     }
+    let label = &scratch.label;
 
     // Gather clusters by counting sort over the labels (no per-cluster
     // Vec allocations); enforce the (m, eps)-cluster size bound. (Every

@@ -10,6 +10,12 @@ use std::collections::HashMap;
 /// Returns the benchmark cluster set `Cᵢ` and the number of points
 /// scanned (every point of the snapshot — benchmark points are the only
 /// timestamps where k/2-hop touches the whole population).
+///
+/// This is the stateless one-shot entry: each call builds a fresh grid.
+/// The mining pipelines instead go through `dbscan_with` with a
+/// persistent `GridScratch`, so adjacent benchmark snapshots patch the
+/// previous grid in place instead of rebuilding it (see
+/// [`k2_cluster::GridState`]).
 pub fn cluster_benchmark<S: SnapshotSource + ?Sized>(
     store: &S,
     params: DbscanParams,

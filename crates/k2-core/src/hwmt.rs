@@ -62,6 +62,9 @@ pub fn mine_window_ordered<S: SnapshotSource + ?Sized>(
 /// [`mine_window_ordered`] reusing a caller-provided probe scratch — the
 /// pipeline passes one scratch (buffers + set-interning pool) across all
 /// its hop-windows so the steady state of the probe loop never allocates.
+/// The candidate reclusters inside each probe filter distances through
+/// the chunked kernel (`k2_cluster::dist2_filter_chunked`), the same
+/// four-lane path the benchmark clustering uses.
 pub(crate) fn mine_window_scratched<S: SnapshotSource + ?Sized>(
     store: &S,
     params: DbscanParams,

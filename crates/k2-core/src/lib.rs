@@ -65,7 +65,7 @@ pub use config::{ConfigError, K2Config};
 pub use miner::{ConvoyMiner, MineError, MineOutcome, MineStats};
 pub use parallel::K2HopParallel;
 pub use pipeline::{K2Hop, MiningResult};
-pub use stats::{PhaseTimings, PrefetchStats, PruningStats};
+pub use stats::{GridStats, PhaseTimings, PrefetchStats, PruningStats};
 
 use k2_cluster::{recluster_with, DbscanParams, GridScratch};
 use k2_model::{ObjPos, ObjectSet, Time};

@@ -35,7 +35,7 @@
 //! ```
 
 use crate::config::ConfigError;
-use crate::stats::{PhaseTimings, PrefetchStats, PruningStats};
+use crate::stats::{GridStats, PhaseTimings, PrefetchStats, PruningStats};
 use k2_model::Convoy;
 use k2_storage::{IoStats, SnapshotSource, StoreError};
 use std::fmt;
@@ -113,6 +113,10 @@ pub struct MineStats {
     /// Memory discipline of the store path's bounded hop-window
     /// prefetch. All-zero for engines (or paths) that never prefetch.
     pub prefetch: PrefetchStats,
+    /// Grid-reuse counters of the benchmark-clustering phase (patched vs
+    /// rebuilt snapshot grids). All-zero for engines that do not cluster
+    /// through the incremental grid.
+    pub grid: GridStats,
 }
 
 /// Everything one mining run produces: the convoys, the run statistics,

@@ -3,11 +3,24 @@
 //! [`K2HopParallel`](crate::K2HopParallel) — plus the batched, zero-copy
 //! benchmark-snapshot fetcher both miners cluster through.
 
-use k2_cluster::{dbscan_with, DbscanParams, GridScratch};
+use k2_cluster::{dbscan_with, DbscanParams, GridCounters, GridScratch};
 use k2_model::{ObjPos, ObjectSet, Time};
 use k2_storage::{SnapshotRef, StoreResult};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// What the benchmark-clustering phase hands back to the miners: the
+/// per-benchmark cluster sets (in `bench` order), the number of points
+/// scanned, and the grid-reuse counters harvested from every worker's
+/// [`GridScratch`].
+pub(crate) struct BenchClusters {
+    /// Cluster sets per benchmark timestamp, in `bench` order.
+    pub clusters: Vec<Vec<ObjectSet>>,
+    /// Total points scanned across the benchmark snapshots.
+    pub points: u64,
+    /// Summed grid build/patch counters of the phase.
+    pub grid: GridCounters,
+}
 
 /// Maps `f` over `items` on up to `threads` workers, preserving order.
 ///
@@ -98,6 +111,16 @@ pub(crate) fn shard_ranges(len: usize, shards: usize) -> Vec<std::ops::Range<usi
 /// need not be `Sync`); clustering fans out over `threads` workers off an
 /// atomic counter, one [`GridScratch`] per worker.
 ///
+/// The parallel work unit is a contiguous **run** of benchmark snapshots,
+/// not a single snapshot: consecutive benchmark points are adjacent in
+/// time, so a worker that clusters its run in order lets its scratch's
+/// [`GridState`](k2_cluster::GridState) *patch* the grid from one
+/// snapshot to the next instead of rebuilding it (the same contiguous
+/// split as the store path's temporal shards). Output is identical either
+/// way — DBSCAN depends only on the exact neighbour sets, which both the
+/// patched and the rebuilt grid answer — so the thread-count invariance
+/// the goldens pin is untouched.
+///
 /// Two regimes, switched on what the engine actually returns:
 ///
 /// * **Resident engines** ([`SnapshotRef::Shared`]): each ref is an O(1)
@@ -111,23 +134,25 @@ pub(crate) fn shard_ranges(len: usize, shards: usize) -> Vec<std::ops::Range<usi
 ///   by batch, keeping peak memory at O(batch × population) instead of
 ///   holding every benchmark snapshot of a disk-backed dataset at once.
 ///
-/// Returns the per-benchmark cluster sets (in `bench` order — clustering
-/// is deterministic, so the result is identical at every thread count)
-/// and the total number of points scanned.
+/// Returns a [`BenchClusters`]: cluster sets in `bench` order (clustering
+/// is deterministic, so the result is identical at every thread count),
+/// points scanned, and the phase's grid-reuse counters.
 pub(crate) fn cluster_benchmark_snapshots<F>(
     threads: usize,
     bench: &[Time],
     params: DbscanParams,
     mut fetch: F,
-) -> StoreResult<(Vec<Vec<ObjectSet>>, u64)>
+) -> StoreResult<BenchClusters>
 where
     F: for<'a> FnMut(Time, &'a mut Vec<ObjPos>) -> StoreResult<SnapshotRef<'a>>,
 {
     let mut points = 0u64;
+    let mut grid = GridCounters::default();
     let mut clusters = Vec::with_capacity(bench.len());
     if threads <= 1 {
         // Sequential: cluster each snapshot while it is still hot in
-        // cache, reusing one scratch and one scan buffer across all.
+        // cache, reusing one scratch and one scan buffer across all —
+        // one long run, so every adjacent pair is a patch candidate.
         let mut scratch = GridScratch::new();
         let mut buf = Vec::new();
         for &b in bench {
@@ -135,7 +160,11 @@ where
             points += snapshot.len() as u64;
             clusters.push(dbscan_with(&snapshot, params, &mut scratch));
         }
-        return Ok((clusters, points));
+        return Ok(BenchClusters {
+            clusters,
+            points,
+            grid: scratch.grid_counters(),
+        });
     }
 
     // Shared prefix: take ownership of the Arcs immediately, releasing
@@ -168,14 +197,33 @@ where
             }
         }
     }
-    clusters.extend(self_scheduled_map(
+    // Fan out contiguous runs (one per worker): each worker walks its
+    // run in time order, patching its grid between adjacent snapshots.
+    let runs = shard_ranges(shared.len(), threads);
+    for (run_clusters, delta) in self_scheduled_map(
         threads,
-        &shared,
+        &runs,
         GridScratch::new,
-        |scratch, snapshot| dbscan_with(snapshot, params, scratch),
-    ));
+        |scratch, range: &std::ops::Range<usize>| {
+            // A worker can claim several runs; the per-run delta keeps the
+            // harvest correct regardless of which worker ran what.
+            let before = scratch.grid_counters();
+            let out: Vec<Vec<ObjectSet>> = shared[range.clone()]
+                .iter()
+                .map(|snapshot| dbscan_with(snapshot, params, scratch))
+                .collect();
+            (out, scratch.grid_counters().since(before))
+        },
+    ) {
+        clusters.extend(run_clusters);
+        grid.add(delta);
+    }
     if rest.is_empty() {
-        return Ok((clusters, points));
+        return Ok(BenchClusters {
+            clusters,
+            points,
+            grid,
+        });
     }
 
     // Buffered remainder: bounded ring of reused buffers.
@@ -196,14 +244,32 @@ where
             points += snapshot.len() as u64;
             snapshots.push(snapshot);
         }
-        clusters.extend(self_scheduled_map(
+        // Runs within the ring batch: shorter than the shared path's (the
+        // ring bounds resident memory to O(batch)), but still contiguous,
+        // so adjacent snapshots within a run patch instead of rebuild.
+        let runs = shard_ranges(snapshots.len(), threads);
+        for (run_clusters, delta) in self_scheduled_map(
             threads,
-            &snapshots,
+            &runs,
             GridScratch::new,
-            |scratch, snapshot| dbscan_with(snapshot, params, scratch),
-        ));
+            |scratch, range: &std::ops::Range<usize>| {
+                let before = scratch.grid_counters();
+                let out: Vec<Vec<ObjectSet>> = snapshots[range.clone()]
+                    .iter()
+                    .map(|snapshot| dbscan_with(snapshot, params, scratch))
+                    .collect();
+                (out, scratch.grid_counters().since(before))
+            },
+        ) {
+            clusters.extend(run_clusters);
+            grid.add(delta);
+        }
     }
-    Ok((clusters, points))
+    Ok(BenchClusters {
+        clusters,
+        points,
+        grid,
+    })
 }
 
 #[cfg(test)]
@@ -257,20 +323,20 @@ mod tests {
         let params = DbscanParams::new(2, 1.0);
         let bench: Vec<Time> = (0..30).step_by(3).collect();
 
-        let (seq, seq_points) = cluster_benchmark_snapshots(1, &bench, params, |t, buf| {
+        let res = cluster_benchmark_snapshots(1, &bench, params, |t, buf| {
             store.scan_snapshot_ref(t, buf)
         })
         .unwrap();
+        let (seq, seq_points) = (res.clusters, res.points);
         assert_eq!(seq.len(), bench.len());
         assert!(seq.iter().any(|c| !c.is_empty()));
         for threads in [2usize, 4, 64] {
-            let (par, par_points) =
-                cluster_benchmark_snapshots(threads, &bench, params, |t, buf| {
-                    store.scan_snapshot_ref(t, buf)
-                })
-                .unwrap();
-            assert_eq!(par, seq, "{threads} threads");
-            assert_eq!(par_points, seq_points, "{threads} threads");
+            let par = cluster_benchmark_snapshots(threads, &bench, params, |t, buf| {
+                store.scan_snapshot_ref(t, buf)
+            })
+            .unwrap();
+            assert_eq!(par.clusters, seq, "{threads} threads");
+            assert_eq!(par.points, seq_points, "{threads} threads");
         }
         // Every fetch above was served from shared storage: the in-memory
         // benchmark path performs zero snapshot copies.
@@ -284,38 +350,36 @@ mod tests {
         // benchmark list spans several ring batches (97 > threads * 8).
         let dataset = store.dataset();
         let long_bench: Vec<Time> = (0..30).cycle().take(97).collect();
-        let (shared_clusters, shared_points) =
-            cluster_benchmark_snapshots(2, &long_bench, params, |t, buf| {
-                store.scan_snapshot_ref(t, buf)
-            })
-            .unwrap();
-        let (buffered, buffered_points) =
-            cluster_benchmark_snapshots(2, &long_bench, params, |t, buf| {
-                buf.clear();
-                buf.extend_from_slice(dataset.snapshot(t).map(|s| s.positions()).unwrap_or(&[]));
-                Ok(k2_storage::SnapshotRef::Buffered(buf))
-            })
-            .unwrap();
-        assert_eq!(buffered, shared_clusters);
-        assert_eq!(buffered_points, shared_points);
+        let res = cluster_benchmark_snapshots(2, &long_bench, params, |t, buf| {
+            store.scan_snapshot_ref(t, buf)
+        })
+        .unwrap();
+        let (shared_clusters, shared_points) = (res.clusters, res.points);
+        let buffered = cluster_benchmark_snapshots(2, &long_bench, params, |t, buf| {
+            buf.clear();
+            buf.extend_from_slice(dataset.snapshot(t).map(|s| s.positions()).unwrap_or(&[]));
+            Ok(k2_storage::SnapshotRef::Buffered(buf))
+        })
+        .unwrap();
+        assert_eq!(buffered.clusters, shared_clusters);
+        assert_eq!(buffered.points, shared_points);
         for switch_at in [0usize, 1, 40, 96] {
             let mut fetches = 0usize;
-            let (mixed, mixed_points) =
-                cluster_benchmark_snapshots(2, &long_bench, params, |t, buf| {
-                    fetches += 1;
-                    if fetches <= switch_at {
-                        store.scan_snapshot_ref(t, buf)
-                    } else {
-                        buf.clear();
-                        buf.extend_from_slice(
-                            dataset.snapshot(t).map(|s| s.positions()).unwrap_or(&[]),
-                        );
-                        Ok(k2_storage::SnapshotRef::Buffered(buf))
-                    }
-                })
-                .unwrap();
-            assert_eq!(mixed, shared_clusters, "switch at {switch_at}");
-            assert_eq!(mixed_points, shared_points, "switch at {switch_at}");
+            let mixed = cluster_benchmark_snapshots(2, &long_bench, params, |t, buf| {
+                fetches += 1;
+                if fetches <= switch_at {
+                    store.scan_snapshot_ref(t, buf)
+                } else {
+                    buf.clear();
+                    buf.extend_from_slice(
+                        dataset.snapshot(t).map(|s| s.positions()).unwrap_or(&[]),
+                    );
+                    Ok(k2_storage::SnapshotRef::Buffered(buf))
+                }
+            })
+            .unwrap();
+            assert_eq!(mixed.clusters, shared_clusters, "switch at {switch_at}");
+            assert_eq!(mixed.points, shared_points, "switch at {switch_at}");
             assert_eq!(fetches, long_bench.len(), "no refetch at {switch_at}");
         }
     }

@@ -28,7 +28,7 @@ use crate::hwmt::{mine_window_slab, WindowSlab};
 use crate::merge::merge_spanning_tuned;
 use crate::par::{cluster_benchmark_snapshots, self_scheduled_map, shard_ranges};
 use crate::pipeline::MiningResult;
-use crate::stats::{PhaseTimings, PrefetchStats, PruningStats};
+use crate::stats::{GridStats, PhaseTimings, PrefetchStats, PruningStats};
 use crate::validate::{
     hwmt_star_dataset_scratched, hwmt_star_source_scratched, DatasetProbeScratch,
 };
@@ -139,6 +139,7 @@ impl K2HopParallel {
                 timings,
                 pruning,
                 prefetch: PrefetchStats::default(),
+                grid: GridStats::default(),
             };
         }
         let bench = benchmark_points(span, cfg.hop());
@@ -147,7 +148,7 @@ impl K2HopParallel {
         // zero-copy fetcher as the sequential miner — snapshots are handed
         // to the workers as shared Arc views of the dataset's own storage.
         let t0 = Instant::now();
-        let (benchmark_clusters, bench_points) =
+        let bench_res =
             cluster_benchmark_snapshots(self.threads, &bench, cfg.dbscan(), |t, _buf| {
                 Ok(match dataset.snapshot(t) {
                     Some(s) => SnapshotRef::Shared(s.positions_shared()),
@@ -155,7 +156,8 @@ impl K2HopParallel {
                 })
             })
             .expect("dataset-direct fetch cannot fail");
-        pruning.benchmark_points = bench_points;
+        let benchmark_clusters = bench_res.clusters;
+        pruning.benchmark_points = bench_res.points;
         pruning.benchmark_timestamps = bench.len() as u32;
         timings.benchmark = t0.elapsed();
 
@@ -172,6 +174,7 @@ impl K2HopParallel {
             pruning,
             // Dataset-resident mining never prefetches.
             prefetch: PrefetchStats::default(),
+            grid: GridStats::from(bench_res.grid),
         }
     }
 
@@ -231,6 +234,7 @@ impl K2HopParallel {
                 timings,
                 pruning,
                 prefetch,
+                grid: GridStats::default(),
             });
         }
         let params = cfg.dbscan();
@@ -239,11 +243,11 @@ impl K2HopParallel {
         // Step 1: batched zero-copy benchmark fetch on the calling thread,
         // clustering fanned out to the workers.
         let t0 = Instant::now();
-        let (benchmark_clusters, bench_points) =
-            cluster_benchmark_snapshots(self.threads, &bench, params, |t, buf| {
-                store.scan_snapshot_ref(t, buf)
-            })?;
-        pruning.benchmark_points = bench_points;
+        let bench_res = cluster_benchmark_snapshots(self.threads, &bench, params, |t, buf| {
+            store.scan_snapshot_ref(t, buf)
+        })?;
+        let benchmark_clusters = bench_res.clusters;
+        pruning.benchmark_points = bench_res.points;
         pruning.benchmark_timestamps = bench.len() as u32;
         timings.benchmark = t0.elapsed();
 
@@ -394,6 +398,7 @@ impl K2HopParallel {
             timings,
             pruning,
             prefetch,
+            grid: GridStats::from(bench_res.grid),
         })
     }
 
@@ -542,6 +547,7 @@ impl crate::ConvoyMiner for K2HopParallel {
                 timings: result.timings,
                 pruning: result.pruning,
                 prefetch: result.prefetch,
+                grid: result.grid,
             },
             io: source.io_stats(),
         })

@@ -7,7 +7,7 @@ use crate::extend::{extend_left_tuned, extend_right_tuned};
 use crate::hwmt::mine_window_scratched;
 use crate::merge::merge_spanning_tuned;
 use crate::par::cluster_benchmark_snapshots;
-use crate::stats::{PhaseTimings, PrefetchStats, PruningStats};
+use crate::stats::{GridStats, PhaseTimings, PrefetchStats, PruningStats};
 use crate::validate::validate_tuned;
 use crate::ProbeScratch;
 use k2_model::{Convoy, ObjectSet};
@@ -47,6 +47,9 @@ pub struct MiningResult {
     /// for the sequential pipeline, which probes the store point by
     /// point and never holds a slab.
     pub prefetch: PrefetchStats,
+    /// Grid-reuse counters of the benchmark-clustering phase (patched vs
+    /// rebuilt snapshot grids).
+    pub grid: GridStats,
 }
 
 impl K2Hop {
@@ -121,6 +124,7 @@ impl K2Hop {
                 timings,
                 pruning,
                 prefetch: PrefetchStats::default(),
+                grid: GridStats::default(),
             });
         }
 
@@ -130,12 +134,13 @@ impl K2Hop {
         // disk engines decode into a bounded ring of reused buffers.
         let t0 = Instant::now();
         let bench = benchmark_points(span, cfg.hop());
-        let (benchmark_clusters, bench_points) =
-            cluster_benchmark_snapshots(self.threads, &bench, params, |t, buf| {
-                store.scan_snapshot_ref(t, buf)
-            })?;
-        pruning.benchmark_points += bench_points;
+        let bench_res = cluster_benchmark_snapshots(self.threads, &bench, params, |t, buf| {
+            store.scan_snapshot_ref(t, buf)
+        })?;
+        let benchmark_clusters = bench_res.clusters;
+        pruning.benchmark_points += bench_res.points;
         pruning.benchmark_timestamps = bench.len() as u32;
+        let grid = GridStats::from(bench_res.grid);
         timings.benchmark = t0.elapsed();
 
         // One probe scratch (buffers + set-interning pool) for steps 2–3:
@@ -216,6 +221,7 @@ impl K2Hop {
             timings,
             pruning,
             prefetch: PrefetchStats::default(),
+            grid,
         })
     }
 }
@@ -235,6 +241,7 @@ impl crate::ConvoyMiner for K2Hop {
                 timings: result.timings,
                 pruning: result.pruning,
                 prefetch: result.prefetch,
+                grid: result.grid,
             },
             io: source.io_stats(),
         })

@@ -1,6 +1,7 @@
-//! Instrumentation: phase timings (Figure 8i) and pruning statistics
-//! (Table 5).
+//! Instrumentation: phase timings (Figure 8i), pruning statistics
+//! (Table 5), and the memory/reuse counters of the optimized phases.
 
+use k2_cluster::GridCounters;
 use std::time::Duration;
 
 /// Wall-clock time spent in each phase of Algorithm 1.
@@ -120,9 +121,63 @@ pub struct PrefetchStats {
     pub shards: u32,
 }
 
+/// Grid-reuse discipline of the benchmark-clustering phase — how often
+/// the per-worker [`GridState`](k2_cluster::GridState) served an update by
+/// patching the previous snapshot's grid instead of rebuilding it.
+///
+/// The counters cover step 1 (benchmark clustering) only: that is the
+/// phase whose adjacent-snapshot structure the incremental grid exploits,
+/// and scoping them there keeps the numbers comparable across engines.
+/// Like [`PrefetchStats`], they are deterministic for a fixed workload,
+/// configuration and thread count — the patch-or-rebuild decision depends
+/// only on the data — so CI can gate `grid_patches > 0` to keep the fast
+/// path from silently regressing to always-rebuild.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GridStats {
+    /// Full grid rebuilds (extent retune + counting sort), including the
+    /// first build of every run.
+    pub grid_builds: u64,
+    /// Updates served by the incremental patch path. Both patch flavours
+    /// count: sparse `O(moved)` slot moves when few points changed cell,
+    /// and the retained-geometry re-scatter that keeps the extent and
+    /// cell side but redistributes all slots when churn is higher.
+    pub grid_patches: u64,
+    /// Total slot moves the patches applied (points whose cell changed,
+    /// plus appended and dropped points).
+    pub cells_moved: u64,
+}
+
+impl From<GridCounters> for GridStats {
+    fn from(c: GridCounters) -> Self {
+        GridStats {
+            grid_builds: c.builds,
+            grid_patches: c.patches,
+            cells_moved: c.cells_moved,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn grid_stats_from_counters() {
+        let s: GridStats = GridCounters {
+            builds: 2,
+            patches: 17,
+            cells_moved: 420,
+        }
+        .into();
+        assert_eq!(
+            s,
+            GridStats {
+                grid_builds: 2,
+                grid_patches: 17,
+                cells_moved: 420
+            }
+        );
+    }
 
     #[test]
     fn timings_total_sums_phases() {

@@ -38,6 +38,11 @@ determinism-checked against baseline entries with an identical workload.
 Sections absent from a baseline are skipped — older committed reports
 predate them.
 
+Reports that carry ``mine.grid`` counters must additionally show
+``grid_patches > 0`` — proof the incremental benchmark-clustering grid
+served at least one snapshot by patching instead of rebuilding. Older
+reports without the field skip the check.
+
 ``--prefetch-ceiling BYTES`` additionally asserts that every
 ``scale_axis`` entry's ``prefetch.prefetch_bytes_peak`` stays at or
 under the ceiling — the bounded-memory guarantee of the hop-window
@@ -193,6 +198,22 @@ def main():
                         f"trucks_geo determinism break vs {p}: {field} was "
                         f"{r['trucks_geo']['mine'].get(field)}, now "
                         f"{fresh['trucks_geo']['mine'].get(field)}")
+
+    # Grid-reuse gate: a report that carries the grid counters must show
+    # the benchmark-clustering phase actually serving updates by patching
+    # the previous snapshot's grid (grid_patches > 0). A zero here means
+    # the incremental path silently fell back to always-rebuild — a perf
+    # regression the wall-clock smoke envelope is too coarse to catch.
+    grid = fresh.get("mine", {}).get("grid")
+    if grid is not None:
+        print(f"grid reuse: {grid.get('grid_builds')} builds, "
+              f"{grid.get('grid_patches')} patches, "
+              f"{grid.get('cells_moved')} cells moved")
+        if grid.get("grid_patches", 0) <= 0:
+            failures.append(
+                "grid_patches is 0: no benchmark snapshot was served by the "
+                "incremental grid patch path — the patch-or-rebuild "
+                "heuristic has regressed to always-rebuild")
 
     # scale_axis entries: determinism against baseline entries with an
     # identical workload (seeded generation + mining must be bit-stable).

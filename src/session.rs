@@ -188,6 +188,7 @@ impl MiningSession {
             timings: Default::default(),
             pruning: Default::default(),
             prefetch: Default::default(),
+            grid: Default::default(),
         };
         stats.timings.hwmt = t0.elapsed();
         Ok(MineOutcome {

@@ -1,7 +1,10 @@
 //! Property-based tests over the core invariants (proptest).
 
 use k2hop::baselines::reference;
-use k2hop::cluster::{dbscan, DbscanParams, GridIndex};
+use k2hop::cluster::{
+    dbscan, dbscan_reference_with, dbscan_with, dist2_filter_chunked, DbscanParams, GridIndex,
+    GridScratch, GridState,
+};
 use k2hop::core::{ConvoyMiner, K2Config, K2Hop};
 use k2hop::model::{Dataset, ObjPos, ObjectSet, Point, TimeInterval};
 use k2hop::storage::InMemoryStore;
@@ -306,5 +309,104 @@ proptest! {
         k2hop::model::codec::write_binary(&d, &mut buf).unwrap();
         let back = k2hop::model::codec::read_binary(&buf[..]).unwrap();
         prop_assert_eq!(d, back);
+    }
+
+    /// A `GridState` driven through an arbitrary move-sequence (every
+    /// snapshot patches or rebuilds per the churn heuristic) answers
+    /// every neighbourhood query exactly like a grid built fresh from
+    /// the current snapshot — the patched index never drifts.
+    #[test]
+    fn grid_state_patched_equals_fresh(
+        start in proptest::collection::vec((0i32..40, 0i32..40), 8..48),
+        steps in proptest::collection::vec(
+            proptest::collection::vec((0usize..48, -50i32..50, -50i32..50), 0..12),
+            1..6,
+        ),
+    ) {
+        let eps = 1.5;
+        let mut points: Vec<ObjPos> = start
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| ObjPos::new(i as u32, x as f64, y as f64))
+            .collect();
+        let mut state = GridState::new();
+        state.update(&points, eps);
+        for moves in &steps {
+            for &(i, dx, dy) in moves {
+                let i = i % points.len();
+                points[i].x += dx as f64;
+                points[i].y += dy as f64;
+            }
+            state.update(&points, eps);
+            let fresh = GridIndex::build(&points, eps);
+            let (mut got, mut want) = (Vec::new(), Vec::new());
+            for idx in 0..points.len() {
+                got.clear();
+                want.clear();
+                state.neighbours(&points, idx, eps * eps, &mut got);
+                fresh.neighbours(&points, idx, eps * eps, &mut want);
+                got.sort_unstable();
+                want.sort_unstable();
+                prop_assert_eq!(&got, &want, "idx {} diverged after patching", idx);
+            }
+        }
+    }
+
+    /// The chunked distance kernel appends exactly what the scalar
+    /// filter appends — including the 1–3 trailing candidates that fall
+    /// off the 4-lane chunks — for arbitrary candidate lists (length
+    /// sweeps every remainder size) and boundary-grazing eps values.
+    #[test]
+    fn dist2_kernel_equals_scalar(
+        coords in proptest::collection::vec((0i32..12, 0i32..12), 1..23),
+        q_idx in 0usize..23,
+        eps2_quarters in 0i32..40,
+    ) {
+        let points: Vec<ObjPos> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| ObjPos::new(i as u32, x as f64, y as f64))
+            .collect();
+        let candidates: Vec<u32> = (0..points.len() as u32).collect();
+        let q = points[q_idx % points.len()];
+        // Quarter-integer eps2 lands exactly on squared integer distances
+        // often, exercising the boundary-inclusive compare in both paths.
+        let eps2 = eps2_quarters as f64 / 4.0;
+        let mut chunked = Vec::new();
+        dist2_filter_chunked(&points, &candidates, &q, eps2, &mut chunked);
+        let mut scalar = Vec::new();
+        for &j in &candidates {
+            if points[j as usize].dist2(&q) <= eps2 {
+                scalar.push(j);
+            }
+        }
+        prop_assert_eq!(chunked, scalar);
+    }
+
+    /// The `min_pts <= 2` connected-component fast path emits exactly
+    /// the clusters of the pinned seed-and-expand reference, across
+    /// patched-grid sequences (adjacent snapshots share one scratch, so
+    /// later snapshots cluster through a patched index).
+    #[test]
+    fn cc_fast_path_equals_seed_expand(
+        snaps in proptest::collection::vec(
+            proptest::collection::vec((0i32..30, 0i32..30), 26..60),
+            1..4,
+        ),
+        min_pts in 1usize..3,
+    ) {
+        let params = DbscanParams::new(min_pts, 1.5);
+        let mut fast = GridScratch::new();
+        let mut reference = GridScratch::new();
+        for snap in &snaps {
+            let points: Vec<ObjPos> = snap
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| ObjPos::new(i as u32, x as f64, y as f64))
+                .collect();
+            let a = dbscan_with(&points, params, &mut fast);
+            let b = dbscan_reference_with(&points, params, &mut reference);
+            prop_assert_eq!(a, b);
+        }
     }
 }
