@@ -19,8 +19,17 @@
 //! This is the report's proof that mining memory stays bounded while the
 //! dataset grows past the first million points.
 //!
+//! An `ingest` section measures the LSM write path under sustained
+//! insert load three ways — tiered compaction run inline (deterministic
+//! write-amplification numbers), the pre-tiered full-merge policy (the
+//! baseline tiering must beat), and tiered compaction on the background
+//! worker (insert-latency percentiles with the merges off the write
+//! path) — plus a deterministic block-cache hit-rate probe over the
+//! ingested tables. `bytes_compacted / bytes_ingested` is the write-amp
+//! number the CI gate holds below the full-merge baseline.
+//!
 //! ```sh
-//! cargo run --release -p k2-bench --bin bench-report -- --out BENCH_7.json --scale-axis 1,10,50
+//! cargo run --release -p k2-bench --bin bench-report -- --out BENCH_8.json --scale-axis 1,10,50
 //! cargo run --release -p k2-bench --bin bench-report -- --scale 0.1 --runs 1
 //! ```
 //!
@@ -34,7 +43,11 @@ use k2_cluster::{dbscan_with, DbscanParams, GridScratch};
 use k2_core::{ConvoyMiner, K2Config, K2Hop, K2HopParallel, MineOutcome, PrefetchStats};
 use k2_datagen::brinkhoff::BrinkhoffConfig;
 use k2_datagen::trucks::TrucksConfig;
-use k2_storage::{InMemoryStore, IoStats, LsmStore, TrajectoryStore};
+use k2_model::Point;
+use k2_storage::{
+    CompactionPolicy, InMemoryStore, IoStats, LsmConfig, LsmStore, SnapshotSource, TrajectoryStore,
+    KEY_SIZE, VAL_SIZE,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -70,7 +83,7 @@ struct Args {
 
 fn parse_args() -> Args {
     let mut args = Args {
-        out: "BENCH_7.json".into(),
+        out: "BENCH_8.json".into(),
         scale: 1.0,
         seed: 42,
         runs: 3,
@@ -251,6 +264,171 @@ fn run_scale_axis(args: &Args) -> Vec<ScaleEntry> {
     entries
 }
 
+/// One leg of the ingest bench: a full insert+flush pass under one
+/// compaction configuration, with per-insert latencies sampled.
+struct IngestSide {
+    secs: f64,
+    io: IoStats,
+    tables: usize,
+    p50_nanos: u64,
+    p99_nanos: u64,
+    max_nanos: u64,
+}
+
+/// The ingest-heavy section: write amplification and insert latency
+/// under sustained insert load, per compaction policy/mode.
+struct IngestSection {
+    points: u64,
+    memtable_entries: usize,
+    max_tables: usize,
+    bytes_ingested: u64,
+    tiered: IngestSide,
+    full_merge: IngestSide,
+    background: IngestSide,
+    /// Deterministic block-cache probe over the tiered store's tables:
+    /// a cold scan pass then an identical warm pass.
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Deterministic ingest workload: unique `(t, oid)` keys, 300 objects
+/// per timestamp, positions a cheap function of `i`.
+fn ingest_point(i: u64) -> Point {
+    let oid = (i % 300) as u32;
+    let t = (i / 300) as u32;
+    Point::new(oid, (i % 977) as f64, (i % 131) as f64 * 0.5, t)
+}
+
+fn run_ingest_side(dir: &std::path::Path, config: LsmConfig, points: u64) -> IngestSide {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).expect("ingest temp dir");
+    let mut store = LsmStore::create_with(dir, config).expect("create ingest store");
+    let mut lat_nanos = Vec::with_capacity(points as usize);
+    let t0 = Instant::now();
+    for i in 0..points {
+        let p = ingest_point(i);
+        let t1 = Instant::now();
+        store.insert(p).expect("insert");
+        lat_nanos.push(t1.elapsed().as_nanos() as u64);
+    }
+    store.flush().expect("final flush");
+    store.wait_for_compactions().expect("drain compactions");
+    let secs = t0.elapsed().as_secs_f64();
+    let io = store.io_stats();
+    let tables = store.num_tables();
+    drop(store);
+    let _ = std::fs::remove_dir_all(dir);
+    lat_nanos.sort_unstable();
+    let pct = |q: f64| lat_nanos[((lat_nanos.len() - 1) as f64 * q) as usize];
+    IngestSide {
+        secs,
+        io,
+        tables,
+        p50_nanos: pct(0.50),
+        p99_nanos: pct(0.99),
+        max_nanos: *lat_nanos.last().expect("non-empty"),
+    }
+}
+
+fn run_ingest(args: &Args) -> IngestSection {
+    // Small memtable + tight trigger so even the smoke scale sustains
+    // dozens of flushes and repeated compactions — the regime the
+    // policies differ in.
+    let points = ((150_000.0 * args.scale).round() as u64).max(20_000);
+    let memtable_entries = 2048;
+    let max_tables = 4;
+    // WAL off: the section isolates compaction write amplification and
+    // merge stalls; fsync cadence is a different (machine-bound) story.
+    let base = LsmConfig {
+        memtable_entries,
+        max_tables,
+        wal: false,
+        ..LsmConfig::default()
+    };
+    let tmp = std::env::temp_dir().join(format!("k2bench-ingest-{}", std::process::id()));
+
+    eprintln!("ingest: {points} inserts, tiered blocking...");
+    let tiered = run_ingest_side(
+        &tmp,
+        LsmConfig {
+            compaction: CompactionPolicy::Tiered,
+            background_compaction: false,
+            ..base
+        },
+        points,
+    );
+    eprintln!("ingest: full-merge blocking (baseline)...");
+    let full_merge = run_ingest_side(
+        &tmp,
+        LsmConfig {
+            compaction: CompactionPolicy::FullMerge,
+            background_compaction: false,
+            ..base
+        },
+        points,
+    );
+    eprintln!("ingest: tiered background...");
+    let background = run_ingest_side(
+        &tmp,
+        LsmConfig {
+            compaction: CompactionPolicy::Tiered,
+            background_compaction: true,
+            ..base
+        },
+        points,
+    );
+
+    // Cache probe: rebuild the (deterministic) tiered store, then read a
+    // fixed snapshot slate twice — the second pass measures residency.
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).expect("ingest temp dir");
+    let mut store = LsmStore::create_with(
+        &tmp,
+        LsmConfig {
+            compaction: CompactionPolicy::Tiered,
+            background_compaction: false,
+            ..base
+        },
+    )
+    .expect("create cache-probe store");
+    for i in 0..points {
+        store.insert(ingest_point(i)).expect("insert");
+    }
+    store.flush().expect("final flush");
+    store.reset_io_stats();
+    let max_t = (points / 300) as u32;
+    let mut buf = Vec::new();
+    for _pass in 0..2 {
+        for t in (0..max_t).step_by(16) {
+            store.scan_snapshot_into(t, &mut buf).expect("scan");
+        }
+    }
+    let probe = store.io_stats();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let bytes_ingested = points * (KEY_SIZE + VAL_SIZE) as u64;
+    eprintln!(
+        "ingest: write-amp tiered {:.2} vs full-merge {:.2}, background insert p99 {} ns, \
+         cache hit rate {:.3}",
+        tiered.io.bytes_compacted as f64 / bytes_ingested as f64,
+        full_merge.io.bytes_compacted as f64 / bytes_ingested as f64,
+        background.p99_nanos,
+        probe.cache_hits as f64 / (probe.cache_hits + probe.cache_misses).max(1) as f64,
+    );
+    IngestSection {
+        points,
+        memtable_entries,
+        max_tables,
+        bytes_ingested,
+        tiered,
+        full_merge,
+        background,
+        cache_hits: probe.cache_hits,
+        cache_misses: probe.cache_misses,
+    }
+}
+
 fn main() {
     let args = parse_args();
 
@@ -330,6 +508,9 @@ fn main() {
         args.runs,
     );
 
+    // Sustained-ingest section: compaction write amp and insert latency.
+    let ingest = run_ingest(&args);
+
     // Dataset-size axis: disk-resident data, bounded-memory mining.
     let scale_entries = run_scale_axis(&args);
 
@@ -348,6 +529,7 @@ fn main() {
             mine_secs: geo_secs,
             result: &geo_result,
         },
+        ingest: &ingest,
         scale_entries: &scale_entries,
     });
     std::fs::write(&args.out, &json).expect("write report");
@@ -385,6 +567,7 @@ struct RenderInput<'a> {
     dbscan_secs: f64,
     probe_secs: f64,
     geo: GeoSection<'a>,
+    ingest: &'a IngestSection,
     scale_entries: &'a [ScaleEntry],
 }
 
@@ -399,6 +582,7 @@ fn render_json(input: &RenderInput) -> String {
         dbscan_secs,
         probe_secs,
         geo,
+        ingest,
         scale_entries,
     } = input;
     let mine_secs = *mine_secs;
@@ -414,7 +598,7 @@ fn render_json(input: &RenderInput) -> String {
     ];
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"k2hop-bench-report/3\",");
+    let _ = writeln!(s, "  \"schema\": \"k2hop-bench-report/4\",");
     let _ = writeln!(
         s,
         "  \"workload\": {{\"generator\": \"brinkhoff\", \"scale\": {}, \"seed\": {}, \"m\": {M}, \"k\": {K}, \"eps\": {EPS:.1}}},",
@@ -524,6 +708,47 @@ fn render_json(input: &RenderInput) -> String {
         geo.result.stats.pruning.pruning_ratio()
     );
     s.push_str("    }\n  },\n");
+    // Sustained ingest: compaction write amplification per policy and
+    // insert latency per execution mode. `bytes_compacted` is a logical
+    // count (entries merged x entry width), so the write-amp numbers are
+    // machine-independent and deterministically gateable; the latency
+    // percentiles are informational wall-clock.
+    let _ = writeln!(s, "  \"ingest\": {{");
+    let _ = writeln!(
+        s,
+        "    \"workload\": {{\"points\": {}, \"memtable_entries\": {}, \"max_tables\": {}, \"entry_bytes\": {}}},",
+        ingest.points,
+        ingest.memtable_entries,
+        ingest.max_tables,
+        KEY_SIZE + VAL_SIZE
+    );
+    let _ = writeln!(s, "    \"bytes_ingested\": {},", ingest.bytes_ingested);
+    let side = |s: &mut String, name: &str, side: &IngestSide, last: bool| {
+        let _ = writeln!(
+            s,
+            "    \"{name}\": {{\"ingest_secs\": {:.6}, \"compactions\": {}, \"bytes_compacted\": {}, \"write_amp\": {:.4}, \"tables_final\": {}, \"insert_p50_nanos\": {}, \"insert_p99_nanos\": {}, \"insert_max_nanos\": {}}}{}",
+            side.secs,
+            side.io.compactions,
+            side.io.bytes_compacted,
+            side.io.bytes_compacted as f64 / ingest.bytes_ingested as f64,
+            side.tables,
+            side.p50_nanos,
+            side.p99_nanos,
+            side.max_nanos,
+            if last { "" } else { "," }
+        );
+    };
+    side(&mut s, "tiered", &ingest.tiered, false);
+    side(&mut s, "full_merge", &ingest.full_merge, false);
+    side(&mut s, "background", &ingest.background, false);
+    let _ = writeln!(
+        s,
+        "    \"cache_probe\": {{\"cache_hits\": {}, \"cache_misses\": {}, \"hit_rate\": {:.4}}}",
+        ingest.cache_hits,
+        ingest.cache_misses,
+        ingest.cache_hits as f64 / (ingest.cache_hits + ingest.cache_misses).max(1) as f64
+    );
+    s.push_str("  },\n");
     // Dataset-size axis: LSM-resident data mined through the bounded
     // hop-window prefetch. `prefetch_bytes_peak` is deterministic (fixed
     // SCALE_THREADS, logical slab bytes) — the CI gate holds it under a

@@ -1,6 +1,6 @@
 //! I/O accounting and memory budgeting.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters describing the I/O behaviour of a storage engine.
 ///
@@ -16,6 +16,11 @@ pub struct IoStats {
     pub blocks_read: u64,
     /// Block/page requests satisfied by a cache (buffer pool / block cache).
     pub cache_hits: u64,
+    /// Block/page requests that had to go to disk because the cache did
+    /// not hold them (or caching is disabled). `cache_hits /
+    /// (cache_hits + cache_misses)` is the hit rate the ingest bench
+    /// reports.
+    pub cache_misses: u64,
     /// Total bytes read from disk.
     pub bytes_read: u64,
     /// Point queries served (`(t, oid)` lookups).
@@ -35,6 +40,13 @@ pub struct IoStats {
     /// Records replayed from the write-ahead log during recovery
     /// (LSM only).
     pub wal_replayed: u64,
+    /// Compactions committed (LSM only) — background or blocking.
+    pub compactions: u64,
+    /// Logical bytes rewritten by compaction (entries merged into output
+    /// tables × entry width). `bytes_compacted / bytes ingested` is the
+    /// compaction component of write amplification — the number the
+    /// bench gate holds below the full-merge baseline.
+    pub bytes_compacted: u64,
 }
 
 impl IoStats {
@@ -44,6 +56,7 @@ impl IoStats {
             seeks: self.seeks - earlier.seeks,
             blocks_read: self.blocks_read - earlier.blocks_read,
             cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
             bytes_read: self.bytes_read - earlier.bytes_read,
             point_queries: self.point_queries - earlier.point_queries,
             range_queries: self.range_queries - earlier.range_queries,
@@ -52,24 +65,40 @@ impl IoStats {
             snapshots_copied: self.snapshots_copied - earlier.snapshots_copied,
             wal_appends: self.wal_appends - earlier.wal_appends,
             wal_replayed: self.wal_replayed - earlier.wal_replayed,
+            compactions: self.compactions - earlier.compactions,
+            bytes_compacted: self.bytes_compacted - earlier.bytes_compacted,
         }
     }
 }
 
-/// Interior-mutable counter cell shared by a store and its sub-components.
+/// Shared counter cell used by a store and its sub-components.
+///
+/// The counters are relaxed atomics, so an `Arc<IoCounters>` can be
+/// shared across threads — the background compaction worker and any
+/// future concurrent readers account into the same instance the store
+/// snapshots. (Relaxed ordering is enough: each counter is an
+/// independent monotonic tally, never used to synchronise other data.)
 #[derive(Debug, Default)]
 pub struct IoCounters {
-    seeks: Cell<u64>,
-    blocks_read: Cell<u64>,
-    cache_hits: Cell<u64>,
-    bytes_read: Cell<u64>,
-    point_queries: Cell<u64>,
-    range_queries: Cell<u64>,
-    bloom_negatives: Cell<u64>,
-    snapshots_shared: Cell<u64>,
-    snapshots_copied: Cell<u64>,
-    wal_appends: Cell<u64>,
-    wal_replayed: Cell<u64>,
+    seeks: AtomicU64,
+    blocks_read: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    bytes_read: AtomicU64,
+    point_queries: AtomicU64,
+    range_queries: AtomicU64,
+    bloom_negatives: AtomicU64,
+    snapshots_shared: AtomicU64,
+    snapshots_copied: AtomicU64,
+    wal_appends: AtomicU64,
+    wal_replayed: AtomicU64,
+    compactions: AtomicU64,
+    bytes_compacted: AtomicU64,
+}
+
+#[inline]
+fn bump(counter: &AtomicU64, n: u64) {
+    counter.fetch_add(n, Ordering::Relaxed);
 }
 
 impl IoCounters {
@@ -79,82 +108,99 @@ impl IoCounters {
     }
 
     pub(crate) fn add_seek(&self) {
-        self.seeks.set(self.seeks.get() + 1);
+        bump(&self.seeks, 1);
     }
 
     pub(crate) fn add_block_read(&self, bytes: u64) {
-        self.blocks_read.set(self.blocks_read.get() + 1);
-        self.bytes_read.set(self.bytes_read.get() + bytes);
+        bump(&self.blocks_read, 1);
+        bump(&self.bytes_read, bytes);
     }
 
     pub(crate) fn add_cache_hit(&self) {
-        self.cache_hits.set(self.cache_hits.get() + 1);
+        bump(&self.cache_hits, 1);
+    }
+
+    pub(crate) fn add_cache_miss(&self) {
+        bump(&self.cache_misses, 1);
     }
 
     pub(crate) fn add_point_query(&self) {
-        self.point_queries.set(self.point_queries.get() + 1);
+        bump(&self.point_queries, 1);
     }
 
     /// Bulk form of [`add_point_query`](Self::add_point_query) — one
-    /// `Cell` round-trip for a whole sorted-probe `multi_get` batch.
+    /// atomic round-trip for a whole sorted-probe `multi_get` batch.
     pub(crate) fn add_point_queries(&self, n: u64) {
-        self.point_queries.set(self.point_queries.get() + n);
+        bump(&self.point_queries, n);
     }
 
     pub(crate) fn add_range_query(&self) {
-        self.range_queries.set(self.range_queries.get() + 1);
+        bump(&self.range_queries, 1);
     }
 
     pub(crate) fn add_bloom_negative(&self) {
-        self.bloom_negatives.set(self.bloom_negatives.get() + 1);
+        bump(&self.bloom_negatives, 1);
     }
 
     pub(crate) fn add_snapshot_shared(&self) {
-        self.snapshots_shared.set(self.snapshots_shared.get() + 1);
+        bump(&self.snapshots_shared, 1);
     }
 
     pub(crate) fn add_snapshot_copied(&self) {
-        self.snapshots_copied.set(self.snapshots_copied.get() + 1);
+        bump(&self.snapshots_copied, 1);
     }
 
     pub(crate) fn add_wal_append(&self) {
-        self.wal_appends.set(self.wal_appends.get() + 1);
+        bump(&self.wal_appends, 1);
     }
 
     pub(crate) fn add_wal_replayed(&self, records: u64) {
-        self.wal_replayed.set(self.wal_replayed.get() + records);
+        bump(&self.wal_replayed, records);
+    }
+
+    pub(crate) fn add_compaction(&self, bytes: u64) {
+        bump(&self.compactions, 1);
+        bump(&self.bytes_compacted, bytes);
     }
 
     /// Snapshot of the counters.
     pub fn snapshot(&self) -> IoStats {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         IoStats {
-            seeks: self.seeks.get(),
-            blocks_read: self.blocks_read.get(),
-            cache_hits: self.cache_hits.get(),
-            bytes_read: self.bytes_read.get(),
-            point_queries: self.point_queries.get(),
-            range_queries: self.range_queries.get(),
-            bloom_negatives: self.bloom_negatives.get(),
-            snapshots_shared: self.snapshots_shared.get(),
-            snapshots_copied: self.snapshots_copied.get(),
-            wal_appends: self.wal_appends.get(),
-            wal_replayed: self.wal_replayed.get(),
+            seeks: get(&self.seeks),
+            blocks_read: get(&self.blocks_read),
+            cache_hits: get(&self.cache_hits),
+            cache_misses: get(&self.cache_misses),
+            bytes_read: get(&self.bytes_read),
+            point_queries: get(&self.point_queries),
+            range_queries: get(&self.range_queries),
+            bloom_negatives: get(&self.bloom_negatives),
+            snapshots_shared: get(&self.snapshots_shared),
+            snapshots_copied: get(&self.snapshots_copied),
+            wal_appends: get(&self.wal_appends),
+            wal_replayed: get(&self.wal_replayed),
+            compactions: get(&self.compactions),
+            bytes_compacted: get(&self.bytes_compacted),
         }
     }
 
     /// Zeroes all counters.
     pub fn reset(&self) {
-        self.seeks.set(0);
-        self.blocks_read.set(0);
-        self.cache_hits.set(0);
-        self.bytes_read.set(0);
-        self.point_queries.set(0);
-        self.range_queries.set(0);
-        self.bloom_negatives.set(0);
-        self.snapshots_shared.set(0);
-        self.snapshots_copied.set(0);
-        self.wal_appends.set(0);
-        self.wal_replayed.set(0);
+        let zero = |c: &AtomicU64| c.store(0, Ordering::Relaxed);
+        zero(&self.seeks);
+        zero(&self.blocks_read);
+        zero(&self.cache_hits);
+        zero(&self.cache_misses);
+        zero(&self.bytes_read);
+        zero(&self.point_queries);
+        zero(&self.range_queries);
+        zero(&self.bloom_negatives);
+        zero(&self.snapshots_shared);
+        zero(&self.snapshots_copied);
+        zero(&self.wal_appends);
+        zero(&self.wal_replayed);
+        zero(&self.compactions);
+        zero(&self.bytes_compacted);
     }
 }
 
@@ -218,6 +264,7 @@ mod tests {
         c.add_block_read(4096);
         c.add_block_read(4096);
         c.add_cache_hit();
+        c.add_cache_miss();
         c.add_point_query();
         c.add_range_query();
         c.add_bloom_negative();
@@ -225,11 +272,13 @@ mod tests {
         c.add_snapshot_copied();
         c.add_wal_append();
         c.add_wal_replayed(3);
+        c.add_compaction(96);
         let s = c.snapshot();
         assert_eq!(s.seeks, 1);
         assert_eq!(s.blocks_read, 2);
         assert_eq!(s.bytes_read, 8192);
         assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
         assert_eq!(s.point_queries, 1);
         assert_eq!(s.range_queries, 1);
         assert_eq!(s.bloom_negatives, 1);
@@ -237,6 +286,8 @@ mod tests {
         assert_eq!(s.snapshots_copied, 1);
         assert_eq!(s.wal_appends, 1);
         assert_eq!(s.wal_replayed, 3);
+        assert_eq!(s.compactions, 1);
+        assert_eq!(s.bytes_compacted, 96);
         c.reset();
         assert_eq!(c.snapshot(), IoStats::default());
     }
@@ -245,13 +296,40 @@ mod tests {
     fn since_subtracts() {
         let c = IoCounters::new();
         c.add_block_read(100);
+        c.add_compaction(10);
         let early = c.snapshot();
         c.add_block_read(100);
         c.add_seek();
+        c.add_compaction(30);
         let diff = c.snapshot().since(&early);
         assert_eq!(diff.blocks_read, 1);
         assert_eq!(diff.bytes_read, 100);
         assert_eq!(diff.seeks, 1);
+        assert_eq!(diff.compactions, 1);
+        assert_eq!(diff.bytes_compacted, 30);
+    }
+
+    #[test]
+    fn counters_are_shareable_across_threads() {
+        let c = std::sync::Arc::new(IoCounters::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.add_cache_hit();
+                        c.add_compaction(2);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = c.snapshot();
+        assert_eq!(s.cache_hits, 4000);
+        assert_eq!(s.compactions, 4000);
+        assert_eq!(s.bytes_compacted, 8000);
     }
 
     #[test]

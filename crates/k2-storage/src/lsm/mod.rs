@@ -10,8 +10,16 @@
 //!   `(t, oid) → (x, y)` entries split into 4 KiB blocks with a sparse
 //!   in-memory index and a per-table **bloom filter** — after which the
 //!   WAL generation that covered them is retired,
-//! * when the number of tables grows past a threshold, **size-tiered
-//!   compaction** merges them into one run (newest version of a key wins),
+//! * when the number of tables grows past a threshold a
+//!   [`CompactionController`] picks a run to merge — **size-tiered** by
+//!   default: only the newest run of similarly sized tables, leaving
+//!   settled giants alone — and a background worker thread executes it
+//!   off the write path (newest version of a key wins;
+//!   [`LsmStore::compact_blocking`] runs the same merges inline for
+//!   deterministic tests and benches),
+//! * block reads go through a **sharded LRU block cache** shared behind
+//!   an `Arc` (per-shard mutex, O(1) eviction), making [`LsmStore`]
+//!   `Send`,
 //! * every flush, compaction and WAL rotation is committed by an
 //!   `fsync`ed record in the append-only **manifest** ([`manifest`]),
 //!   written strictly *after* the files it references are durable,
@@ -33,13 +41,15 @@
 //! bloom filters.
 
 mod bloom;
+mod compaction;
 pub mod manifest;
 mod sstable;
 mod store;
 pub mod wal;
 
 pub use bloom::BloomFilter;
+pub use compaction::{CompactionController, CompactionPolicy};
 pub use manifest::{Manifest, ManifestRecord};
-pub use sstable::{SsTableReader, SsTableWriter};
+pub use sstable::{BlockCache, SsTableReader, SsTableWriter};
 pub use store::{LsmConfig, LsmStore};
 pub use wal::{replay_wal, WalReplay, WalSyncPolicy, WalWriter, WAL_FRAME_SIZE};

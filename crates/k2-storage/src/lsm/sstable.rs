@@ -19,13 +19,12 @@ use super::bloom::BloomFilter;
 use crate::iostats::IoCounters;
 use crate::keys::VAL_SIZE;
 use crate::{StoreError, StoreResult};
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Data-block payload size in bytes.
 pub const BLOCK_SIZE: usize = 4096;
@@ -37,49 +36,255 @@ const FOOTER_SIZE: usize = 8 * 5 + 4;
 
 /// Cache key: `(table id, block number)`.
 type CacheKey = (u64, u32);
-/// Cached block plus its last-used tick.
-type CacheSlot = (Rc<[u8]>, u64);
+
+/// Default shard count for [`BlockCache::new`].
+const DEFAULT_SHARDS: usize = 8;
+
+/// Sentinel for "no slot" in the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+struct Slot {
+    key: CacheKey,
+    block: Arc<[u8]>,
+    prev: usize,
+    next: usize,
+}
+
+/// One lock-protected shard: a hash map into an intrusive doubly-linked
+/// LRU list stored in a slot arena. Every operation — hit, replace,
+/// insert, evict — is O(1); there is no full-map scan anywhere.
+struct Shard {
+    cap: usize,
+    map: HashMap<CacheKey, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl Shard {
+    fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            map: HashMap::with_capacity(cap),
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn get(&mut self, key: CacheKey) -> Option<Arc<[u8]>> {
+        let &i = self.map.get(&key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(self.slots[i].block.clone())
+    }
+
+    fn insert(&mut self, key: CacheKey, block: Arc<[u8]>) {
+        if let Some(&i) = self.map.get(&key) {
+            // Replace in place: refresh the payload and recency. A
+            // resident key must never cost another entry its slot.
+            self.slots[i].block = block;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return;
+        }
+        if self.map.len() >= self.cap {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.free.push(victim);
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Slot {
+                    key,
+                    block,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.slots.push(Slot {
+                    key,
+                    block,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+
+    fn evict_tables(&mut self, ids: &[u64]) {
+        // Collect victims first: can't mutate the list while iterating
+        // the map. Work is proportional to this shard's residency, and
+        // runs once per compaction — not once per table id ever minted.
+        let victims: Vec<usize> = self
+            .map
+            .iter()
+            .filter(|((t, _), _)| ids.contains(t))
+            .map(|(_, &i)| i)
+            .collect();
+        for i in victims {
+            self.unlink(i);
+            self.map.remove(&self.slots[i].key);
+            self.free.push(i);
+        }
+    }
+}
 
 /// Shared LRU cache of decoded data blocks, keyed by `(table id, block #)`.
-#[derive(Debug)]
+///
+/// The cache is sharded: each key hashes to one of N independently locked
+/// shards, so concurrent readers (and the background compaction worker's
+/// evictions) contend only when they touch the same shard. Within a shard
+/// the LRU order lives in an intrusive doubly-linked list, making hits,
+/// inserts and evictions O(1).
+///
+/// A capacity of `0` genuinely disables caching: every read goes to disk
+/// and nothing is retained (there is no hidden minimum). The capacity is
+/// split across shards, so the total resident block count never exceeds
+/// the requested cap.
 pub struct BlockCache {
-    cap: usize,
-    tick: u64,
-    blocks: HashMap<CacheKey, CacheSlot>,
+    shards: Box<[Mutex<Shard>]>,
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockCache")
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .finish()
+    }
 }
 
 impl BlockCache {
-    /// Cache holding at most `cap` blocks.
+    /// Cache holding at most `cap` blocks across the default shard count.
+    /// `cap == 0` disables caching entirely.
     pub fn new(cap: usize) -> Self {
+        Self::with_shards(cap, DEFAULT_SHARDS)
+    }
+
+    /// Cache holding at most `cap` blocks across (up to) `shards` shards.
+    /// Exposed so tests can pin LRU behaviour with a single shard.
+    pub fn with_shards(cap: usize, shards: usize) -> Self {
+        if cap == 0 {
+            return Self {
+                shards: Box::from([]),
+            };
+        }
+        // Never hand a shard a zero cap: that would make some keys
+        // uncacheable. With fewer blocks than shards, shrink the shard
+        // count instead.
+        let n = shards.clamp(1, cap);
+        let shards: Vec<Mutex<Shard>> = (0..n)
+            .map(|i| {
+                let per = cap / n + usize::from(i < cap % n);
+                Mutex::new(Shard::new(per))
+            })
+            .collect();
         Self {
-            cap: cap.max(8),
-            tick: 0,
-            blocks: HashMap::new(),
+            shards: shards.into(),
         }
     }
 
-    fn get(&mut self, key: CacheKey) -> Option<Rc<[u8]>> {
-        self.tick += 1;
-        let tick = self.tick;
-        self.blocks.get_mut(&key).map(|(b, used)| {
-            *used = tick;
-            b.clone()
-        })
-    }
-
-    fn insert(&mut self, key: CacheKey, block: Rc<[u8]>) {
-        self.tick += 1;
-        if self.blocks.len() >= self.cap {
-            if let Some((&victim, _)) = self.blocks.iter().min_by_key(|(_, (_, used))| *used) {
-                self.blocks.remove(&victim);
-            }
+    fn shard_for(&self, key: CacheKey) -> &Mutex<Shard> {
+        // Mix table id and block index so consecutive blocks of one
+        // table spread across shards (fnv-1a over both words).
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in key.0.to_le_bytes().iter().chain(&key.1.to_le_bytes()) {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        self.blocks.insert(key, (block, self.tick));
+        &self.shards[(h as usize) % self.shards.len()]
     }
 
-    /// Drops every cached block belonging to table `id` (after compaction).
-    pub fn evict_table(&mut self, id: u64) {
-        self.blocks.retain(|(t, _), _| *t != id);
+    fn get(&self, key: CacheKey) -> Option<Arc<[u8]>> {
+        if self.shards.is_empty() {
+            return None;
+        }
+        self.shard_for(key)
+            .lock()
+            .expect("cache shard lock")
+            .get(key)
+    }
+
+    fn insert(&self, key: CacheKey, block: Arc<[u8]>) {
+        if self.shards.is_empty() {
+            return;
+        }
+        self.shard_for(key)
+            .lock()
+            .expect("cache shard lock")
+            .insert(key, block);
+    }
+
+    /// Drops every cached block belonging to the given table ids (after a
+    /// compaction retires its inputs). Scans each shard's residents once,
+    /// regardless of how many ids the store has ever minted.
+    pub fn evict_tables(&self, ids: &[u64]) {
+        for shard in self.shards.iter() {
+            shard.lock().expect("cache shard lock").evict_tables(ids);
+        }
+    }
+
+    /// Drops every cached block belonging to table `id`.
+    pub fn evict_table(&self, id: u64) {
+        self.evict_tables(&[id]);
+    }
+
+    /// Number of blocks currently resident (across all shards).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether caching is enabled (capacity > 0).
+    pub fn is_enabled(&self) -> bool {
+        !self.shards.is_empty()
     }
 }
 
@@ -204,8 +409,8 @@ pub struct SsTableReader {
     index: Vec<(u64, u64, u32)>,
     bloom: BloomFilter,
     num_entries: u64,
-    cache: Rc<RefCell<BlockCache>>,
-    io: Rc<IoCounters>,
+    cache: Arc<BlockCache>,
+    io: Arc<IoCounters>,
 }
 
 impl SsTableReader {
@@ -213,8 +418,8 @@ impl SsTableReader {
     pub fn open(
         path: impl AsRef<Path>,
         id: u64,
-        cache: Rc<RefCell<BlockCache>>,
-        io: Rc<IoCounters>,
+        cache: Arc<BlockCache>,
+        io: Arc<IoCounters>,
     ) -> StoreResult<Self> {
         let file = File::open(path.as_ref())?;
         let len = file.metadata()?.len();
@@ -263,6 +468,11 @@ impl SsTableReader {
         })
     }
 
+    /// Table id (the store's flush/compaction sequence number).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// Number of entries in the table.
     pub fn num_entries(&self) -> u64 {
         self.num_entries
@@ -300,19 +510,20 @@ impl SsTableReader {
         pos.checked_sub(1)
     }
 
-    fn read_block(&self, block_idx: usize) -> StoreResult<Rc<[u8]>> {
+    fn read_block(&self, block_idx: usize) -> StoreResult<Arc<[u8]>> {
         let cache_key = (self.id, block_idx as u32);
-        if let Some(b) = self.cache.borrow_mut().get(cache_key) {
+        if let Some(b) = self.cache.get(cache_key) {
             self.io.add_cache_hit();
             return Ok(b);
         }
+        self.io.add_cache_miss();
         let (_, off, len) = self.index[block_idx];
         let mut buf = vec![0u8; len as usize];
         self.file.read_exact_at(&mut buf, off)?;
         self.io.add_seek();
         self.io.add_block_read(len as u64);
-        let block: Rc<[u8]> = buf.into();
-        self.cache.borrow_mut().insert(cache_key, block.clone());
+        let block: Arc<[u8]> = buf.into();
+        self.cache.insert(cache_key, block.clone());
         Ok(block)
     }
 
@@ -368,7 +579,7 @@ pub struct SsTableIter<'a> {
     block_idx: usize,
     entry_idx: usize,
     seek_key: u64,
-    current: Option<Rc<[u8]>>,
+    current: Option<Arc<[u8]>>,
 }
 
 impl SsTableIter<'_> {
@@ -426,11 +637,8 @@ mod tests {
         d.join(name)
     }
 
-    fn fixtures() -> (Rc<RefCell<BlockCache>>, Rc<IoCounters>) {
-        (
-            Rc::new(RefCell::new(BlockCache::new(64))),
-            Rc::new(IoCounters::new()),
-        )
+    fn fixtures() -> (Arc<BlockCache>, Arc<IoCounters>) {
+        (Arc::new(BlockCache::new(64)), Arc::new(IoCounters::new()))
     }
 
     fn build(name: &str, keys: impl Iterator<Item = u64>) -> PathBuf {
@@ -441,6 +649,104 @@ mod tests {
             w.put(k, &val).unwrap();
         }
         w.finish().unwrap()
+    }
+
+    fn block(tag: u8) -> Arc<[u8]> {
+        Arc::from(vec![tag; 8].into_boxed_slice())
+    }
+
+    #[test]
+    fn replace_in_place_does_not_evict() {
+        // Single shard so both keys share one LRU; the cache is full.
+        let c = BlockCache::with_shards(2, 1);
+        c.insert((1, 0), block(1));
+        c.insert((1, 1), block(2));
+        assert_eq!(c.len(), 2);
+        // Re-inserting a resident key must replace, not evict a victim.
+        c.insert((1, 0), block(3));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get((1, 0)).unwrap()[0], 3);
+        assert!(c.get((1, 1)).is_some(), "replace evicted an innocent key");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let c = BlockCache::with_shards(2, 1);
+        c.insert((1, 0), block(1));
+        c.insert((1, 1), block(2));
+        // Touch (1,0) so (1,1) becomes the LRU victim.
+        assert!(c.get((1, 0)).is_some());
+        c.insert((1, 2), block(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get((1, 0)).is_some());
+        assert!(c.get((1, 1)).is_none(), "LRU victim not evicted");
+        assert!(c.get((1, 2)).is_some());
+    }
+
+    #[test]
+    fn zero_cap_disables_caching() {
+        let c = BlockCache::new(0);
+        assert!(!c.is_enabled());
+        c.insert((1, 0), block(1));
+        assert!(c.get((1, 0)).is_none());
+        assert_eq!(c.len(), 0);
+        assert!(c.is_empty());
+        // And nothing in the eviction path panics on the empty shard set.
+        c.evict_tables(&[1]);
+    }
+
+    #[test]
+    fn small_caps_do_not_round_up() {
+        // The old implementation silently clamped to >= 8 blocks.
+        for cap in 1..=4usize {
+            let c = BlockCache::new(cap);
+            for i in 0..16u32 {
+                c.insert((1, i), block(i as u8));
+            }
+            assert!(c.len() <= cap, "cap {cap} held {} blocks", c.len());
+        }
+    }
+
+    #[test]
+    fn evict_tables_only_touches_named_ids() {
+        let c = BlockCache::with_shards(16, 1);
+        for t in 1..=3u64 {
+            for b in 0..3u32 {
+                c.insert((t, b), block(t as u8));
+            }
+        }
+        c.evict_tables(&[1, 3]);
+        assert_eq!(c.len(), 3);
+        for b in 0..3u32 {
+            assert!(c.get((1, b)).is_none());
+            assert!(c.get((2, b)).is_some(), "survivor table evicted");
+            assert!(c.get((3, b)).is_none());
+        }
+        // Freed slots are reused rather than leaked.
+        for b in 10..13u32 {
+            c.insert((4, b), block(4));
+        }
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn cache_is_shared_across_threads() {
+        let c = Arc::new(BlockCache::new(128));
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for b in 0..64u32 {
+                        c.insert((t, b), block(b as u8));
+                        let _ = c.get((t, b));
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert!(c.len() <= 128);
     }
 
     #[test]
@@ -515,11 +821,27 @@ mod tests {
         let (cache, io) = fixtures();
         let r = SsTableReader::open(&path, 5, cache, io.clone()).unwrap();
         let _ = r.get(50).unwrap();
+        assert_eq!(io.snapshot().cache_misses, 1);
         let before = io.snapshot();
         let _ = r.get(51).unwrap();
         let after = io.snapshot().since(&before);
         assert_eq!(after.blocks_read, 0);
+        assert_eq!(after.cache_misses, 0);
         assert!(after.cache_hits >= 1);
+    }
+
+    #[test]
+    fn disabled_cache_reads_disk_every_time() {
+        let path = build("nocache.k2ss", 0..100u64);
+        let cache = Arc::new(BlockCache::new(0));
+        let io = Arc::new(IoCounters::new());
+        let r = SsTableReader::open(&path, 7, cache, io.clone()).unwrap();
+        let _ = r.get(50).unwrap();
+        let _ = r.get(51).unwrap();
+        let s = io.snapshot();
+        assert_eq!(s.blocks_read, 2, "cache_blocks: 0 must not cache");
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(s.cache_misses, 2);
     }
 
     #[test]

@@ -29,7 +29,7 @@ use crate::StoreResult;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Payload width of one WAL entry: `key u64 BE` + 16-byte value.
 pub const WAL_PAYLOAD_SIZE: usize = 8 + VAL_SIZE;
@@ -145,7 +145,7 @@ pub struct WalWriter {
     path: PathBuf,
     policy: WalSyncPolicy,
     unsynced: usize,
-    io: Rc<IoCounters>,
+    io: Arc<IoCounters>,
 }
 
 impl WalWriter {
@@ -153,7 +153,7 @@ impl WalWriter {
     pub fn create(
         path: impl AsRef<Path>,
         policy: WalSyncPolicy,
-        io: Rc<IoCounters>,
+        io: Arc<IoCounters>,
     ) -> StoreResult<Self> {
         let path = path.as_ref().to_path_buf();
         let file = File::create(&path)?;
@@ -173,7 +173,7 @@ impl WalWriter {
     pub fn open_append(
         path: impl AsRef<Path>,
         policy: WalSyncPolicy,
-        io: Rc<IoCounters>,
+        io: Arc<IoCounters>,
     ) -> StoreResult<Self> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().append(true).create(true).open(&path)?;
@@ -286,8 +286,8 @@ mod tests {
         p
     }
 
-    fn io() -> Rc<IoCounters> {
-        Rc::new(IoCounters::new())
+    fn io() -> Arc<IoCounters> {
+        Arc::new(IoCounters::new())
     }
 
     #[test]

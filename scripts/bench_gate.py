@@ -48,6 +48,15 @@ reports without the field skip the check.
 under the ceiling — the bounded-memory guarantee of the hop-window
 prefetch, checked in CI on every push. With this flag the gate also
 accepts a single report (no baselines): ceiling-only mode.
+
+Reports that carry an ``ingest`` section are self-gated on write
+amplification: the tiered policy's ``write_amp`` (bytes_compacted /
+bytes_ingested, a deterministic logical count) must stay strictly below
+the ``full_merge`` baseline measured in the same report — sustained
+ingest never pays full-store merges again. Against baselines whose
+``ingest.workload`` matches, ``bytes_compacted`` of the two blocking
+legs must be bit-identical (the compaction controller is deterministic)
+and the tiered write amp must not grow.
 """
 
 import argparse
@@ -94,6 +103,46 @@ def check_prefetch_ceiling(fresh, ceiling, failures):
                 f"prefetch is no longer memory-bounded")
 
 
+def check_ingest(fresh, baselines, failures):
+    """Write-amp gate for the sustained-ingest section (if present)."""
+    ingest = fresh.get("ingest")
+    if ingest is None:
+        return
+    tiered = ingest["tiered"]
+    full = ingest["full_merge"]
+    print(f"ingest write-amp: tiered {tiered['write_amp']:.4f} "
+          f"(bytes_compacted {tiered['bytes_compacted']}), full-merge "
+          f"baseline {full['write_amp']:.4f}, cache hit rate "
+          f"{ingest.get('cache_probe', {}).get('hit_rate')}")
+    if tiered["bytes_compacted"] >= full["bytes_compacted"]:
+        failures.append(
+            f"ingest write amplification: tiered bytes_compacted "
+            f"{tiered['bytes_compacted']} is not below the full-merge "
+            f"baseline {full['bytes_compacted']} — sustained ingest is "
+            f"paying full-store merges again")
+    # The background leg's exact byte count is timing-dependent (whether a
+    # job finishes before the next flush shifts which runs the controller
+    # sees), so it is gated against the full-merge ceiling, not for
+    # equality with the blocking leg.
+    if ingest["background"]["bytes_compacted"] >= full["bytes_compacted"]:
+        failures.append(
+            "ingest: background compaction rewrote "
+            f"{ingest['background']['bytes_compacted']} bytes, at or above "
+            f"the full-merge baseline {full['bytes_compacted']} — moving "
+            "compaction off the write path must not cost the tiered "
+            "write-amp win")
+    for p, r in baselines:
+        base = r.get("ingest")
+        if base is None or base.get("workload") != ingest.get("workload"):
+            continue
+        for leg in ("tiered", "full_merge"):
+            if base[leg]["bytes_compacted"] != ingest[leg]["bytes_compacted"]:
+                failures.append(
+                    f"ingest determinism break vs {p}: {leg} "
+                    f"bytes_compacted was {base[leg]['bytes_compacted']}, "
+                    f"now {ingest[leg]['bytes_compacted']}")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("reports", nargs="+", metavar="REPORT.json",
@@ -113,8 +162,9 @@ def main():
             ap.error("need at least one baseline and one fresh report "
                      "(or a single report with --prefetch-ceiling)")
         failures = []
-        check_prefetch_ceiling(load(args.reports[0]), args.prefetch_ceiling,
-                               failures)
+        report = load(args.reports[0])
+        check_prefetch_ceiling(report, args.prefetch_ceiling, failures)
+        check_ingest(report, [], failures)
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)
         if not failures:
@@ -240,6 +290,8 @@ def main():
                     f"scale-axis {e['workload'].get('scale')} prefetch "
                     f"peak grew vs {p}: {base_peak} -> {peak} bytes — the "
                     f"memory bound must not regress")
+
+    check_ingest(fresh, baselines, failures)
 
     if args.prefetch_ceiling is not None:
         check_prefetch_ceiling(fresh, args.prefetch_ceiling, failures)

@@ -19,12 +19,19 @@
 //! 4. kill mid-compaction (orphaned partial output, inputs still live),
 //! 5. kill after the compaction commit record but before input cleanup
 //!    (stale input files),
-//! 6. corrupt manifest tail (bit rot / torn final record).
+//! 6. corrupt manifest tail (bit rot / torn final record),
+//! 7. kill between two committed *partial* (tiered) compactions, with
+//!    the earlier one's stale inputs and the next one's torn output both
+//!    on disk,
+//! 8. kill of a store running compactions on the background worker.
 
 use k2hop::datagen::trucks::TrucksConfig;
 use k2hop::model::{Convoy, Dataset};
 use k2hop::prelude::*;
-use k2hop::storage::{LsmConfig, LsmStore, TrajectoryStore, WalSyncPolicy, WAL_FRAME_SIZE};
+use k2hop::storage::{
+    CompactionPolicy, LsmConfig, LsmStore, SnapshotSource, TrajectoryStore, WalSyncPolicy,
+    WAL_FRAME_SIZE,
+};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::fs;
@@ -375,6 +382,135 @@ fn torn_manifest_tail_truncates_to_last_whole_record() {
 
     let store = LsmStore::open(&dir).unwrap();
     assert_mines_golden(&store, cfg, &expected, "torn-manifest-tail");
+}
+
+/// Tiered config that triggers several *partial* compactions over the
+/// golden workload's ~5 flushes, run inline so the crash point is exact.
+fn tiered_config() -> LsmConfig {
+    LsmConfig {
+        memtable_entries: 1000,
+        max_tables: 3,
+        compaction: CompactionPolicy::Tiered,
+        background_compaction: false,
+        wal_sync: WalSyncPolicy::Batched(256),
+        ..LsmConfig::default()
+    }
+}
+
+/// Crash point 7 — kill between two committed partial compactions. The
+/// manifest holds several `Compact{inputs, output}` records whose inputs
+/// are *subsets* of the live set; the disk additionally holds a stale
+/// input of an earlier partial compaction (commit landed, deletion
+/// didn't) and a torn output of the next one (never committed). The
+/// recovery fold must splice every committed output into its first
+/// input's position, sweep both kinds of debris, and replay the WAL
+/// tail.
+#[test]
+fn kill_between_partial_compactions_folds_both_commits() {
+    let (dataset, cfg, expected) = golden_workload();
+    let dir = tmpdir("partialcompact");
+    let mid_run: Vec<(PathBuf, Vec<u8>)>;
+    {
+        let mut store = LsmStore::create_with(&dir, tiered_config()).unwrap();
+        let points: Vec<Point> = dataset.iter_points().collect();
+        let half = points.len() / 2;
+        for p in &points[..half] {
+            store.insert(*p).unwrap();
+        }
+        store.flush().unwrap();
+        // Snapshot the live tables mid-run: any of these files that a
+        // later partial compaction retires becomes our stale input.
+        mid_run = sst_files(&dir)
+            .into_iter()
+            .map(|p| (p.clone(), fs::read(&p).unwrap()))
+            .collect();
+        for p in &points[half..] {
+            store.insert(*p).unwrap();
+        }
+        assert!(
+            store.io_stats().compactions >= 2,
+            "workload must commit at least two partial compactions, got {}",
+            store.io_stats().compactions
+        );
+        assert!(
+            store.memtable_len() > 0,
+            "crash must catch an unflushed memtable tail"
+        );
+        // Killed here: dropped with the tail still only in the WAL.
+    }
+    // Re-materialise one stale input from an earlier partial compaction.
+    let stale: Vec<&(PathBuf, Vec<u8>)> = mid_run.iter().filter(|(p, _)| !p.exists()).collect();
+    assert!(
+        !stale.is_empty(),
+        "a partial compaction must have retired a mid-run table"
+    );
+    let (stale_path, stale_bytes) = stale[0];
+    fs::write(stale_path, stale_bytes).unwrap();
+    // And a torn output of the compaction that never committed.
+    let torn = dir.join("sst-999999.k2ss");
+    fs::write(&torn, &stale_bytes[..stale_bytes.len() / 3]).unwrap();
+
+    let store = LsmStore::open_with(&dir, tiered_config()).unwrap();
+    assert!(
+        !stale_path.exists(),
+        "stale partial-compaction input must be swept"
+    );
+    assert!(!torn.exists(), "torn next-compaction output must be swept");
+    assert_mines_golden(&store, cfg, &expected, "kill-between-partial-compactions");
+}
+
+/// Crash point 8 — kill a store whose compactions run on the background
+/// worker. Drop waits out the in-flight job (its manifest commit is
+/// never torn by teardown), the memtable tail survives in the WAL, and
+/// the recovered store re-mines to golden bytes.
+#[test]
+fn kill_with_background_compactions_recovers_to_golden() {
+    let (dataset, cfg, expected) = golden_workload();
+    let dir = tmpdir("bgkill");
+    let config = LsmConfig {
+        background_compaction: true,
+        ..tiered_config()
+    };
+    {
+        let mut store = LsmStore::create_with(&dir, config).unwrap();
+        stream_insert(&mut store, &dataset);
+        // Killed here: in-flight background work + unflushed tail.
+    }
+    let store = LsmStore::open_with(&dir, config).unwrap();
+    assert_mines_golden(&store, cfg, &expected, "kill-background-compaction");
+}
+
+/// Golden parity across compaction modes and mining thread counts: the
+/// same workload stored with inline (`compact_blocking`-style) and
+/// background compaction must re-mine to byte-identical golden convoys
+/// at every thread count — table layout is timing-dependent in
+/// background mode, the key-value state (and thus the mining output) is
+/// not.
+#[test]
+fn background_and_blocking_compaction_mine_identical_goldens() {
+    let (dataset, cfg, expected) = golden_workload();
+    for background in [false, true] {
+        let dir = tmpdir(&format!("paritybg{background}"));
+        let config = LsmConfig {
+            background_compaction: background,
+            ..tiered_config()
+        };
+        let mut store = LsmStore::create_with(&dir, config).unwrap();
+        stream_insert(&mut store, &dataset);
+        store.flush().unwrap();
+        store.wait_for_compactions().unwrap();
+        for threads in [1, 2, 4] {
+            let outcome = MiningSession::new(cfg)
+                .threads(threads)
+                .mine(&store)
+                .unwrap();
+            assert_eq!(
+                render(&outcome.convoys),
+                expected,
+                "background={background} threads={threads}: golden mismatch"
+            );
+        }
+    }
 }
 
 /// Sweep of torn-WAL offsets: for any cut inside frame `i`, recovery

@@ -4,12 +4,13 @@
 
 use k2hop::model::{Dataset, Point};
 use k2hop::storage::{
-    replay_wal, FlatFileStore, InMemoryStore, IoCounters, LsmConfig, LsmStore, RelationalStore,
-    TrajectoryStore, WalSyncPolicy, WalWriter, VAL_SIZE, WAL_FRAME_SIZE,
+    replay_wal, CompactionPolicy, FlatFileStore, InMemoryStore, IoCounters, LsmConfig, LsmStore,
+    RelationalStore, SnapshotSource, TrajectoryStore, WalSyncPolicy, WalWriter, VAL_SIZE,
+    WAL_FRAME_SIZE,
 };
 use proptest::prelude::*;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn points_strategy() -> impl Strategy<Value = Vec<Point>> {
     proptest::collection::vec((0u32..20, 0u32..30, -100i32..100, -100i32..100), 1..200).prop_map(
@@ -46,7 +47,7 @@ fn wal_entries_strategy() -> impl Strategy<Value = Vec<(u64, [u8; VAL_SIZE])>> {
 }
 
 fn write_wal(path: &std::path::Path, entries: &[(u64, [u8; VAL_SIZE])]) {
-    let io = Rc::new(IoCounters::new());
+    let io = Arc::new(IoCounters::new());
     let mut wal = WalWriter::create(path, WalSyncPolicy::OnRotate, io).unwrap();
     for (key, val) in entries {
         wal.append(*key, val).unwrap();
@@ -192,6 +193,70 @@ proptest! {
             (whole * WAL_FRAME_SIZE) as u64,
             "file truncated to the clean prefix"
         );
+    }
+
+    /// Any interleaving of inserts, flushes and tiered compactions —
+    /// background or blocking, with a crash (drop without final flush)
+    /// and reopen at the end — yields the same key-value state as the
+    /// sequential reference model. This is the controller's core safety
+    /// property: *which* runs get merged and *when* must never change
+    /// *what* the store holds.
+    #[test]
+    fn lsm_tiered_interleavings_match_model(
+        points in points_strategy(),
+        flush_every in 1usize..24,
+        background in 0u8..2,
+        max_tables in 1usize..6,
+        salt in 0u64..1_000_000,
+    ) {
+        let dir = tmp("tieredops", salt);
+        let config = LsmConfig {
+            memtable_entries: 16,
+            max_tables,
+            compaction: CompactionPolicy::Tiered,
+            background_compaction: background == 1,
+            wal_sync: WalSyncPolicy::EveryAppend,
+            ..LsmConfig::default()
+        };
+        let mut lsm = LsmStore::create_with(dir.join("lsm"), config).unwrap();
+        for (i, p) in points.iter().enumerate() {
+            lsm.insert(*p).unwrap();
+            if i % flush_every == flush_every - 1 {
+                lsm.flush().unwrap();
+            }
+        }
+        let model = model_of(&points);
+        lsm.wait_for_compactions().unwrap();
+        assert!(lsm.num_tables() <= max_tables.max(1), "steady state over budget");
+        check_against_model(&lsm, &model);
+        // Crash without a final flush: the WAL carries the memtable tail
+        // across the reopen, and recovery folds whatever partial
+        // compactions had committed.
+        drop(lsm);
+        let reopened = LsmStore::open_with(dir.join("lsm"), config).unwrap();
+        check_against_model(&reopened, &model);
+    }
+
+    /// Cache accounting invariants on a freshly loaded store: every block
+    /// request is exactly one hit or one miss, a second identical scan is
+    /// all hits when the cache fits the table, and `blocks_read` counts
+    /// exactly the misses.
+    #[test]
+    fn lsm_cache_counters_account_every_block(points in points_strategy(), salt in 0u64..1_000_000) {
+        let dir = tmp("cachecount", salt);
+        let lsm = LsmStore::bulk_load(dir.join("lsm"), &Dataset::from_points(&points).unwrap()).unwrap();
+        let t = points[0].t;
+        lsm.reset_io_stats();
+        let first = lsm.scan_snapshot(t).unwrap();
+        let cold = lsm.io_stats();
+        assert_eq!(cold.blocks_read, cold.cache_misses, "misses are disk reads");
+        let again = lsm.scan_snapshot(t).unwrap();
+        assert_eq!(first, again);
+        let warm = lsm.io_stats().since(&cold);
+        assert_eq!(warm.cache_misses, 0, "default cache holds a toy table");
+        assert_eq!(warm.blocks_read, 0);
+        assert_eq!(warm.cache_hits, cold.cache_hits + cold.cache_misses,
+            "warm scan touches the same blocks, all from cache");
     }
 
     /// The clustered B+tree file round-trips through close/open.
