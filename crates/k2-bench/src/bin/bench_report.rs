@@ -28,8 +28,17 @@
 //! ingested tables. `bytes_compacted / bytes_ingested` is the write-amp
 //! number the CI gate holds below the full-merge baseline.
 //!
+//! A `serving` section drives the k2-server front end: concurrent
+//! miners (each request pinning its own MVCC snapshot through the wire
+//! codec) race a sustained insert stream on the same store. It records
+//! request latency percentiles, the insert percentiles *under* that
+//! read load (the reader-blocks-nothing claim, gated against the
+//! unloaded `ingest.background` leg of the same report), a determinism
+//! probe at 1 vs 4 mining threads (convoy count + content hash must
+//! match), and the peak live-pin count and snapshot staleness observed.
+//!
 //! ```sh
-//! cargo run --release -p k2-bench --bin bench-report -- --out BENCH_8.json --scale-axis 1,10,50
+//! cargo run --release -p k2-bench --bin bench-report -- --out BENCH_9.json --scale-axis 1,10,50
 //! cargo run --release -p k2-bench --bin bench-report -- --scale 0.1 --runs 1
 //! ```
 //!
@@ -43,12 +52,16 @@ use k2_cluster::{dbscan_with, DbscanParams, GridScratch};
 use k2_core::{ConvoyMiner, K2Config, K2Hop, K2HopParallel, MineOutcome, PrefetchStats};
 use k2_datagen::brinkhoff::BrinkhoffConfig;
 use k2_datagen::trucks::TrucksConfig;
+use k2_datagen::ConvoyInjector;
 use k2_model::Point;
+use k2_server::{K2Service, LocalClient, Pattern, Request, Response, WireConvoy};
 use k2_storage::{
-    CompactionPolicy, InMemoryStore, IoStats, LsmConfig, LsmStore, SnapshotSource, TrajectoryStore,
-    KEY_SIZE, VAL_SIZE,
+    CompactionPolicy, InMemoryStore, IoStats, LsmConfig, LsmStore, SharedLsm, SnapshotSource,
+    TrajectoryStore, KEY_SIZE, VAL_SIZE,
 };
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Mining parameters. Chosen so the scaled Brinkhoff traffic yields real
@@ -73,6 +86,16 @@ const GEO_EPS: f64 = 6.0e-4;
 /// ceiling on — is identical on every machine.
 const SCALE_THREADS: usize = 4;
 
+/// Serving-section shape: miner count doubles as the worker-pool size,
+/// so the section measures a fully-loaded pool. The request parameters
+/// target the injector's planted convoys (size 5, tight eps), keeping
+/// the per-request mining work real but bounded.
+const SERVE_MINERS: usize = 4;
+const SERVE_REQUESTS: usize = 6;
+const SERVE_M: u32 = 4;
+const SERVE_K: u32 = 10;
+const SERVE_EPS: f64 = 1.5;
+
 struct Args {
     out: String,
     scale: f64,
@@ -83,7 +106,7 @@ struct Args {
 
 fn parse_args() -> Args {
     let mut args = Args {
-        out: "BENCH_8.json".into(),
+        out: "BENCH_9.json".into(),
         scale: 1.0,
         seed: 42,
         runs: 3,
@@ -429,6 +452,189 @@ fn run_ingest(args: &Args) -> IngestSection {
     }
 }
 
+/// The MVCC serving section: concurrent mine requests (through the
+/// k2-server wire codec) racing a sustained insert stream on one store.
+struct ServingSection {
+    objects: u32,
+    timestamps: u32,
+    points: u64,
+    convoys_t1: usize,
+    hash_t1: u64,
+    convoys_t4: usize,
+    hash_t4: u64,
+    request_p50_nanos: u64,
+    request_p99_nanos: u64,
+    inserts: u64,
+    insert_p50_nanos: u64,
+    insert_p99_nanos: u64,
+    insert_max_nanos: u64,
+    max_live_pins: u64,
+    max_staleness: u64,
+}
+
+/// FNV-1a over the full convoy content (oids + lifespans): the
+/// determinism fingerprint the gate compares across thread counts and
+/// committed reports.
+fn convoys_hash(convoys: &[WireConvoy]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| h = (h ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+    for c in convoys {
+        mix(c.t_start as u64);
+        mix(c.t_end as u64);
+        mix(c.oids.len() as u64);
+        for &oid in &c.oids {
+            mix(oid as u64);
+        }
+    }
+    h
+}
+
+fn run_serving(args: &Args) -> ServingSection {
+    // Planted-convoy workload: deterministic golden convoys for the
+    // thread-count determinism probe, sized with --scale.
+    let objects = ((240.0 * args.scale).round() as u32).max(60);
+    let timestamps = ((160.0 * args.scale).round() as u32).max(40);
+    let dataset = ConvoyInjector::new(objects, timestamps)
+        .convoys(3, 5, (timestamps / 2).max(12))
+        .seed(args.seed)
+        .generate();
+    let span_end = dataset.span().end;
+    let points = dataset.num_points();
+
+    let dir = std::env::temp_dir().join(format!("k2bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Same LSM shape as the ingest section's background leg, so the
+    // insert-latency-under-load percentiles are comparable with the
+    // unloaded ones measured there.
+    let store = SharedLsm::bulk_load_with(
+        &dir,
+        &dataset,
+        LsmConfig {
+            memtable_entries: 2048,
+            max_tables: 4,
+            wal: false,
+            compaction: CompactionPolicy::Tiered,
+            background_compaction: true,
+            ..LsmConfig::default()
+        },
+    )
+    .expect("bulk load serving store");
+    drop(dataset);
+    let service = Arc::new(K2Service::new(store.clone()));
+    let client = LocalClient::new(Arc::clone(&service), SERVE_MINERS);
+    let mine_req = |t_hi: u32, threads: u32| Request::MineRange {
+        t_lo: 0,
+        t_hi,
+        pattern: Pattern::Convoy,
+        m: SERVE_M,
+        k: SERVE_K,
+        eps: SERVE_EPS,
+        threads,
+    };
+
+    // Determinism probe before any ingest: the same request at 1 and 4
+    // mining threads must produce identical convoys (count + content
+    // hash) — parallel mining is not allowed to reorder or drop output.
+    let probe = |threads: u32| match client.request(&mine_req(span_end, threads)) {
+        Ok(Response::Convoys(r)) => (r.convoys.len(), convoys_hash(&r.convoys)),
+        other => panic!("serving probe failed: {other:?}"),
+    };
+    let (convoys_t1, hash_t1) = probe(1);
+    let (convoys_t4, hash_t4) = probe(4);
+    eprintln!(
+        "serving: probe t1 {convoys_t1} convoys ({hash_t1:016x}), \
+         t4 {convoys_t4} convoys ({hash_t4:016x})"
+    );
+
+    // Concurrent phase: SERVE_MINERS clients hammer full-span requests
+    // while this thread sustains the insert stream. Each request pins
+    // its own snapshot; the writer must never feel the readers.
+    let finished = Arc::new(AtomicUsize::new(0));
+    let mut miners = Vec::new();
+    for _ in 0..SERVE_MINERS {
+        let client = client.clone();
+        let finished = Arc::clone(&finished);
+        miners.push(std::thread::spawn(move || {
+            let mut lat = Vec::with_capacity(SERVE_REQUESTS);
+            let mut max_staleness = 0u64;
+            for _ in 0..SERVE_REQUESTS {
+                let t0 = Instant::now();
+                match client.request(&mine_req(u32::MAX, 0)) {
+                    Ok(Response::Convoys(r)) => max_staleness = max_staleness.max(r.staleness),
+                    other => panic!("serving mine failed: {other:?}"),
+                }
+                lat.push(t0.elapsed().as_nanos() as u64);
+            }
+            finished.fetch_add(1, Ordering::Release);
+            (lat, max_staleness)
+        }));
+    }
+    // Keep inserting until every miner is done (with a floor so the
+    // percentiles are stable even if the miners finish first).
+    let floor = ((40_000.0 * args.scale).round() as usize).max(10_000);
+    let mut insert_lat = Vec::with_capacity(floor);
+    let mut max_live_pins = 0u64;
+    let mut i = 0u64;
+    while finished.load(Ordering::Acquire) < SERVE_MINERS || insert_lat.len() < floor {
+        let p = Point::new(
+            (i % 300) as u32,
+            (i % 977) as f64,
+            (i % 131) as f64 * 0.5,
+            span_end + 1 + (i / 300) as u32,
+        );
+        let t0 = Instant::now();
+        store.insert(p).expect("serving insert");
+        insert_lat.push(t0.elapsed().as_nanos() as u64);
+        max_live_pins = max_live_pins.max(store.live_pins());
+        i += 1;
+    }
+    let mut request_lat = Vec::new();
+    let mut max_staleness = 0u64;
+    for m in miners {
+        let (lat, stale) = m.join().expect("miner thread");
+        request_lat.extend(lat);
+        max_staleness = max_staleness.max(stale);
+    }
+    store
+        .quiesce_maintenance()
+        .expect("drain serving compactions");
+    drop(store);
+    drop(client);
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    request_lat.sort_unstable();
+    insert_lat.sort_unstable();
+    let pct = |lat: &[u64], q: f64| lat[((lat.len() - 1) as f64 * q) as usize];
+    eprintln!(
+        "serving: {} requests p99 {} ns, {} inserts under load p99 {} ns, \
+         max {} live pins, max staleness {}",
+        request_lat.len(),
+        pct(&request_lat, 0.99),
+        insert_lat.len(),
+        pct(&insert_lat, 0.99),
+        max_live_pins,
+        max_staleness,
+    );
+    ServingSection {
+        objects,
+        timestamps,
+        points,
+        convoys_t1,
+        hash_t1,
+        convoys_t4,
+        hash_t4,
+        request_p50_nanos: pct(&request_lat, 0.50),
+        request_p99_nanos: pct(&request_lat, 0.99),
+        inserts: insert_lat.len() as u64,
+        insert_p50_nanos: pct(&insert_lat, 0.50),
+        insert_p99_nanos: pct(&insert_lat, 0.99),
+        insert_max_nanos: *insert_lat.last().expect("non-empty"),
+        max_live_pins,
+        max_staleness,
+    }
+}
+
 fn main() {
     let args = parse_args();
 
@@ -511,6 +717,9 @@ fn main() {
     // Sustained-ingest section: compaction write amp and insert latency.
     let ingest = run_ingest(&args);
 
+    // MVCC serving: concurrent miners vs a live insert stream.
+    let serving = run_serving(&args);
+
     // Dataset-size axis: disk-resident data, bounded-memory mining.
     let scale_entries = run_scale_axis(&args);
 
@@ -530,6 +739,7 @@ fn main() {
             result: &geo_result,
         },
         ingest: &ingest,
+        serving: &serving,
         scale_entries: &scale_entries,
     });
     std::fs::write(&args.out, &json).expect("write report");
@@ -568,6 +778,7 @@ struct RenderInput<'a> {
     probe_secs: f64,
     geo: GeoSection<'a>,
     ingest: &'a IngestSection,
+    serving: &'a ServingSection,
     scale_entries: &'a [ScaleEntry],
 }
 
@@ -583,6 +794,7 @@ fn render_json(input: &RenderInput) -> String {
         probe_secs,
         geo,
         ingest,
+        serving,
         scale_entries,
     } = input;
     let mine_secs = *mine_secs;
@@ -747,6 +959,46 @@ fn render_json(input: &RenderInput) -> String {
         ingest.cache_hits,
         ingest.cache_misses,
         ingest.cache_hits as f64 / (ingest.cache_hits + ingest.cache_misses).max(1) as f64
+    );
+    s.push_str("  },\n");
+    // MVCC serving: requests through the k2-server codec, each pinning
+    // its own snapshot, racing a sustained insert stream. The hashes are
+    // the determinism fingerprint (hex — exact u64 survives any JSON
+    // parser); the insert percentiles are the reader-blocks-nothing
+    // number the gate bounds against the unloaded ingest.background leg.
+    let _ = writeln!(s, "  \"serving\": {{");
+    let _ = writeln!(
+        s,
+        "    \"workload\": {{\"generator\": \"convoy-injector\", \"objects\": {}, \"timestamps\": {}, \"planted\": 3, \"convoy_size\": 5, \"seed\": {}, \"m\": {SERVE_M}, \"k\": {SERVE_K}, \"eps\": {SERVE_EPS:.1}}},",
+        serving.objects, serving.timestamps, args.seed
+    );
+    let _ = writeln!(
+        s,
+        "    \"points\": {}, \"miners\": {SERVE_MINERS}, \"requests_per_miner\": {SERVE_REQUESTS}, \"worker_slots\": {SERVE_MINERS},",
+        serving.points
+    );
+    let _ = writeln!(
+        s,
+        "    \"determinism\": {{\"threads_1\": {{\"convoys\": {}, \"hash\": \"{:016x}\"}}, \"threads_4\": {{\"convoys\": {}, \"hash\": \"{:016x}\"}}}},",
+        serving.convoys_t1, serving.hash_t1, serving.convoys_t4, serving.hash_t4
+    );
+    let _ = writeln!(
+        s,
+        "    \"request_p50_nanos\": {}, \"request_p99_nanos\": {},",
+        serving.request_p50_nanos, serving.request_p99_nanos
+    );
+    let _ = writeln!(
+        s,
+        "    \"insert_under_load\": {{\"inserts\": {}, \"p50_nanos\": {}, \"p99_nanos\": {}, \"max_nanos\": {}}},",
+        serving.inserts,
+        serving.insert_p50_nanos,
+        serving.insert_p99_nanos,
+        serving.insert_max_nanos
+    );
+    let _ = writeln!(
+        s,
+        "    \"max_live_pins\": {}, \"max_staleness\": {}",
+        serving.max_live_pins, serving.max_staleness
     );
     s.push_str("  },\n");
     // Dataset-size axis: LSM-resident data mined through the bounded

@@ -1,0 +1,110 @@
+//! A fixed-size worker pool: requests are executed off the connection
+//! threads so N connections contend for `workers` mining slots instead
+//! of spawning unbounded work.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size thread pool. Jobs run in submission order as workers
+/// free up; dropping the pool finishes queued jobs and joins every
+/// worker.
+#[derive(Debug)]
+pub struct WorkerPool {
+    jobs: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                thread::Builder::new()
+                    .name(format!("k2-serve-{i}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only for the dequeue;
+                        // the job itself runs unlocked.
+                        let job = {
+                            let guard = rx.lock().expect("pool queue lock");
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // queue hung up
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            jobs: Some(tx),
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job for execution on some worker.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.jobs
+            .as_ref()
+            .expect("job queue open until drop")
+            .send(Box::new(job))
+            .expect("pool workers alive");
+    }
+
+    /// Runs `job` on a worker and blocks for its result — the
+    /// request/response shape both clients use.
+    pub fn run<R: Send + 'static>(&self, job: impl FnOnce() -> R + Send + 'static) -> R {
+        let (tx, rx): (Sender<R>, Receiver<R>) = channel();
+        self.execute(move || {
+            let _ = tx.send(job());
+        });
+        rx.recv().expect("pool job completes")
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.jobs.take(); // hang up: workers drain the queue and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn pool_runs_every_job() {
+        let pool = WorkerPool::new(4);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let hits = hits.clone();
+            pool.execute(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // joins after draining
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn run_returns_the_job_result() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.run(|| 6 * 7), 42);
+    }
+}

@@ -82,8 +82,15 @@ impl IoStats {
 pub struct IoCounters {
     seeks: AtomicU64,
     blocks_read: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
+    /// Cache hits and misses packed into one word — hits in the high 32
+    /// bits, misses in the low 32 — so [`IoCounters::snapshot`] reads the
+    /// pair with a single atomic load. Snapshotting two independent
+    /// counters mid-flight could observe a hit that its paired miss
+    /// accounting had not caught up with (or vice versa); per-request
+    /// stats served under concurrent readers need `hits + misses` to be
+    /// exactly the number of block requests observed. 2^32 events per
+    /// side is orders of magnitude beyond any bench run between resets.
+    cache_hits_misses: AtomicU64,
     bytes_read: AtomicU64,
     point_queries: AtomicU64,
     range_queries: AtomicU64,
@@ -117,11 +124,11 @@ impl IoCounters {
     }
 
     pub(crate) fn add_cache_hit(&self) {
-        bump(&self.cache_hits, 1);
+        bump(&self.cache_hits_misses, 1 << 32);
     }
 
     pub(crate) fn add_cache_miss(&self) {
-        bump(&self.cache_misses, 1);
+        bump(&self.cache_hits_misses, 1);
     }
 
     pub(crate) fn add_point_query(&self) {
@@ -164,13 +171,20 @@ impl IoCounters {
     }
 
     /// Snapshot of the counters.
+    ///
+    /// The hit/miss pair is read with one atomic load of the packed
+    /// word, so `cache_hits + cache_misses` is exactly the number of
+    /// block requests accounted at that instant — consistent even while
+    /// concurrent readers are bumping both sides. The remaining fields
+    /// are independent monotonic tallies sampled individually.
     pub fn snapshot(&self) -> IoStats {
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let hm = self.cache_hits_misses.load(Ordering::Relaxed);
         IoStats {
             seeks: get(&self.seeks),
             blocks_read: get(&self.blocks_read),
-            cache_hits: get(&self.cache_hits),
-            cache_misses: get(&self.cache_misses),
+            cache_hits: hm >> 32,
+            cache_misses: hm & u32::MAX as u64,
             bytes_read: get(&self.bytes_read),
             point_queries: get(&self.point_queries),
             range_queries: get(&self.range_queries),
@@ -189,8 +203,7 @@ impl IoCounters {
         let zero = |c: &AtomicU64| c.store(0, Ordering::Relaxed);
         zero(&self.seeks);
         zero(&self.blocks_read);
-        zero(&self.cache_hits);
-        zero(&self.cache_misses);
+        zero(&self.cache_hits_misses);
         zero(&self.bytes_read);
         zero(&self.point_queries);
         zero(&self.range_queries);
@@ -330,6 +343,50 @@ mod tests {
         assert_eq!(s.cache_hits, 4000);
         assert_eq!(s.compactions, 4000);
         assert_eq!(s.bytes_compacted, 8000);
+    }
+
+    #[test]
+    fn hit_miss_snapshot_is_consistent_under_concurrent_bumps() {
+        // Each writer records a hit strictly before its paired miss, so
+        // in every consistent snapshot hits >= misses and the lead is at
+        // most the number of writers caught between the two bumps. With
+        // two independently loaded atomics a sampler could read the hit
+        // word, lose the race for a while, then read a miss word that
+        // had overtaken it — the packed single-word counter makes that
+        // impossible.
+        let c = std::sync::Arc::new(IoCounters::new());
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..20_000 {
+                        c.add_cache_hit();
+                        c.add_cache_miss();
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..10_000 {
+            let s = c.snapshot();
+            assert!(
+                s.cache_hits >= s.cache_misses,
+                "miss overtook its preceding hit: {} hits, {} misses",
+                s.cache_hits,
+                s.cache_misses
+            );
+            assert!(
+                s.cache_hits - s.cache_misses <= 4,
+                "hit/miss lead exceeds writer count: {} hits, {} misses",
+                s.cache_hits,
+                s.cache_misses
+            );
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        let s = c.snapshot();
+        assert_eq!(s.cache_hits, 80_000);
+        assert_eq!(s.cache_misses, 80_000);
     }
 
     #[test]

@@ -41,8 +41,8 @@ pub use iostats::{IoCounters, IoStats, MemoryBudget};
 pub use keys::{decode_key, decode_val, encode_key, encode_val, KEY_SIZE, VAL_SIZE};
 pub use lsm::{
     replay_wal, BlockCache, BloomFilter, CompactionController, CompactionPolicy, LsmConfig,
-    LsmStore, Manifest, ManifestRecord, SsTableReader, SsTableWriter, WalReplay, WalSyncPolicy,
-    WalWriter, WAL_FRAME_SIZE,
+    LsmStore, Manifest, ManifestRecord, SharedLsm, SsTableReader, SsTableWriter, StorePin,
+    WalReplay, WalSyncPolicy, WalWriter, WAL_FRAME_SIZE,
 };
 pub use memory::InMemoryStore;
 
@@ -160,6 +160,126 @@ pub trait SnapshotSource {
     /// probes read it directly instead of prefetching a restricted copy.
     fn as_dataset(&self) -> Option<&Dataset> {
         None
+    }
+
+    /// Blocks until the source's background maintenance (compactions,
+    /// for the LSM engine) is fully drained.
+    ///
+    /// The default is a no-op: most sources have no background work.
+    /// [`SharedLsm`] overrides it, which is how a server's `Stats`
+    /// request — or a test that needs a settled table layout — can
+    /// quiesce a store through the trait surface without downcasting to
+    /// [`LsmStore`].
+    fn quiesce_maintenance(&self) -> StoreResult<()> {
+        Ok(())
+    }
+
+    /// Number of background maintenance jobs currently queued or
+    /// running (`0` for sources with no background work).
+    fn maintenance_depth(&self) -> usize {
+        0
+    }
+}
+
+/// Clamps a [`SnapshotSource`] to a time sub-range `[t_lo, t_hi]`.
+///
+/// Snapshot scans and hop-window probes outside the clamp return empty
+/// results without touching the inner source, and [`span`] reports the
+/// intersection of the clamp with the inner span — so a miner handed a
+/// `TimeRange` mines exactly the requested window. This is how the
+/// server turns one pinned snapshot into a per-request `MineRange`
+/// view: pin once, wrap per request, mine.
+///
+/// [`span`]: SnapshotSource::span
+#[derive(Debug)]
+pub struct TimeRange<S> {
+    inner: S,
+    t_lo: Time,
+    t_hi: Time,
+}
+
+impl<S: SnapshotSource> TimeRange<S> {
+    /// Wraps `inner`, clamping every access to `[t_lo, t_hi]`
+    /// (inclusive). `t_lo` must be `<= t_hi`.
+    pub fn new(inner: S, t_lo: Time, t_hi: Time) -> Self {
+        assert!(t_lo <= t_hi, "TimeRange requires t_lo <= t_hi");
+        Self { inner, t_lo, t_hi }
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the inner source.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    #[inline]
+    fn contains(&self, t: Time) -> bool {
+        self.t_lo <= t && t <= self.t_hi
+    }
+}
+
+impl<S: SnapshotSource> SnapshotSource for TimeRange<S> {
+    fn span(&self) -> TimeInterval {
+        let inner = self.inner.span();
+        let clamp = TimeInterval::new(self.t_lo, self.t_hi);
+        // Disjoint clamp: collapse to an empty instant at the nearest
+        // boundary so miners see a well-formed, zero-width span.
+        inner.intersect(&clamp).unwrap_or_else(|| {
+            TimeInterval::instant(if self.t_hi < inner.start {
+                inner.start
+            } else {
+                inner.end
+            })
+        })
+    }
+
+    fn num_points(&self) -> u64 {
+        // Upper bound; exact counting would need a full range scan. The
+        // miners only use this for reporting and budget heuristics.
+        self.inner.num_points()
+    }
+
+    fn scan_snapshot_ref<'a>(
+        &self,
+        t: Time,
+        buf: &'a mut Vec<ObjPos>,
+    ) -> StoreResult<SnapshotRef<'a>> {
+        if !self.contains(t) {
+            buf.clear();
+            return Ok(SnapshotRef::Buffered(&[]));
+        }
+        self.inner.scan_snapshot_ref(t, buf)
+    }
+
+    fn multi_get_into(&self, t: Time, oids: &[Oid], out: &mut Vec<ObjPos>) -> StoreResult<()> {
+        if !self.contains(t) {
+            out.clear();
+            return Ok(());
+        }
+        self.inner.multi_get_into(t, oids, out)
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.inner.io_stats()
+    }
+
+    fn name(&self) -> &'static str {
+        "time-range"
+    }
+
+    // as_dataset deliberately stays `None`: exposing the inner dataset
+    // would let parallel miners read around the time clamp.
+
+    fn quiesce_maintenance(&self) -> StoreResult<()> {
+        self.inner.quiesce_maintenance()
+    }
+
+    fn maintenance_depth(&self) -> usize {
+        self.inner.maintenance_depth()
     }
 }
 

@@ -153,19 +153,19 @@ pub(crate) fn run_job(
     let no_cache = Arc::new(BlockCache::new(0));
     let mut readers = Vec::with_capacity(job.inputs.len());
     for &seq in &job.inputs {
-        readers.push(SsTableReader::open(
+        readers.push(Arc::new(SsTableReader::open(
             dir.join(sst_name(seq)),
             seq,
             no_cache.clone(),
             scratch_io.clone(),
-        )?);
+        )?));
     }
     let total: u64 = readers.iter().map(|t| t.num_entries()).sum();
     let path = dir.join(sst_name(job.output));
     let mut w = SsTableWriter::create(&path, total as usize, bloom_bits_per_key)?;
     let mut written: u64 = 0;
     {
-        let mut merge = MergeIter::over_tables(&readers, 0)?;
+        let mut merge = MergeIter::over_tables(&readers, 0, &scratch_io)?;
         while let Some((k, v)) = merge.next()? {
             w.put(k, &v)?;
             written += 1;

@@ -23,8 +23,24 @@
 //! * every flush, compaction and WAL rotation is committed by an
 //!   `fsync`ed record in the append-only **manifest** ([`manifest`]),
 //!   written strictly *after* the files it references are durable,
-//! * reads consult the memtable, then tables newest-first; range scans
-//!   k-way-merge all sources.
+//! * reads consult the memtables (active, then frozen generations),
+//!   then tables newest-first; range scans k-way-merge all sources.
+//!
+//! # MVCC state swap
+//!
+//! The store's durable structure — frozen memtable generations plus the
+//! ordered table list — is published as an immutable `LsmState` behind
+//! `Arc<RwLock<Arc<LsmState>>>` (the classic state-swap idiom).
+//! Inserts fill a writer-private active memtable; every structural
+//! change — flush, compaction commit, snapshot pin — builds a fresh
+//! state and swaps the pointer under a short write lock.
+//! [`LsmStore::pin_snapshot`] freezes the active memtable and returns a
+//! [`StorePin`]: an `Arc` of the published state that serves reads for
+//! an entire mining run without blocking ingest (retired SSTables stay
+//! readable through the pin's open descriptors after compaction unlinks
+//! them; pinned reads share the block cache but account into per-pin
+//! counters). [`SharedLsm`] wraps a store for `&self` ingest + pinning
+//! across threads — the serving substrate `k2-server` builds on.
 //!
 //! Opening a store runs recovery: fold the manifest (dropping a torn
 //! tail), delete orphaned files from crashed flushes/compactions, replay
@@ -43,6 +59,8 @@
 mod bloom;
 mod compaction;
 pub mod manifest;
+mod pin;
+mod shared;
 mod sstable;
 mod store;
 pub mod wal;
@@ -50,6 +68,8 @@ pub mod wal;
 pub use bloom::BloomFilter;
 pub use compaction::{CompactionController, CompactionPolicy};
 pub use manifest::{Manifest, ManifestRecord};
+pub use pin::StorePin;
+pub use shared::SharedLsm;
 pub use sstable::{BlockCache, SsTableReader, SsTableWriter};
 pub use store::{LsmConfig, LsmStore};
 pub use wal::{replay_wal, WalReplay, WalSyncPolicy, WalWriter, WAL_FRAME_SIZE};

@@ -511,17 +511,26 @@ impl SsTableReader {
     }
 
     fn read_block(&self, block_idx: usize) -> StoreResult<Arc<[u8]>> {
+        self.read_block_with(block_idx, &self.io)
+    }
+
+    /// Fetches one data block, accounting the access (cache hit/miss,
+    /// seek, bytes) into `io` instead of the table's own counters. The
+    /// block still goes through the shared [`BlockCache`] — a pinned
+    /// snapshot reader and the owning store populate and hit the same
+    /// cache entries; only the attribution differs.
+    fn read_block_with(&self, block_idx: usize, io: &IoCounters) -> StoreResult<Arc<[u8]>> {
         let cache_key = (self.id, block_idx as u32);
         if let Some(b) = self.cache.get(cache_key) {
-            self.io.add_cache_hit();
+            io.add_cache_hit();
             return Ok(b);
         }
-        self.io.add_cache_miss();
+        io.add_cache_miss();
         let (_, off, len) = self.index[block_idx];
         let mut buf = vec![0u8; len as usize];
         self.file.read_exact_at(&mut buf, off)?;
-        self.io.add_seek();
-        self.io.add_block_read(len as u64);
+        io.add_seek();
+        io.add_block_read(len as u64);
         let block: Arc<[u8]> = buf.into();
         self.cache.insert(cache_key, block.clone());
         Ok(block)
@@ -529,14 +538,20 @@ impl SsTableReader {
 
     /// Point lookup. Consults the bloom filter first.
     pub fn get(&self, key: u64) -> StoreResult<Option<[u8; VAL_SIZE]>> {
+        self.get_with(key, &self.io)
+    }
+
+    /// [`get`](Self::get) with the access accounted into `io` — the
+    /// per-pin read path (see `read_block_with`).
+    pub fn get_with(&self, key: u64, io: &IoCounters) -> StoreResult<Option<[u8; VAL_SIZE]>> {
         if !self.bloom.may_contain(key) {
-            self.io.add_bloom_negative();
+            io.add_bloom_negative();
             return Ok(None);
         }
         let Some(bi) = self.block_for(key) else {
             return Ok(None);
         };
-        let block = self.read_block(bi)?;
+        let block = self.read_block_with(bi, io)?;
         let n = block.len() / ENTRY_SIZE;
         let mut lo = 0usize;
         let mut hi = n;
@@ -559,12 +574,20 @@ impl SsTableReader {
 
     /// Cursor positioned at the first entry with key `>= key`.
     pub fn iter_from(&self, key: u64) -> SsTableIter<'_> {
+        self.iter_from_with(key, &self.io)
+    }
+
+    /// [`iter_from`](Self::iter_from) with block fetches accounted into
+    /// `io` — the per-pin scan path (see
+    /// `read_block_with`).
+    pub fn iter_from_with<'a>(&'a self, key: u64, io: &'a IoCounters) -> SsTableIter<'a> {
         let (block_idx, entry_idx) = match self.block_for(key) {
             None => (0, 0),
             Some(bi) => (bi, usize::MAX), // entry index resolved lazily
         };
         SsTableIter {
             table: self,
+            io,
             block_idx,
             entry_idx,
             seek_key: key,
@@ -576,6 +599,9 @@ impl SsTableReader {
 /// Forward cursor over an SSTable.
 pub struct SsTableIter<'a> {
     table: &'a SsTableReader,
+    /// Where this cursor's block fetches are accounted (the table's own
+    /// counters, or a pin's).
+    io: &'a IoCounters,
     block_idx: usize,
     entry_idx: usize,
     seek_key: u64,
@@ -590,7 +616,7 @@ impl SsTableIter<'_> {
                 return Ok(None);
             }
             if self.current.is_none() {
-                let block = self.table.read_block(self.block_idx)?;
+                let block = self.table.read_block_with(self.block_idx, self.io)?;
                 if self.entry_idx == usize::MAX {
                     // First positioning: binary search for seek_key.
                     let n = block.len() / ENTRY_SIZE;

@@ -1,10 +1,12 @@
-//! The LSM-tree store: WAL + memtable + SSTables + compaction + manifest.
+//! The LSM-tree store: WAL + memtable + SSTables + compaction + manifest,
+//! published to concurrent readers as immutable MVCC states.
 
 use super::compaction::{
     run_job, CompactionController, CompactionDone, CompactionHandle, CompactionJob,
     CompactionPolicy,
 };
 use super::manifest::{sync_dir, Manifest, ManifestRecord};
+use super::pin::{LsmState, StorePin};
 use super::sstable::{BlockCache, SsTableIter, SsTableReader, SsTableWriter};
 use super::wal::{replay_wal, WalSyncPolicy, WalWriter};
 use crate::iostats::IoCounters;
@@ -15,12 +17,15 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::ops::Range;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Tuning knobs for [`LsmStore`].
 #[derive(Debug, Clone, Copy)]
 pub struct LsmConfig {
-    /// Memtable capacity in entries before an automatic flush.
+    /// Memtable capacity in entries before an automatic flush. Counts
+    /// everything buffered in memory: the active memtable plus any
+    /// generations frozen by [`LsmStore::pin_snapshot`].
     pub memtable_entries: usize,
     /// Bloom-filter budget in bits per key.
     pub bloom_bits_per_key: usize,
@@ -91,12 +96,12 @@ fn parse_seq(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
 
 /// Composite key as an integer: ordering equals `(t, oid)` ordering.
 #[inline]
-fn key_of(t: Time, oid: Oid) -> u64 {
+pub(crate) fn key_of(t: Time, oid: Oid) -> u64 {
     ((t as u64) << 32) | oid as u64
 }
 
 #[inline]
-fn key_parts(key: u64) -> (Time, Oid) {
+pub(crate) fn key_parts(key: u64) -> (Time, Oid) {
     ((key >> 32) as Time, key as Oid)
 }
 
@@ -106,9 +111,12 @@ fn val_of(x: f64, y: f64) -> [u8; VAL_SIZE] {
 }
 
 #[inline]
-fn val_parts(v: &[u8; VAL_SIZE]) -> (f64, f64) {
+pub(crate) fn val_parts(v: &[u8; VAL_SIZE]) -> (f64, f64) {
     crate::keys::decode_val(v)
 }
+
+/// One sorted in-memory run of `(t, oid) → (x, y)` entries.
+pub(crate) type Memtable = BTreeMap<u64, [u8; VAL_SIZE]>;
 
 /// A log-structured merge-tree over `(t, oid) → (x, y)`.
 ///
@@ -124,12 +132,30 @@ fn val_parts(v: &[u8; VAL_SIZE]) -> (f64, f64) {
 /// read-only mining, and durability there is established wholesale by
 /// the final flush.
 ///
+/// # The state-swap write path (MVCC)
+///
+/// The store's durable structure — frozen memtable generations and the
+/// ordered SSTable list — is published as an immutable `LsmState`
+/// behind `Arc<RwLock<Arc<LsmState>>>`. Writers never mutate a published
+/// state: `insert` fills a **writer-private active memtable**, and every
+/// structural change (flush, compaction commit, snapshot pin) builds a
+/// fresh `Arc<LsmState>` and swaps it in under a short write lock.
+/// [`LsmStore::pin_snapshot`] freezes the active memtable into the
+/// published state and hands back a [`StorePin`] — an `Arc` of that
+/// state plus its own I/O counters — which serves reads for an entire
+/// mining run without ever blocking ingest. Compaction may unlink a
+/// pinned table's file, but unix keeps the data readable through the
+/// pin's open descriptor; pinned block reads share the store's block
+/// cache and account into the pin's counters.
+///
 /// Compaction runs under a [`CompactionController`] (size-tiered by
 /// default: only similarly sized young runs are merged, settled tables
 /// are left alone) and, by default, on a background worker thread — the
 /// write path only enqueues. `LsmStore` is `Send`: its shared internals
-/// (block cache, I/O counters, manifest) are `Arc`ed and thread-safe,
-/// so a store can be handed to another thread whole.
+/// (block cache, I/O counters, manifest, published state) are `Arc`ed
+/// and thread-safe, so a store can be handed to another thread whole;
+/// [`SharedLsm`](crate::SharedLsm) wraps one in a mutex for `&self`
+/// ingest alongside live pins.
 ///
 /// ```
 /// use k2_storage::{LsmStore, TrajectoryStore};
@@ -150,11 +176,26 @@ fn val_parts(v: &[u8; VAL_SIZE]) -> (f64, f64) {
 pub struct LsmStore {
     dir: PathBuf,
     config: LsmConfig,
-    memtable: BTreeMap<u64, [u8; VAL_SIZE]>,
-    /// Oldest first; index position is the recency rank.
-    tables: Vec<SsTableReader>,
+    /// Writer-private active memtable: inserts land here without
+    /// touching the published state, so a swap is only paid when the
+    /// structure changes (flush/compaction/pin), never per record.
+    active: Memtable,
+    /// Frozen generations (oldest first) already visible in the
+    /// published state; written out together at the next flush.
+    frozen: Vec<Arc<Memtable>>,
+    /// Cached `sum(frozen.len())` for the flush trigger.
+    frozen_entries: usize,
+    /// Oldest first; index position is the recency rank. Shared with
+    /// the published state and any live pins.
+    tables: Vec<Arc<SsTableReader>>,
     /// Sequence numbers of `tables`, same order.
     table_seqs: Vec<u64>,
+    /// The published MVCC state; see the struct docs.
+    state: Arc<RwLock<Arc<LsmState>>>,
+    /// Version of the currently published state; bumped on every swap.
+    version: u64,
+    /// Live [`StorePin`] count (each pin decrements on drop).
+    pins: Arc<AtomicU64>,
     /// Shared with the background compaction worker, which appends its
     /// own commit records.
     manifest: Arc<Mutex<Manifest>>,
@@ -186,12 +227,18 @@ impl LsmStore {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
         let manifest = Arc::new(Mutex::new(Manifest::create(&dir)?));
+        let state = Arc::new(RwLock::new(Arc::new(LsmState::empty())));
         let mut store = Self {
             dir,
             config,
-            memtable: BTreeMap::new(),
+            active: Memtable::new(),
+            frozen: Vec::new(),
+            frozen_entries: 0,
             tables: Vec::new(),
             table_seqs: Vec::new(),
+            state,
+            version: 0,
+            pins: Arc::new(AtomicU64::new(0)),
             manifest,
             wal: None,
             stale_wal: None,
@@ -289,7 +336,7 @@ impl LsmStore {
             // alias cache entries of a retired table.
             let reader =
                 SsTableReader::open(dir.join(sst_name(seq)), seq, cache.clone(), io.clone())?;
-            tables.push(reader);
+            tables.push(Arc::new(reader));
         }
 
         // 4 (span, table part). The composite key is (t << 32 | oid), so
@@ -308,13 +355,13 @@ impl LsmStore {
         }
 
         // 3. Replay the live WAL tail into the memtable.
-        let mut memtable = BTreeMap::new();
+        let mut active = Memtable::new();
         let mut wal = None;
         let mut stale_wal = None;
         if let Some(seq) = wal_seq {
             let path = dir.join(wal_name(seq));
             let replay = replay_wal(&path, |k, v| {
-                memtable.insert(k, v);
+                active.insert(k, v);
             })?;
             io.add_wal_replayed(replay.frames);
             if config.wal {
@@ -324,7 +371,7 @@ impl LsmStore {
             }
         }
         if let (Some((&lo, _)), Some((&hi, _))) =
-            (memtable.first_key_value(), memtable.last_key_value())
+            (active.first_key_value(), active.last_key_value())
         {
             widen((lo >> 32) as Time, (hi >> 32) as Time);
         }
@@ -332,9 +379,14 @@ impl LsmStore {
         let mut store = Self {
             dir,
             config,
-            memtable,
+            active,
+            frozen: Vec::new(),
+            frozen_entries: 0,
             tables,
             table_seqs: live,
+            state: Arc::new(RwLock::new(Arc::new(LsmState::empty()))),
+            version: 0,
+            pins: Arc::new(AtomicU64::new(0)),
             manifest: Arc::new(Mutex::new(manifest)),
             wal,
             stale_wal,
@@ -346,6 +398,7 @@ impl LsmStore {
             inflight: None,
             span,
         };
+        store.publish();
         // WAL requested but no live generation (fresh store, or one last
         // run with the WAL off): start one now.
         if store.config.wal && store.wal.is_none() {
@@ -391,6 +444,45 @@ impl LsmStore {
         Ok(store)
     }
 
+    /// Rebuilds the published [`LsmState`] from the writer-side fields
+    /// and swaps it in. The clone is shallow — vectors of `Arc`s — so a
+    /// swap costs two small allocations, never a data copy; the write
+    /// lock is held only for the pointer store.
+    fn publish(&mut self) {
+        self.version += 1;
+        let next = Arc::new(LsmState::new(
+            self.frozen.clone(),
+            self.tables.clone(),
+            self.table_seqs.clone(),
+            self.span,
+            self.version,
+        ));
+        *self.state.write().expect("state lock") = next;
+    }
+
+    /// Pins the store's current contents as an immutable snapshot.
+    ///
+    /// The active memtable (if non-empty) is frozen into the published
+    /// state first, so the pin sees every insert acknowledged before
+    /// this call and nothing after it. The returned [`StorePin`] is a
+    /// self-contained [`SnapshotSource`]: it holds `Arc`s to the frozen
+    /// generations and open SSTable readers (compaction may unlink a
+    /// retired table's file, but the open descriptor keeps it readable),
+    /// reads through the store's shared block cache, and accounts its
+    /// I/O into its own counters. Dropping the pin releases it; the
+    /// writer is never blocked either way.
+    pub fn pin_snapshot(&mut self) -> StoreResult<StorePin> {
+        self.drain_finished()?;
+        if !self.active.is_empty() {
+            let generation = Arc::new(std::mem::take(&mut self.active));
+            self.frozen_entries += generation.len();
+            self.frozen.push(generation);
+            self.publish();
+        }
+        let state = self.state.read().expect("state lock").clone();
+        Ok(StorePin::new(state, self.pins.clone()))
+    }
+
     /// Inserts one record; may trigger an automatic memtable flush.
     ///
     /// With the WAL enabled the record is framed and handed to the OS
@@ -398,26 +490,30 @@ impl LsmStore {
     /// any later point (see [`LsmConfig::wal_sync`] for the power-
     /// failure window). With background compaction (the default) the
     /// flush only writes the memtable and enqueues any merge work, so
-    /// insert latency never includes an O(total data) compaction.
+    /// insert latency never includes an O(total data) compaction. The
+    /// record lands in the writer-private active memtable — no state
+    /// swap, no lock a concurrent pinned reader could contend on.
     pub fn insert(&mut self, p: Point) -> StoreResult<()> {
         let key = key_of(p.t, p.oid);
         let val = val_of(p.x, p.y);
         if let Some(w) = &mut self.wal {
             w.append(key, &val)?;
         }
-        self.memtable.insert(key, val);
+        self.active.insert(key, val);
         self.span = Some(match self.span {
             None => (p.t, p.t),
             Some((lo, hi)) => (lo.min(p.t), hi.max(p.t)),
         });
-        if self.memtable.len() >= self.config.memtable_entries {
+        if self.active.len() + self.frozen_entries >= self.config.memtable_entries {
             self.flush()?;
         }
         Ok(())
     }
 
-    /// Flushes the memtable to a new SSTable (no-op when empty), retires
-    /// the WAL generation that covered it, then consults the compaction
+    /// Flushes all buffered entries — frozen generations and the active
+    /// memtable, merged newest-wins — to a new SSTable (no-op when
+    /// nothing is buffered), retires the WAL generation that covered
+    /// them, publishes the new state, then consults the compaction
     /// controller — enqueueing (background mode) or running (blocking
     /// mode) any merge it picks.
     ///
@@ -425,27 +521,49 @@ impl LsmStore {
     /// `fsync`ed, the directory entry is `fsync`ed, and only then is the
     /// [`ManifestRecord::Flush`] appended — a crash before the record
     /// leaves an orphan file that recovery ignores, while the WAL still
-    /// holds every entry.
+    /// holds every entry. Pins taken before the flush keep reading the
+    /// frozen generations they hold; the swap is invisible to them.
     pub fn flush(&mut self) -> StoreResult<()> {
         self.drain_finished()?;
-        if self.memtable.is_empty() {
+        if self.active.is_empty() && self.frozen.is_empty() {
             return Ok(());
         }
         let seq = self.next_seq;
         self.next_seq += 1;
         let path = self.dir.join(sst_name(seq));
-        let mut w =
-            SsTableWriter::create(&path, self.memtable.len(), self.config.bloom_bits_per_key)?;
-        for (&k, v) in &self.memtable {
+        // Fold the frozen generations (oldest first) under the active
+        // map: inserting in age order leaves the newest version of every
+        // key — the same order MergeIter resolves reads.
+        let merged: Memtable;
+        let entries: &Memtable = if self.frozen.is_empty() {
+            &self.active
+        } else {
+            let mut m = Memtable::new();
+            for generation in &self.frozen {
+                for (&k, v) in generation.iter() {
+                    m.insert(k, *v);
+                }
+            }
+            for (&k, v) in &self.active {
+                m.insert(k, *v);
+            }
+            merged = m;
+            &merged
+        };
+        let mut w = SsTableWriter::create(&path, entries.len(), self.config.bloom_bits_per_key)?;
+        for (&k, v) in entries {
             w.put(k, v)?;
         }
         w.finish()?;
         sync_dir(&self.dir)?;
         self.append_manifest(&ManifestRecord::Flush { seq })?;
         let reader = SsTableReader::open(&path, seq, self.cache.clone(), self.io.clone())?;
-        self.tables.push(reader);
+        self.tables.push(Arc::new(reader));
         self.table_seqs.push(seq);
-        self.memtable.clear();
+        self.active.clear();
+        self.frozen.clear();
+        self.frozen_entries = 0;
+        self.publish();
         // The flushed entries are durable in the SSTable; retire the WAL
         // generation that covered them.
         if self.config.wal {
@@ -589,9 +707,13 @@ impl LsmStore {
 
     /// Splices a committed compaction into the table list: the inputs (a
     /// contiguous run) come out, the output goes in at their position —
-    /// the same splice recovery applies when folding the manifest. Only
-    /// the input tables' blocks are evicted from the cache; every other
-    /// table's cached blocks stay hot.
+    /// the same splice recovery applies when folding the manifest — and
+    /// the new state is published. Only the input tables' blocks are
+    /// evicted from the cache; every other table's cached blocks stay
+    /// hot. Pins still holding the input readers keep reading them
+    /// through their open descriptors (the worker already unlinked the
+    /// files); cache ids are table seqs, unique forever, so a pin
+    /// re-caching a retired table's block can never alias the output's.
     fn apply_compaction(&mut self, done: CompactionDone) -> StoreResult<()> {
         let pos = self
             .table_seqs
@@ -615,8 +737,9 @@ impl LsmStore {
             self.cache.clone(),
             self.io.clone(),
         )?;
-        self.tables.insert(pos, reader);
+        self.tables.insert(pos, Arc::new(reader));
         self.table_seqs.insert(pos, done.output);
+        self.publish();
         Ok(())
     }
 
@@ -659,9 +782,39 @@ impl LsmStore {
         self.tables.len()
     }
 
-    /// Entries currently buffered in the memtable.
+    /// Entries currently buffered in memory: the active memtable plus
+    /// any generations frozen by [`Self::pin_snapshot`].
     pub fn memtable_len(&self) -> usize {
-        self.memtable.len()
+        self.active.len() + self.frozen_entries
+    }
+
+    /// Version of the currently published state; bumped by every swap
+    /// (flush, compaction commit, snapshot pin). `version() -
+    /// pin.version()` is a pin's staleness in state swaps.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of live [`StorePin`]s.
+    pub fn live_pins(&self) -> u64 {
+        self.pins.load(Ordering::Relaxed)
+    }
+
+    /// Number of compaction jobs currently queued or running in the
+    /// background (the store keeps at most one in flight).
+    pub fn compaction_queue_depth(&self) -> usize {
+        usize::from(self.inflight.is_some())
+    }
+
+    /// The shared handle to the published state, for wrappers that need
+    /// to peek at the current version without borrowing the store.
+    pub(crate) fn state_handle(&self) -> Arc<RwLock<Arc<LsmState>>> {
+        self.state.clone()
+    }
+
+    /// The shared live-pin counter.
+    pub(crate) fn pins_handle(&self) -> Arc<AtomicU64> {
+        self.pins.clone()
     }
 
     /// Path of the live write-ahead log, if the WAL is enabled.
@@ -674,19 +827,32 @@ impl LsmStore {
         &self.dir
     }
 
-    /// Newest version of one key: memtable first, then the SSTables.
-    /// `multi_get_into` takes the same two steps but replaces the
-    /// memtable point-get with a batch range cursor — keep any change
-    /// to lookup semantics in these two helpers.
+    /// Newest version of one key: active memtable first, then frozen
+    /// generations (newest first), then the SSTables. `multi_get_into`
+    /// takes the same steps but replaces the active-memtable point-get
+    /// with a batch range cursor — keep any change to lookup semantics
+    /// in these helpers.
     fn get_raw(&self, key: u64) -> StoreResult<Option<[u8; VAL_SIZE]>> {
-        if let Some(v) = self.memtable.get(&key) {
+        if let Some(v) = self.active.get(&key) {
             return Ok(Some(*v));
+        }
+        if let Some(v) = self.get_frozen(key) {
+            return Ok(Some(v));
         }
         self.get_from_tables(key)
     }
 
+    /// Newest version of one key among the frozen generations (newest
+    /// to oldest), ignoring the active memtable and the SSTables.
+    fn get_frozen(&self, key: u64) -> Option<[u8; VAL_SIZE]> {
+        self.frozen
+            .iter()
+            .rev()
+            .find_map(|generation| generation.get(&key).copied())
+    }
+
     /// Newest version of one key among the SSTables (newest to oldest),
-    /// ignoring the memtable.
+    /// ignoring the memtables.
     fn get_from_tables(&self, key: u64) -> StoreResult<Option<[u8; VAL_SIZE]>> {
         for table in self.tables.iter().rev() {
             if let Some(v) = table.get(key)? {
@@ -705,8 +871,11 @@ impl LsmStore {
         hi: u64,
         mut visit: impl FnMut(u64, [u8; VAL_SIZE]),
     ) -> StoreResult<()> {
-        let mut merge = MergeIter::over_tables(&self.tables, lo)?;
-        merge.add_memtable(self.memtable.range(lo..=hi));
+        let mut merge = MergeIter::over_tables(&self.tables, lo, &self.io)?;
+        for generation in &self.frozen {
+            merge.add_mem(generation.range(lo..=hi));
+        }
+        merge.add_mem(self.active.range(lo..=hi));
         while let Some((k, v)) = merge.next()? {
             if k > hi {
                 break;
@@ -730,10 +899,13 @@ impl Drop for LsmStore {
     }
 }
 
-/// K-way merging cursor over SSTable iterators plus an optional memtable
-/// range. Sources are ranked by recency (higher = newer); for duplicate
-/// keys only the newest version is emitted. Shared with the compaction
-/// module, whose merges rank inputs the same way.
+/// K-way merging cursor over SSTable iterators plus any number of
+/// memtable ranges. Sources are ranked by recency (higher = newer); for
+/// duplicate keys only the newest version is emitted. Tables rank below
+/// every memtable range; memtable ranges rank in the order they are
+/// added (add frozen generations oldest first, the active memtable
+/// last). Shared with the compaction module, whose merges rank inputs
+/// the same way, and with [`StorePin`]'s snapshot scans.
 type Entry = (u64, [u8; VAL_SIZE]);
 type MemRange<'a> = std::collections::btree_map::Range<'a, u64, [u8; VAL_SIZE]>;
 
@@ -747,28 +919,42 @@ fn controller_of(config: &LsmConfig) -> CompactionController {
 }
 
 pub(crate) struct MergeIter<'a> {
-    /// `(rank, head, cursor)`; rank of the memtable is `usize::MAX`.
+    /// `(rank, head, cursor)` per table, ranks `0..tables.len()`.
     tables: Vec<(usize, Option<Entry>, SsTableIter<'a>)>,
-    mem: Option<(MemRange<'a>, Option<Entry>)>,
+    /// `(rank, cursor, head)` per memtable range, ranks continuing
+    /// upward in add order.
+    mems: Vec<(usize, MemRange<'a>, Option<Entry>)>,
+    next_rank: usize,
 }
 
 impl<'a> MergeIter<'a> {
-    pub(crate) fn over_tables(tables: &'a [SsTableReader], from: u64) -> StoreResult<Self> {
+    /// Cursor over `tables` (oldest first) starting at `from`, with
+    /// block fetches accounted into `io`.
+    pub(crate) fn over_tables(
+        tables: &'a [Arc<SsTableReader>],
+        from: u64,
+        io: &'a IoCounters,
+    ) -> StoreResult<Self> {
         let mut v = Vec::with_capacity(tables.len());
         for (rank, t) in tables.iter().enumerate() {
-            let mut it = t.iter_from(from);
+            let mut it = t.iter_from_with(from, io);
             let head = it.next()?;
             v.push((rank, head, it));
         }
         Ok(Self {
+            next_rank: tables.len(),
             tables: v,
-            mem: None,
+            mems: Vec::new(),
         })
     }
 
-    fn add_memtable(&mut self, mut range: MemRange<'a>) {
+    /// Adds a memtable range outranking the tables and every range
+    /// added before it.
+    pub(crate) fn add_mem(&mut self, mut range: MemRange<'a>) {
         let head = range.next().map(|(&k, v)| (k, *v));
-        self.mem = Some((range, head));
+        let rank = self.next_rank;
+        self.next_rank += 1;
+        self.mems.push((rank, range, head));
     }
 
     pub(crate) fn next(&mut self) -> StoreResult<Option<Entry>> {
@@ -779,14 +965,16 @@ impl<'a> MergeIter<'a> {
                 min_key = Some(min_key.map_or(*k, |m: u64| m.min(*k)));
             }
         }
-        if let Some((_, Some((k, _)))) = &self.mem {
-            min_key = Some(min_key.map_or(*k, |m: u64| m.min(*k)));
+        for (_, _, head) in &self.mems {
+            if let Some((k, _)) = head {
+                min_key = Some(min_key.map_or(*k, |m: u64| m.min(*k)));
+            }
         }
         let Some(key) = min_key else {
             return Ok(None);
         };
-        // Newest version wins: memtable beats tables; later tables beat
-        // earlier ones.
+        // Newest version wins: every source holding the key advances,
+        // the highest rank keeps the value.
         let mut best: Option<(usize, [u8; VAL_SIZE])> = None;
         for (rank, head, it) in &mut self.tables {
             if head.map(|(k, _)| k) == Some(key) {
@@ -797,10 +985,12 @@ impl<'a> MergeIter<'a> {
                 *head = it.next()?;
             }
         }
-        if let Some((range, head)) = &mut self.mem {
+        for (rank, range, head) in &mut self.mems {
             if head.map(|(k, _)| k) == Some(key) {
                 let (_, v) = head.expect("checked above");
-                best = Some((usize::MAX, v));
+                if best.is_none_or(|(r, _)| *rank > r) {
+                    best = Some((*rank, v));
+                }
                 *head = range.next().map(|(&k, v)| (k, *v));
             }
         }
@@ -819,7 +1009,9 @@ impl SnapshotSource for LsmStore {
     fn num_points(&self) -> u64 {
         // Counts versions, not unique keys; exact for the append-only
         // workloads of the experiments.
-        self.tables.iter().map(|t| t.num_entries()).sum::<u64>() + self.memtable.len() as u64
+        self.tables.iter().map(|t| t.num_entries()).sum::<u64>()
+            + self.frozen_entries as u64
+            + self.active.len() as u64
     }
 
     fn scan_snapshot_ref<'a>(
@@ -843,9 +1035,10 @@ impl SnapshotSource for LsmStore {
         // last per-probe allocation on this engine.
         //
         // The batch's keys ascend (fixed `t`, sorted oids), so the
-        // memtable side is one ordered range cursor walked in step with
-        // the oids instead of a `log n` tree descent per oid; only keys
-        // the memtable does not hold fall through to the SSTables.
+        // active-memtable side is one ordered range cursor walked in
+        // step with the oids instead of a `log n` tree descent per oid;
+        // only keys it does not hold fall through to the frozen
+        // generations and SSTables.
         out.clear();
         if oids.is_empty() {
             return Ok(());
@@ -853,12 +1046,15 @@ impl SnapshotSource for LsmStore {
         self.io.add_point_queries(oids.len() as u64);
         let lo = key_of(t, oids[0]);
         let hi = key_of(t, *oids.last().expect("non-empty"));
-        let mut mem = self.memtable.range(lo..=hi).peekable();
+        let mut mem = self.active.range(lo..=hi).peekable();
         for &oid in oids {
             let key = key_of(t, oid);
             while mem.next_if(|&(&k, _)| k < key).is_some() {}
             if let Some((_, v)) = mem.next_if(|&(&k, _)| k == key) {
                 let (x, y) = val_parts(v);
+                out.push(ObjPos::new(oid, x, y));
+            } else if let Some(v) = self.get_frozen(key) {
+                let (x, y) = val_parts(&v);
                 out.push(ObjPos::new(oid, x, y));
             } else if let Some(v) = self.get_from_tables(key)? {
                 let (x, y) = val_parts(&v);
@@ -874,6 +1070,10 @@ impl SnapshotSource for LsmStore {
 
     fn name(&self) -> &'static str {
         "k2-lsmt"
+    }
+
+    fn maintenance_depth(&self) -> usize {
+        self.compaction_queue_depth()
     }
 }
 
@@ -914,6 +1114,22 @@ impl TrajectoryStore for LsmStore {
 
     fn reset_io_stats(&self) {
         self.io.reset()
+    }
+}
+
+#[cfg(test)]
+impl LsmStore {
+    /// Test-only flush variant that skips the compaction consult, so a
+    /// test can pin a deliberately un-compacted table layout.
+    fn flush_without_compaction_for_tests(&mut self) -> StoreResult<()> {
+        let policy = self.config.max_tables;
+        self.config.max_tables = usize::MAX;
+        let controller = self.controller;
+        self.controller = controller_of(&self.config);
+        let res = self.flush();
+        self.config.max_tables = policy;
+        self.controller = controller;
+        res
     }
 }
 
@@ -1159,6 +1375,162 @@ mod tests {
     }
 
     #[test]
+    fn newest_version_wins_across_frozen_generations() {
+        let dir = tmpdir("frozenwins");
+        let mut store = LsmStore::create(&dir).unwrap();
+        store.insert(Point::new(1, 1.0, 1.0, 5)).unwrap();
+        let _pin_a = store.pin_snapshot().unwrap(); // freezes generation 1
+        store.insert(Point::new(1, 2.0, 2.0, 5)).unwrap();
+        let _pin_b = store.pin_snapshot().unwrap(); // freezes generation 2
+        store.insert(Point::new(1, 3.0, 3.0, 5)).unwrap();
+        // Active beats both frozen generations.
+        assert_eq!(store.point_get(5, 1).unwrap().unwrap().x, 3.0);
+        assert_eq!(store.scan_snapshot(5).unwrap()[0].x, 3.0);
+        assert_eq!(store.multi_get(5, &[1]).unwrap()[0].x, 3.0);
+        drop(_pin_a);
+        drop(_pin_b);
+        // Flush folds the generations newest-wins.
+        store.flush().unwrap();
+        assert_eq!(store.memtable_len(), 0);
+        assert_eq!(store.point_get(5, 1).unwrap().unwrap().x, 3.0);
+        let snap = store.scan_snapshot(5).unwrap();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].x, 3.0);
+    }
+
+    #[test]
+    fn pin_is_isolated_from_later_writes() {
+        let dir = tmpdir("pinisolate");
+        let mut store = LsmStore::create(&dir).unwrap();
+        for oid in 0..10u32 {
+            store.insert(Point::new(oid, oid as f64, 1.0, 0)).unwrap();
+        }
+        let pin = store.pin_snapshot().unwrap();
+        assert_eq!(store.live_pins(), 1);
+        // Everything inserted before the pin is visible through it…
+        assert_eq!(pin.scan_snapshot(0).unwrap().len(), 10);
+        // …and nothing after: inserts, flushes and compactions included.
+        for oid in 10..30u32 {
+            store.insert(Point::new(oid, oid as f64, 1.0, 0)).unwrap();
+        }
+        store.flush().unwrap();
+        store.insert(Point::new(99, 9.0, 9.0, 1)).unwrap();
+        store.compact().unwrap();
+        assert_eq!(pin.scan_snapshot(0).unwrap().len(), 10);
+        assert!(pin.scan_snapshot(1).unwrap().is_empty());
+        assert_eq!(store.scan_snapshot(0).unwrap().len(), 30);
+        // A fresh pin sees the new data.
+        let pin2 = store.pin_snapshot().unwrap();
+        assert_eq!(pin2.scan_snapshot(0).unwrap().len(), 30);
+        assert_eq!(pin2.scan_snapshot(1).unwrap().len(), 1);
+        assert!(pin2.version() > pin.version());
+        drop(pin);
+        drop(pin2);
+        assert_eq!(store.live_pins(), 0);
+    }
+
+    #[test]
+    fn pin_survives_compaction_unlinking_its_tables() {
+        let dir = tmpdir("pinunlink");
+        let config = LsmConfig {
+            memtable_entries: 1000,
+            max_tables: 2,
+            background_compaction: false,
+            wal: false,
+            ..LsmConfig::default()
+        };
+        let mut store = LsmStore::create_with(&dir, config).unwrap();
+        // Three flushed tables (max_tables 2 compacts on the third).
+        let mut pinned_tables = Vec::new();
+        let mut pin = None;
+        for round in 0..3u32 {
+            for oid in 0..50u32 {
+                store
+                    .insert(Point::new(oid + round * 100, 1.0, 1.0, round))
+                    .unwrap();
+            }
+            if round == 1 {
+                // Pin while two un-compacted tables are live.
+                store.flush_without_compaction_for_tests().unwrap();
+                let p = store.pin_snapshot().unwrap();
+                pinned_tables = store.table_seqs.clone();
+                pin = Some(p);
+            } else {
+                store.flush().unwrap();
+            }
+        }
+        store.compact().unwrap();
+        assert_eq!(store.num_tables(), 1);
+        // The pinned inputs were unlinked by the compaction…
+        for seq in &pinned_tables {
+            assert!(
+                !dir.join(sst_name(*seq)).exists(),
+                "table {seq} should be unlinked"
+            );
+        }
+        // …but the pin still reads them through its open descriptors.
+        let pin = pin.unwrap();
+        assert_eq!(pin.scan_snapshot(0).unwrap().len(), 50);
+        assert_eq!(pin.scan_snapshot(1).unwrap().len(), 50);
+        assert!(pin.scan_snapshot(2).unwrap().is_empty());
+        assert_eq!(pin.point_get(0, 5).unwrap(), Some(ObjPos::new(5, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn pin_io_is_accounted_separately_but_shares_the_cache() {
+        let d = toy_dataset();
+        let mut store = LsmStore::bulk_load(tmpdir("pinio"), &d).unwrap();
+        let pin = store.pin_snapshot().unwrap();
+        store.reset_io_stats();
+        // A cold pinned scan misses into the shared cache…
+        let first = {
+            let _ = pin.scan_snapshot(25).unwrap();
+            pin.io_stats()
+        };
+        assert!(first.range_queries == 1 && first.cache_misses > 0);
+        // …the store's own counters saw none of it…
+        assert_eq!(store.io_stats().range_queries, 0);
+        assert_eq!(store.io_stats().cache_misses, 0);
+        // …and a store-side read of the same snapshot now hits the
+        // blocks the pin populated.
+        let _ = store.scan_snapshot(25).unwrap();
+        let s = store.io_stats();
+        assert!(s.cache_hits > 0);
+        assert_eq!(s.blocks_read, 0, "pin-warmed blocks must be shared");
+        // The pin's second scan also hits.
+        let before = pin.io_stats();
+        let _ = pin.scan_snapshot(25).unwrap();
+        let diff = pin.io_stats().since(&before);
+        assert_eq!(diff.blocks_read, 0);
+        assert!(diff.cache_hits > 0);
+    }
+
+    #[test]
+    fn version_bumps_on_every_swap_only() {
+        let dir = tmpdir("version");
+        let mut store = LsmStore::create(&dir).unwrap();
+        let v0 = store.version();
+        for oid in 0..5u32 {
+            store.insert(Point::new(oid, 1.0, 1.0, 0)).unwrap();
+        }
+        assert_eq!(store.version(), v0, "plain inserts must not swap");
+        let pin = store.pin_snapshot().unwrap();
+        assert_eq!(store.version(), v0 + 1, "pin freezes and swaps");
+        assert_eq!(pin.version(), store.version());
+        store.flush().unwrap();
+        assert!(store.version() > pin.version());
+        assert_eq!(
+            pin.staleness(store.version()),
+            store.version() - pin.version()
+        );
+        // Pinning a quiescent store swaps nothing.
+        let v = store.version();
+        let pin2 = store.pin_snapshot().unwrap();
+        assert_eq!(store.version(), v);
+        assert_eq!(pin2.version(), v);
+    }
+
+    #[test]
     fn unflushed_memtable_is_readable() {
         let dir = tmpdir("memread");
         let mut store = LsmStore::create(&dir).unwrap();
@@ -1222,6 +1594,27 @@ mod tests {
                 Some(ObjPos::new(oid, oid as f64, 1.0))
             );
         }
+    }
+
+    #[test]
+    fn wal_covers_frozen_generations_until_flush() {
+        let dir = tmpdir("walfrozen");
+        {
+            let mut store = LsmStore::create(&dir).unwrap();
+            for oid in 0..5u32 {
+                store.insert(Point::new(oid, oid as f64, 1.0, 0)).unwrap();
+            }
+            let _pin = store.pin_snapshot().unwrap(); // freeze, no flush
+            for oid in 5..8u32 {
+                store.insert(Point::new(oid, oid as f64, 1.0, 0)).unwrap();
+            }
+            assert_eq!(store.memtable_len(), 8);
+            // Crash (drop without flush): frozen + active both live only
+            // in the WAL generation.
+        }
+        let store = LsmStore::open(&dir).unwrap();
+        assert_eq!(store.memtable_len(), 8);
+        assert_eq!(store.scan_snapshot(0).unwrap().len(), 8);
     }
 
     #[test]

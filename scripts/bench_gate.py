@@ -57,6 +57,20 @@ ingest never pays full-store merges again. Against baselines whose
 ``ingest.workload`` matches, ``bytes_compacted`` of the two blocking
 legs must be bit-identical (the compaction controller is deterministic)
 and the tiered write amp must not grow.
+
+Reports that carry a ``serving`` section (MVCC snapshot serving:
+concurrent mine requests racing a live insert stream) are gated three
+ways. Determinism: the 1-thread and 4-thread probes of the same request
+must return identical convoys (count and content hash) — parallel
+request mining may not reorder or drop output. Reader-blocks-nothing:
+the insert p99 measured *under* concurrent read load must stay within a
+generous multiple of the unloaded ``ingest.background`` p99 from the
+same report (both legs run on the same machine in the same process, so
+the comparison is wall-clock-safe; a regression here means readers got
+back onto the write path). Cross-report: against baselines whose
+``serving.workload`` matches, the determinism fingerprints must be
+bit-identical. ``max_live_pins`` and ``max_staleness`` are recorded but
+not gated — they depend on scheduler timing.
 """
 
 import argparse
@@ -143,6 +157,53 @@ def check_ingest(fresh, baselines, failures):
                     f"now {ingest[leg]['bytes_compacted']}")
 
 
+def check_serving(fresh, baselines, failures):
+    """MVCC serving gates: thread-count determinism and insert latency
+    under read load (if the report carries the section)."""
+    serving = fresh.get("serving")
+    if serving is None:
+        return
+    det = serving["determinism"]
+    t1, t4 = det["threads_1"], det["threads_4"]
+    print(f"serving: t1 {t1['convoys']} convoys ({t1['hash']}), "
+          f"t4 {t4['convoys']} convoys ({t4['hash']}), "
+          f"request p99 {serving['request_p99_nanos']} ns, "
+          f"insert-under-load p99 "
+          f"{serving['insert_under_load']['p99_nanos']} ns, "
+          f"max {serving['max_live_pins']} pins, "
+          f"max staleness {serving['max_staleness']}")
+    if (t1["convoys"], t1["hash"]) != (t4["convoys"], t4["hash"]):
+        failures.append(
+            f"serving determinism break across thread counts: 1 thread "
+            f"returned {t1['convoys']} convoys ({t1['hash']}), 4 threads "
+            f"{t4['convoys']} ({t4['hash']}) — parallel request mining "
+            f"reordered or changed the output")
+    # Reader-blocks-nothing: inserts under concurrent mining must stay in
+    # the same regime as the unloaded background-compaction leg measured
+    # in this very report. 20x + an absolute floor absorbs scheduler
+    # noise; a reader-lock-on-the-write-path regression is >1000x.
+    ingest = fresh.get("ingest")
+    if ingest is not None:
+        unloaded = ingest["background"]["insert_p99_nanos"]
+        loaded = serving["insert_under_load"]["p99_nanos"]
+        limit = max(20 * unloaded, 50_000)
+        if loaded > limit:
+            failures.append(
+                f"serving: insert p99 under read load is {loaded} ns, over "
+                f"the limit {limit} ns (20x the unloaded background p99 "
+                f"{unloaded} ns) — concurrent miners are back on the "
+                f"write path")
+    for p, r in baselines:
+        base = r.get("serving")
+        if base is None or base.get("workload") != serving.get("workload"):
+            continue
+        for leg in ("threads_1", "threads_4"):
+            if base["determinism"][leg] != det[leg]:
+                failures.append(
+                    f"serving determinism break vs {p}: {leg} was "
+                    f"{base['determinism'][leg]}, now {det[leg]}")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("reports", nargs="+", metavar="REPORT.json",
@@ -165,6 +226,7 @@ def main():
         report = load(args.reports[0])
         check_prefetch_ceiling(report, args.prefetch_ceiling, failures)
         check_ingest(report, [], failures)
+        check_serving(report, [], failures)
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)
         if not failures:
@@ -292,6 +354,7 @@ def main():
                     f"memory bound must not regress")
 
     check_ingest(fresh, baselines, failures)
+    check_serving(fresh, baselines, failures)
 
     if args.prefetch_ceiling is not None:
         check_prefetch_ceiling(fresh, args.prefetch_ceiling, failures)

@@ -15,11 +15,15 @@ use k2hop::baselines::sweep::SweepMiner;
 use k2hop::baselines::{cuts, dcm, spare, vcoda};
 use k2hop::core::{K2Config, K2HopParallel};
 use k2hop::model::{codec, Dataset};
-use k2hop::storage::{FlatFileStore, InMemoryStore, LsmStore, RelationalStore};
+use k2hop::server::{K2Service, Server};
+use k2hop::storage::{
+    FlatFileStore, InMemoryStore, LsmConfig, LsmStore, RelationalStore, SharedLsm,
+};
 use k2hop::{MiningSession, PatternKind};
 use std::collections::HashMap;
 use std::fs::File;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() -> ExitCode {
@@ -43,12 +47,15 @@ usage:
           [--pattern P] [--quiet]
   k2 interpolate <in> <out> [--max-gap N]
   k2 convert <in> <out>
+  k2 serve [file] --addr HOST:PORT [--dir D] [--workers N]
 
 algorithms (--algo): k2hop (default), k2hop-parallel, vcoda, vcoda-star,
                      cmc, pccd, cuts, spare, dcm
 engines    (--engine): memory (default), flat, rdbms, lsmt
 patterns   (--pattern, unified algos only): convoy (default), flock
-files:     *.csv is CSV (oid,x,y,t); anything else is the binary format";
+files:     *.csv is CSV (oid,x,y,t); anything else is the binary format
+serve:     optional [file] is bulk-loaded first; --dir persists the store
+           (default: a temp dir); clients speak the k2-server protocol";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -60,6 +67,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "mine" => mine(&rest),
         "interpolate" => interpolate_cmd(&rest),
         "convert" => convert(&rest),
+        "serve" => serve(&rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -294,6 +302,49 @@ fn mine(args: &[&String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `k2 serve`: bulk-load an optional movement file into an LSM store and
+/// serve mine/ingest/stats requests over TCP until killed. Every mine
+/// request pins its own MVCC snapshot, so clients mine concurrently with
+/// each other and with live `Ingest` traffic.
+fn serve(args: &[&String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let addr = flags.get("addr").copied().unwrap_or("127.0.0.1:7878");
+    let workers: usize = flag_parse(&flags, "workers", Some(4))?;
+    let owned_tmp;
+    let dir = match flags.get("dir") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => {
+            owned_tmp = std::env::temp_dir().join(format!("k2serve-{}", std::process::id()));
+            owned_tmp
+        }
+    };
+    let store = match pos.first() {
+        Some(path) => {
+            let dataset = load(path)?;
+            println!(
+                "loaded {} points over {} timestamps from {path}",
+                dataset.num_points(),
+                dataset.span().len()
+            );
+            SharedLsm::bulk_load_with(&dir, &dataset, LsmConfig::default())
+        }
+        None if dir.join("MANIFEST").exists() => LsmStore::open(&dir).map(SharedLsm::new),
+        None => SharedLsm::create_with(&dir, LsmConfig::default()),
+    }
+    .map_err(|e| e.to_string())?;
+    let service = Arc::new(K2Service::new(store));
+    let server = Server::bind(addr, service, workers).map_err(|e| e.to_string())?;
+    println!(
+        "serving on {} with {workers} workers (store: {})",
+        server.addr(),
+        dir.display()
+    );
+    // Serve until killed; the accept thread does the work.
+    loop {
+        std::thread::park();
+    }
 }
 
 fn interpolate_cmd(args: &[&String]) -> Result<(), String> {

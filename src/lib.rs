@@ -16,6 +16,9 @@
 //!   traffic, Trucks-like, T-Drive-like, convoy injection),
 //! * [`patterns`] — the paper's §7 future work: flocks (with k/2-hop
 //!   acceleration) and moving clusters,
+//! * [`server`] — MVCC snapshot serving: concurrent mining under live
+//!   ingest over a length-prefixed TCP protocol (plus an in-process
+//!   client),
 //!
 //! and adds the unified entry point: [`MiningSession`], a builder that
 //! runs any engine ([`ConvoyMiner`]) over any data source
@@ -76,6 +79,7 @@ pub use k2_core as core;
 pub use k2_datagen as datagen;
 pub use k2_model as model;
 pub use k2_patterns as patterns;
+pub use k2_server as server;
 pub use k2_storage as storage;
 
 mod session;
